@@ -1,0 +1,375 @@
+(* graphio — spectral I/O lower bounds for computation graphs (CLI).
+
+   Subcommands:
+     generate   build a workload graph and write it as an edge list
+     bound      spectral lower bound (Theorems 4/5/6)
+     baseline   convex min-cut lower bound (Elango et al.)
+     simulate   play a schedule in the two-level memory model
+     spectrum   smallest Laplacian eigenvalues
+     export     Graphviz DOT output
+
+   Graphs are supplied either with --graph SPEC (generated on the fly) or
+   --file PATH (edge-list format, see Graphio_graph.Edgelist). *)
+
+open Cmdliner
+open Graphio_graph
+open Graphio_core
+
+(* ------------------------------------------------------------------ *)
+(* Graph specs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_spec spec =
+  match String.split_on_char ':' spec with
+  | [ "fft"; l ] -> Ok (Graphio_workloads.Fft.build (int_of_string l))
+  | [ "bhk"; l ] -> Ok (Graphio_workloads.Bhk.build (int_of_string l))
+  | [ "matmul"; n ] -> Ok (Graphio_workloads.Matmul.build (int_of_string n))
+  | [ "matmul-binary"; n ] ->
+      Ok (Graphio_workloads.Matmul.build_binary_sums (int_of_string n))
+  | [ "strassen"; n ] -> Ok (Graphio_workloads.Strassen.build (int_of_string n))
+  | [ "inner"; d ] -> Ok (Graphio_workloads.Inner_product.build (int_of_string d))
+  | [ "er"; n; p ] -> Ok (Er.gnp ~n:(int_of_string n) ~p:(float_of_string p) ~seed:1)
+  | [ "er"; n; p; seed ] ->
+      Ok
+        (Er.gnp ~n:(int_of_string n) ~p:(float_of_string p)
+           ~seed:(int_of_string seed))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown graph spec %S (expected fft:L, bhk:L, matmul:N, \
+            matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"
+           spec)
+
+let load_graph ~spec ~file =
+  match (spec, file) with
+  | Some s, None -> (
+      match parse_spec s with
+      | Ok g -> g
+      | Error msg -> raise (Invalid_argument msg))
+  | None, Some path -> Edgelist.of_file path
+  | _ -> raise (Invalid_argument "provide exactly one of --graph or --file")
+
+let spec_arg =
+  Arg.(value & opt (some string) None & info [ "g"; "graph" ] ~docv:"SPEC"
+         ~doc:"Generate the graph from a spec (e.g. fft:8, bhk:10, matmul:6, strassen:4, inner:16, er:200:0.05).")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
+         ~doc:"Load the graph from an edge-list file.")
+
+let m_arg =
+  Arg.(value & opt int 8 & info [ "m"; "memory" ] ~docv:"M"
+         ~doc:"Fast-memory size in elements.")
+
+let handle f = try `Ok (f ()) with
+  | Invalid_argument msg | Failure msg -> `Error (false, msg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate spec output =
+  handle @@ fun () ->
+  match parse_spec spec with
+  | Error msg -> raise (Invalid_argument msg)
+  | Ok g -> (
+      match output with
+      | Some path ->
+          Edgelist.to_file path g;
+          Printf.printf "wrote %d vertices, %d edges to %s\n" (Dag.n_vertices g)
+            (Dag.n_edges g) path
+      | None -> print_string (Edgelist.to_string g))
+
+let generate_cmd =
+  let spec =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Graph family spec, e.g. fft:8.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Output path (stdout if omitted).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Build a workload computation graph")
+    Term.(ret (const generate $ spec $ output))
+
+(* ------------------------------------------------------------------ *)
+(* bound                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bound spec file m h p method_name =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  let method_ =
+    match method_name with
+    | "normalized" -> Solver.Normalized
+    | "standard" -> Solver.Standard
+    | other ->
+        raise (Invalid_argument (Printf.sprintf "unknown method %S" other))
+  in
+  let o = Solver.bound ~method_ ~h ~p g ~m in
+  let b = o.Solver.result in
+  Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" (Dag.n_vertices g)
+    (Dag.n_edges g) (Dag.max_out_degree g);
+  Printf.printf "method: %s (Theorem %s)%s\n"
+    (match method_ with Solver.Normalized -> "normalized" | Solver.Standard -> "standard")
+    (match method_ with Solver.Normalized -> if p > 1 then "6" else "4" | Solver.Standard -> "5")
+    (if p > 1 then Printf.sprintf " with p=%d processors" p else "");
+  Printf.printf "eigen backend: %s (h=%d)\n"
+    (match o.Solver.backend with
+    | Graphio_la.Eigen.Dense -> "dense Householder+QL"
+    | Graphio_la.Eigen.Sparse_filtered -> "Chebyshev-filtered block iteration")
+    (Array.length o.Solver.eigenvalues);
+  Printf.printf "lower bound on non-trivial I/O: %.6g (best k = %d, raw = %.6g)\n"
+    b.Spectral_bound.bound b.Spectral_bound.best_k b.Spectral_bound.best_raw
+
+let bound_cmd =
+  let h =
+    Arg.(value & opt int 100 & info [ "eigenvalues" ] ~docv:"H"
+           ~doc:"Number of smallest eigenvalues to compute (the paper uses 100).")
+  in
+  let p =
+    Arg.(value & opt int 1 & info [ "p"; "processors" ] ~docv:"P"
+           ~doc:"Processor count for the parallel bound (Theorem 6).")
+  in
+  let method_name =
+    Arg.(value & opt string "normalized" & info [ "method" ] ~docv:"METHOD"
+           ~doc:"normalized (Theorem 4) or standard (Theorem 5).")
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Spectral I/O lower bound")
+    Term.(ret (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name))
+
+(* ------------------------------------------------------------------ *)
+(* baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let baseline spec file m partitioned =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  if partitioned then begin
+    let b = Graphio_flow.Convex_mincut.bound_partitioned g ~m ~part_size:(2 * m) in
+    Printf.printf "convex min-cut (partitioned into <=%d-vertex parts): %d\n" (2 * m) b
+  end
+  else begin
+    let value, best = Graphio_flow.Convex_mincut.bound_detailed g ~m in
+    Printf.printf "convex min-cut lower bound: %d (max wavefront %d at vertex %d)\n"
+      value best.Graphio_flow.Convex_mincut.wavefront
+      best.Graphio_flow.Convex_mincut.vertex
+  end
+
+let baseline_cmd =
+  let partitioned =
+    Arg.(value & flag & info [ "partitioned" ]
+           ~doc:"Use the 2M-partitioned variant (trivial on complex graphs).")
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Convex min-cut lower bound (Elango et al.)")
+    Term.(ret (const baseline $ spec_arg $ file_arg $ m_arg $ partitioned))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate spec file m order_name policy_name =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  let order =
+    match order_name with
+    | "natural" -> Topo.natural g
+    | "kahn" -> Topo.kahn g
+    | "dfs" -> Topo.dfs g
+    | "random" -> Topo.random ~seed:42 g
+    | other -> raise (Invalid_argument (Printf.sprintf "unknown order %S" other))
+  in
+  let policy =
+    match policy_name with
+    | "belady" -> Graphio_pebble.Simulator.Belady
+    | "lru" -> Graphio_pebble.Simulator.Lru
+    | other -> raise (Invalid_argument (Printf.sprintf "unknown policy %S" other))
+  in
+  let r = Graphio_pebble.Simulator.simulate ~policy g ~order ~m in
+  Printf.printf "schedule: %s, eviction: %s, M=%d\n" order_name policy_name m;
+  Printf.printf "non-trivial I/O: %d (reads %d, writes %d, peak resident %d)\n"
+    r.Graphio_pebble.Simulator.io r.Graphio_pebble.Simulator.reads
+    r.Graphio_pebble.Simulator.writes r.Graphio_pebble.Simulator.peak_resident
+
+let simulate_cmd =
+  let order =
+    Arg.(value & opt string "natural" & info [ "order" ] ~docv:"ORDER"
+           ~doc:"natural | kahn | dfs | random.")
+  in
+  let policy =
+    Arg.(value & opt string "belady" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"belady | lru.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a schedule in the two-level memory model")
+    Term.(ret (const simulate $ spec_arg $ file_arg $ m_arg $ order $ policy))
+
+(* ------------------------------------------------------------------ *)
+(* spectrum                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spectrum spec file h normalized =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  let lap = if normalized then Laplacian.normalized g else Laplacian.standard g in
+  let s = Graphio_la.Eigen.smallest ~h lap in
+  Printf.printf "# %s Laplacian, %d smallest eigenvalues (%s backend)\n"
+    (if normalized then "out-degree-normalized" else "standard")
+    (Array.length s.Graphio_la.Eigen.values)
+    (match s.Graphio_la.Eigen.backend with
+    | Graphio_la.Eigen.Dense -> "dense"
+    | Graphio_la.Eigen.Sparse_filtered -> "lanczos");
+  Array.iter (fun l -> Printf.printf "%.10g\n" l) s.Graphio_la.Eigen.values
+
+let spectrum_cmd =
+  let h =
+    Arg.(value & opt int 20 & info [ "eigenvalues" ] ~docv:"H"
+           ~doc:"How many smallest eigenvalues to print.")
+  in
+  let normalized =
+    Arg.(value & flag & info [ "normalized" ]
+           ~doc:"Use the out-degree-normalized Laplacian (Theorem 4's).")
+  in
+  Cmd.v
+    (Cmd.info "spectrum" ~doc:"Smallest Laplacian eigenvalues of a graph")
+    Term.(ret (const spectrum $ spec_arg $ file_arg $ h $ normalized))
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export spec file output =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  let dot = Dot.to_string g in
+  match output with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc dot);
+      Printf.printf "wrote %s\n" path
+  | None -> print_string dot
+
+let export_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Output path (stdout if omitted).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a graph as Graphviz DOT")
+    Term.(ret (const export $ spec_arg $ file_arg $ output))
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze spec file m with_mincut search_budget =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  let m = max m (Graphio_pebble.Simulator.min_feasible_m g) in
+  let r =
+    Report.create
+      ~title:(Printf.sprintf "analysis (n=%d, edges=%d, M=%d)" (Dag.n_vertices g)
+                (Dag.n_edges g) m)
+      ~columns:[ "quantity"; "value" ]
+  in
+  let stats = Stats.compute g in
+  Report.add_row r [ "depth (critical path)"; Report.cell_int stats.Stats.depth ];
+  Report.add_row r [ "max level width"; Report.cell_int stats.Stats.max_level_width ];
+  Report.add_row r [ "components"; Report.cell_int stats.Stats.components ];
+  let b4 = (Solver.bound g ~m).Solver.result in
+  let b5 = (Solver.bound ~method_:Solver.Standard g ~m).Solver.result in
+  Report.add_row r
+    [ "spectral lower bound (Thm 4)"; Report.cell_float b4.Spectral_bound.bound ];
+  Report.add_row r [ "  best k"; Report.cell_int b4.Spectral_bound.best_k ];
+  Report.add_row r
+    [ "spectral lower bound (Thm 5)"; Report.cell_float b5.Spectral_bound.bound ];
+  if with_mincut then begin
+    let value, best = Graphio_flow.Convex_mincut.bound_detailed g ~m in
+    Report.add_row r [ "convex min-cut lower bound"; Report.cell_int value ];
+    Report.add_row r
+      [ "  max wavefront"; Report.cell_int best.Graphio_flow.Convex_mincut.wavefront ]
+  end;
+  let searched =
+    Graphio_pebble.Schedule_search.optimize ~budget:search_budget g ~m
+  in
+  Report.add_row r
+    [ "simulated I/O (initial schedule)";
+      Report.cell_int searched.Graphio_pebble.Schedule_search.initial.Graphio_pebble.Simulator.io ];
+  Report.add_row r
+    [ "simulated I/O (searched schedule)";
+      Report.cell_int searched.Graphio_pebble.Schedule_search.result.Graphio_pebble.Simulator.io ];
+  let order = searched.Graphio_pebble.Schedule_search.order in
+  let _, pv = Partition_bound.best g ~order ~m in
+  Report.add_row r
+    [ "partition bound on that schedule"; Report.cell_float (Float.max 0.0 pv) ];
+  (if Dag.n_vertices g >= 3 then
+     let fiedler = Graphio_pebble.Spectral_order.upper_bound g ~m in
+     Report.add_row r
+       [ "simulated I/O (Fiedler schedule)";
+         Report.cell_int fiedler.Graphio_pebble.Simulator.io ]);
+  Report.print r
+
+let analyze_cmd =
+  let with_mincut =
+    Arg.(value & flag & info [ "mincut" ]
+           ~doc:"Also run the convex min-cut baseline (O(n) max-flows; slow on large graphs).")
+  in
+  let budget =
+    Arg.(value & opt int 100 & info [ "search-budget" ] ~docv:"N"
+           ~doc:"Schedule-search simulator evaluations.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Combined lower/upper-bound analysis of one graph")
+    Term.(ret (const analyze $ spec_arg $ file_arg $ m_arg $ with_mincut $ budget))
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep spec file m_from m_to =
+  handle @@ fun () ->
+  let g = load_graph ~spec ~file in
+  if m_from < 0 || m_to < m_from then
+    raise (Invalid_argument "sweep: need 0 <= from <= to");
+  (* one eigensolve, many M values *)
+  let eig4, _ = Solver.spectrum g in
+  let eig5, _ = Solver.spectrum ~method_:Solver.Standard g in
+  let n = Dag.n_vertices g in
+  print_endline "M,thm4,thm5";
+  let m = ref m_from in
+  while !m <= m_to do
+    let b4 = (Spectral_bound.compute ~n ~m:!m ~eigenvalues:eig4 ()).Spectral_bound.bound in
+    let b5 = (Spectral_bound.compute ~n ~m:!m ~eigenvalues:eig5 ()).Spectral_bound.bound in
+    Printf.printf "%d,%.6g,%.6g\n" !m b4 b5;
+    m := max (!m + 1) (!m * 2)
+  done
+
+let sweep_cmd =
+  let m_from =
+    Arg.(value & opt int 2 & info [ "from" ] ~docv:"M" ~doc:"Smallest memory size.")
+  in
+  let m_to =
+    Arg.(value & opt int 256 & info [ "to" ] ~docv:"M" ~doc:"Largest memory size.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"CSV of the spectral bounds across fast-memory sizes (doubling steps)")
+    Term.(ret (const sweep $ spec_arg $ file_arg $ m_from $ m_to))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "graphio" ~version:"1.0.0"
+      ~doc:"Spectral lower bounds on the I/O complexity of computation graphs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; bound_cmd; baseline_cmd; simulate_cmd; spectrum_cmd;
+            export_cmd; analyze_cmd; sweep_cmd;
+          ]))

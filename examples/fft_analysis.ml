@@ -1,0 +1,82 @@
+(* FFT / butterfly analysis (Section 5.2 and Figure 7).
+
+   Compares, for growing FFT levels l:
+   - the numeric Theorem 4 bound (out-degree-normalized Laplacian),
+   - the numeric Theorem 5 bound (plain Laplacian / max out-degree),
+   - the exact closed-form-spectrum bound (Theorem 7's eigenvalues —
+     works at any size without an eigensolver),
+   - the paper's analytic Section 5.2 bound (alpha-optimized),
+   - the published Hong-Kung growth shape l*2^l / log2 M,
+   - a simulated schedule's I/O, an upper bound on the optimal J.
+
+   Run with:  dune exec examples/fft_analysis.exe *)
+
+open Graphio_graph
+open Graphio_workloads
+open Graphio_spectra
+open Graphio_core
+
+let () =
+  let m = 8 in
+  let r =
+    Report.create
+      ~title:(Printf.sprintf "FFT bounds, M = %d" m)
+      ~columns:
+        [ "l"; "n"; "thm4"; "thm5"; "closed-form"; "analytic 5.2"; "hong-kung"; "simulated" ]
+  in
+  List.iter
+    (fun l ->
+      let g = Fft.build l in
+      let n = Dag.n_vertices g in
+      let thm4 = (Solver.bound g ~m).Solver.result.Spectral_bound.bound in
+      let thm5 =
+        (Solver.bound ~method_:Solver.Standard g ~m).Solver.result.Spectral_bound.bound
+      in
+      let closed =
+        (Solver.bound_of_spectrum
+           ~spectrum:(Butterfly_spectra.spectrum l)
+           ~scale:0.5 ~n ~m ())
+          .Spectral_bound.bound
+      in
+      let analytic = Float.max 0.0 (fst (Analytic.fft_best ~l ~m)) in
+      let hk = Analytic.fft_hong_kung ~l ~m in
+      let sim = (Graphio_pebble.Simulator.best_upper_bound g ~m).Graphio_pebble.Simulator.io in
+      Report.add_row r
+        [
+          Report.cell_int l;
+          Report.cell_int n;
+          Report.cell_float thm4;
+          Report.cell_float thm5;
+          Report.cell_float closed;
+          Report.cell_float analytic;
+          Report.cell_float hk;
+          Report.cell_int sim;
+        ])
+    [ 3; 4; 5; 6; 7; 8; 9 ];
+  Report.note r "thm4/thm5: numeric spectral bounds; closed-form: exact Theorem 7 spectrum";
+  Report.note r "every lower bound sits below the simulated schedule, as it must";
+  Report.print r;
+
+  (* Closed form reaches sizes no eigensolver needs to touch. *)
+  print_newline ();
+  let big =
+    Report.create ~title:"Closed-form Theorem 5 bound at large sizes (no eigensolver)"
+      ~columns:[ "l"; "n"; "closed-form bound"; "hong-kung shape" ]
+  in
+  List.iter
+    (fun l ->
+      let n = Butterfly_spectra.n_vertices l in
+      let b =
+        Solver.bound_of_spectrum ~h:4096
+          ~spectrum:(Butterfly_spectra.spectrum l)
+          ~scale:0.5 ~n ~m ()
+      in
+      Report.add_row big
+        [
+          Report.cell_int l;
+          Report.cell_int n;
+          Report.cell_float b.Spectral_bound.bound;
+          Report.cell_float (Analytic.fft_hong_kung ~l ~m);
+        ])
+    [ 12; 16; 20; 24 ];
+  Report.print big

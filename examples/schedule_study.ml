@@ -1,0 +1,74 @@
+(* Schedule study: how much does the evaluation order matter, and how
+   close do lower and upper bounds come?
+
+   The paper frames optimal I/O as a minimization over topological orders
+   (section 3.1).  For a gallery of computation graphs this example:
+
+   - simulates the standard schedules (natural / Kahn BFS / DFS) and a
+     hill-climbed improvement (Graphio_pebble.Schedule_search),
+   - evaluates the exact Theorem-2 partition bound on the best schedule
+     found (a lower bound on *that schedule's* I/O),
+   - prints the spectral lower bound on J* next to them.
+
+   The gap between the spectral bound and the best simulated schedule
+   brackets how far either side could still be improved.
+
+   Run with:  dune exec examples/schedule_study.exe *)
+
+open Graphio_graph
+open Graphio_workloads
+open Graphio_pebble
+open Graphio_core
+
+let () =
+  let cases =
+    [
+      ("fft l=7", Fft.build 7, 4);
+      ("bhk l=8", Bhk.build 8, 8);
+      ("matmul n=5", Matmul.build 5, 8);
+      ("strassen n=4", Strassen.build 4, 8);
+      ("pyramid 40", Stencil.pyramid 40, 4);
+      ("stencil 32x16", Stencil.build ~width:32 ~steps:16 (), 4);
+      ("bitonic l=4", Bitonic.build 4, 4);
+      ("reduction 256", Reduction.build 256, 4);
+      ("horner d=60", Sequences.horner 60, 4);
+    ]
+  in
+  let r =
+    Report.create ~title:"Schedules vs bounds (Belady eviction)"
+      ~columns:
+        [ "graph"; "M"; "spectral J*"; "partition(best X)"; "natural"; "kahn"; "dfs";
+          "fiedler"; "searched" ]
+  in
+  List.iter
+    (fun (name, g, m) ->
+      let m = max m (Simulator.min_feasible_m g) in
+      let io order = (Simulator.simulate g ~order ~m).Simulator.io in
+      let natural = io (Topo.natural g) in
+      let kahn = io (Topo.kahn g) in
+      let dfs = io (Topo.dfs g) in
+      let fiedler = io (Spectral_order.fiedler_order g) in
+      let searched = Schedule_search.optimize ~budget:150 g ~m in
+      let spectral = (Solver.bound g ~m).Solver.result.Spectral_bound.bound in
+      let _, partition =
+        Partition_bound.best g ~order:searched.Schedule_search.order ~m
+      in
+      Report.add_row r
+        [
+          name;
+          Report.cell_int m;
+          Report.cell_float spectral;
+          Report.cell_float (Float.max 0.0 partition);
+          Report.cell_int natural;
+          Report.cell_int kahn;
+          Report.cell_int dfs;
+          Report.cell_int fiedler;
+          Report.cell_int searched.Schedule_search.result.Simulator.io;
+        ])
+    cases;
+  Report.note r "partition(best X) = exact Theorem-2 bound on the searched schedule";
+  Report.note r
+    "low-connectivity shapes get ~0 spectral bounds; their real I/O depends on the schedule";
+  Report.note r
+    "(a tree reduction at M=4 genuinely needs spills under any order: depth > M)";
+  Report.print r

@@ -1,0 +1,101 @@
+(* Bellman-Held-Karp / TSP analysis (Section 5.1 and Figure 10).
+
+   The dynamic program over city subsets has the boolean hypercube as its
+   computation graph.  This example:
+   - actually solves small TSP instances through the tracing DSL (so the
+     graph is extracted from a real computation, like the paper's solver),
+   - compares the numeric spectral bound against the Section 5.1 analytic
+     bound and the closed-form hypercube spectrum,
+   - shows the convex min-cut baseline and a simulated upper bound.
+
+   Run with:  dune exec examples/tsp_analysis.exe *)
+
+open Graphio_graph
+open Graphio_workloads
+open Graphio_spectra
+open Graphio_trace
+open Graphio_core
+
+let random_distances seed l =
+  let rng = Graphio_la.Rng.create seed in
+  let d = Array.make_matrix l l 0.0 in
+  for i = 0 to l - 1 do
+    for j = i + 1 to l - 1 do
+      let v = 1.0 +. (9.0 *. Graphio_la.Rng.float rng) in
+      d.(i).(j) <- v;
+      d.(j).(i) <- v
+    done
+  done;
+  d
+
+let () =
+  (* --- a real TSP solved through the tracer --- *)
+  let l = 6 in
+  let dist = random_distances 42 l in
+  let ctx = Trace.create () in
+  let solution = Programs.held_karp ctx dist in
+  Printf.printf "%d-city shortest Hamiltonian path (traced Held-Karp): %.3f\n"
+    l (Trace.payload solution);
+  Printf.printf "brute force cross-check:                              %.3f\n\n"
+    (Programs.brute_force_shortest_path dist);
+  let traced = Trace.graph ctx in
+  Printf.printf "extracted graph: %d vertices, %d edges (the %d-cube)\n\n"
+    (Dag.n_vertices traced) (Dag.n_edges traced) l;
+
+  (* --- bounds across problem sizes --- *)
+  let m = 16 in
+  let r =
+    Report.create
+      ~title:(Printf.sprintf "Bellman-Held-Karp bounds, M = %d" m)
+      ~columns:[ "cities"; "n=2^l"; "thm4"; "thm5 closed-form"; "analytic 5.1"; "mincut"; "simulated" ]
+  in
+  List.iter
+    (fun l ->
+      let g = Bhk.build l in
+      let thm4 = (Solver.bound g ~m).Solver.result.Spectral_bound.bound in
+      let closed =
+        (Solver.bound_of_spectrum
+           ~spectrum:(Hypercube_spectra.spectrum l)
+           ~scale:(1.0 /. float_of_int l)
+           ~n:(1 lsl l) ~m ())
+          .Spectral_bound.bound
+      in
+      let analytic = Float.max 0.0 (fst (Analytic.hypercube_best ~l ~m)) in
+      let mincut = Graphio_flow.Convex_mincut.bound g ~m in
+      let sim =
+        (Graphio_pebble.Simulator.best_upper_bound g ~m).Graphio_pebble.Simulator.io
+      in
+      Report.add_row r
+        [
+          Report.cell_int l;
+          Report.cell_int (1 lsl l);
+          Report.cell_float thm4;
+          Report.cell_float closed;
+          Report.cell_float analytic;
+          Report.cell_int mincut;
+          Report.cell_int sim;
+        ])
+    [ 6; 7; 8; 9; 10 ];
+  Report.note r "analytic 5.1 = alpha-optimized (1/l) floor(2^l/k) sum(2i C(l,i)) - 2kM";
+  Report.print r;
+
+  (* --- the nontriviality threshold of Section 5.1 --- *)
+  print_newline ();
+  let t =
+    Report.create ~title:"Nontriviality threshold M <= 2^l/(l+1)^2 (alpha = 1)"
+      ~columns:[ "cities"; "threshold"; "bound at M=threshold/2"; "bound at M=2*threshold" ]
+  in
+  List.iter
+    (fun l ->
+      let thr = Analytic.hypercube_nontrivial_m ~l in
+      let below = Analytic.hypercube_alpha1 ~l ~m:(max 1 (int_of_float (thr /. 2.0))) in
+      let above = Analytic.hypercube_alpha1 ~l ~m:(int_of_float (2.0 *. thr) + 1) in
+      Report.add_row t
+        [
+          Report.cell_int l;
+          Report.cell_float thr;
+          Report.cell_float below;
+          Report.cell_float above;
+        ])
+    [ 10; 12; 14; 16 ];
+  Report.print t

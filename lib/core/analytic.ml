@@ -1,0 +1,94 @@
+open Graphio_spectra
+
+let check_alpha name ~l ~alpha =
+  if alpha < 0 || alpha >= l then
+    invalid_arg (Printf.sprintf "Analytic.%s: alpha=%d out of [0, %d)" name alpha l)
+
+(* --- Hypercube (Section 5.1) --- *)
+
+let hypercube ~l ~m ~alpha =
+  if l < 1 then invalid_arg "Analytic.hypercube: l must be >= 1";
+  if l > 57 then invalid_arg "Analytic.hypercube: l too large for exact integer arithmetic";
+  check_alpha "hypercube" ~l ~alpha;
+  let k = ref 0 and weighted = ref 0 in
+  for i = 0 to alpha do
+    let c = Hypercube_spectra.binomial l i in
+    k := !k + c;
+    weighted := !weighted + (2 * i * c)
+  done;
+  let n = 1 lsl l in
+  let segments = float_of_int (n / !k) in
+  (segments *. float_of_int !weighted /. float_of_int l)
+  -. (2.0 *. float_of_int (!k * m))
+
+let hypercube_alpha1 ~l ~m =
+  if l < 1 then invalid_arg "Analytic.hypercube_alpha1: l must be >= 1";
+  (float_of_int (1 lsl (l + 1)) /. float_of_int (l + 1))
+  -. (2.0 *. float_of_int (m * (l + 1)))
+
+let hypercube_best ~l ~m =
+  if l < 1 then invalid_arg "Analytic.hypercube_best: l must be >= 1";
+  let best = ref neg_infinity and best_alpha = ref 0 in
+  for alpha = 0 to l - 1 do
+    let v = hypercube ~l ~m ~alpha in
+    if v > !best then begin
+      best := v;
+      best_alpha := alpha
+    end
+  done;
+  (!best, !best_alpha)
+
+let hypercube_nontrivial_m ~l =
+  float_of_int (1 lsl l) /. float_of_int ((l + 1) * (l + 1))
+
+(* --- Butterfly / FFT (Section 5.2) --- *)
+
+let fft ~l ~m ~alpha =
+  if l < 1 then invalid_arg "Analytic.fft: l must be >= 1";
+  if l > 57 then invalid_arg "Analytic.fft: l too large for exact integer arithmetic";
+  check_alpha "fft" ~l ~alpha;
+  let n = (l + 1) * (1 lsl l) in
+  let k = 1 lsl (alpha + 1) in
+  let lambda = 4.0 -. (4.0 *. cos (Float.pi /. float_of_int ((2 * (l - alpha)) + 1))) in
+  (* 2^alpha eigenvalues at lambda, the rest assumed 0; divide by the
+     maximal out-degree 2 (Theorem 5). *)
+  let sum_scaled = float_of_int (1 lsl alpha) *. lambda /. 2.0 in
+  (float_of_int (n / k) *. sum_scaled) -. (2.0 *. float_of_int (k * m))
+
+let log2_int_ceil x =
+  if x < 1 then invalid_arg "Analytic: log2 of non-positive";
+  let rec go acc v = if v >= x then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let fft_default_alpha ~l ~m =
+  if m < 1 then invalid_arg "Analytic.fft_default_alpha: m must be >= 1";
+  max 0 (min (l - 1) (l - log2_int_ceil m))
+
+let fft_best ~l ~m =
+  if l < 1 then invalid_arg "Analytic.fft_best: l must be >= 1";
+  let best = ref neg_infinity and best_alpha = ref 0 in
+  for alpha = 0 to l - 1 do
+    let v = fft ~l ~m ~alpha in
+    if v > !best then begin
+      best := v;
+      best_alpha := alpha
+    end
+  done;
+  (!best, !best_alpha)
+
+let fft_hong_kung ~l ~m =
+  if m < 2 then invalid_arg "Analytic.fft_hong_kung: m must be >= 2";
+  if l < 1 || l > 57 then invalid_arg "Analytic.fft_hong_kung: l out of range";
+  float_of_int (l * (1 lsl l)) /. (log (float_of_int m) /. log 2.0)
+
+(* --- Erdős–Rényi (Section 5.3) --- *)
+
+let er_sparse ~n ~p0 ~m =
+  if p0 <= 6.0 then invalid_arg "Analytic.er_sparse: p0 must exceed 6";
+  if n < 2 then invalid_arg "Analytic.er_sparse: n must be >= 2";
+  (float_of_int n /. (1.0 +. sqrt (6.0 /. p0)) *. (1.0 -. sqrt (2.0 /. p0)))
+  -. (4.0 *. float_of_int m)
+
+let er_dense ~n ~m =
+  if n < 1 then invalid_arg "Analytic.er_dense: n must be >= 1";
+  (float_of_int n /. 2.0) -. (4.0 *. float_of_int m)

@@ -1,0 +1,58 @@
+(** Closed-form analytic bounds of Section 5.
+
+    These are the pencil-and-paper instantiations of the spectral method:
+    Theorem 5 applied to graphs with known spectra, keeping the paper's
+    choices of [k].  They are deliberately looser than the numeric solver
+    (they zero out eigenvalues the derivation discards) — the evaluation
+    compares growth {e shapes}, not exact values. *)
+
+(** {1 Hypercube — Bellman–Held–Karp (§5.1)} *)
+
+val hypercube : l:int -> m:int -> alpha:int -> float
+(** Theorem 5 on [Q_l] with [k = Σ_{i<=α} C(l,i)] eigenvalue classes:
+    [(1/l) · ⌊2^l / k⌋ · Σ_{i<=α} 2 i C(l,i) − 2 k M].
+    Requires [0 <= alpha < l]. *)
+
+val hypercube_alpha1 : l:int -> m:int -> float
+(** The paper's displayed [α = 1] simplification:
+    [2^{l+1}/(l+1) − 2 M (l+1)]. *)
+
+val hypercube_best : l:int -> m:int -> float * int
+(** Maximum of {!hypercube} over [α], with the maximizer. *)
+
+val hypercube_nontrivial_m : l:int -> float
+(** The threshold [2^l / (l+1)^2] below which the [α = 1] bound is
+    positive ("nontrivial as long as M <= 2^l/(l+1)^2"). *)
+
+(** {1 Butterfly — FFT (§5.2)} *)
+
+val fft : l:int -> m:int -> alpha:int -> float
+(** Theorem 5 on [B_l] with [k = 2^{α+1}]: keeps the [2^α] eigenvalues
+    [4 − 4 cos(π/(2(l−α)+1))], zeroes the rest, divides by the maximal
+    out-degree 2:
+    [⌊n/k⌋ · 2^α · 2 (1 − cos(π/(2(l−α)+1))) − 2 k M]  with
+    [n = (l+1) 2^l].  Requires [0 <= alpha < l]. *)
+
+val fft_default_alpha : l:int -> m:int -> int
+(** The paper's choice [α = l − log2 M], clamped into [[0, l−1]]. *)
+
+val fft_best : l:int -> m:int -> float * int
+(** Maximum of {!fft} over [α], with the maximizer. *)
+
+val fft_hong_kung : l:int -> m:int -> float
+(** The published asymptotically tight bound shape [l·2^l / log2 M]
+    (Hong & Kung, by [S]-partitions), as the comparison series used when
+    the paper says the spectral bound is at most a [1/log M] factor off. *)
+
+(** {1 Erdős–Rényi (§5.3)} *)
+
+val er_sparse : n:int -> p0:float -> m:int -> float
+(** Leading term of the sparse-regime bound ([p = p0 log n/(n−1)],
+    [p0 > 6]):
+    [n/(1+√(6/p0)) · (1 − √(2/p0)) − 4 M]  (Theorem 5 with [k = 2],
+    [λ_2 ≈ p0 log n (1 − √(2/p0))], [d_max ≈ (1+√(6/p0)) p0 log n],
+    dropping the vanishing error terms). *)
+
+val er_dense : n:int -> m:int -> float
+(** Leading term in the dense regime [np/log n → ∞]:
+    [n/2 − 4 M]. *)

@@ -1,0 +1,49 @@
+open Graphio_graph
+
+let segments ~n ~k =
+  if k < 1 || k > n then invalid_arg "Partition_bound.segments: k out of range";
+  let base = n / k and extra = n mod k in
+  let seg = Array.make n 0 in
+  let pos = ref 0 in
+  for s = 0 to k - 1 do
+    let len = base + if s < extra then 1 else 0 in
+    for _ = 1 to len do
+      seg.(!pos) <- s;
+      incr pos
+    done
+  done;
+  seg
+
+let segment_of g ~order ~k =
+  let n = Dag.n_vertices g in
+  if not (Topo.is_valid g order) then
+    invalid_arg "Partition_bound: order is not a valid topological order";
+  let seg_by_pos = segments ~n ~k in
+  let pos = Topo.position_of order in
+  Array.init n (fun v -> seg_by_pos.(pos.(v)))
+
+let segment_cost g ~order ~k =
+  let seg = segment_of g ~order ~k in
+  (* each edge crossing segments is in the boundary of both endpoints'
+     segments, so it contributes twice *)
+  Dag.fold_edges g ~init:0.0 ~f:(fun acc u v ->
+      if seg.(u) <> seg.(v) then
+        acc +. (2.0 /. float_of_int (Dag.out_degree g u))
+      else acc)
+
+let value g ~order ~k ~m =
+  if m < 0 then invalid_arg "Partition_bound.value: negative memory size";
+  segment_cost g ~order ~k -. (2.0 *. float_of_int (k * m))
+
+let best ?(k_max = 100) g ~order ~m =
+  let n = Dag.n_vertices g in
+  if n < 2 then invalid_arg "Partition_bound.best: need at least two vertices";
+  let best_k = ref 2 and best_v = ref neg_infinity in
+  for k = 2 to min k_max n do
+    let v = value g ~order ~k ~m in
+    if v > !best_v then begin
+      best_v := v;
+      best_k := k
+    end
+  done;
+  (!best_k, !best_v)

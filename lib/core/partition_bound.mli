@@ -1,0 +1,38 @@
+(** The partition bound of Theorems 2–3, evaluated exactly for a concrete
+    schedule.
+
+    For an evaluation order [X] and segment count [k], split the order
+    into [k] as-equal-as-possible contiguous segments [P(X, k)] (the first
+    [n mod k] segments one longer).  Lemma 1 / Theorem 2 give
+
+    [J_G(X) >= Σ_{S ∈ P} Σ_{(u,v) ∈ ∂S} 1/dout(u) − 2 k M,]
+
+    which equals the quadratic form [tr(Xᵀ L̃ X W(k)) − 2kM] of Theorem 3
+    (the test suite verifies the two agree on explicit matrices).
+
+    The spectral method (Theorem 4) is the relaxation of this quantity
+    over {e orthogonal} [X]; evaluating it here for real topological
+    orders quantifies the relaxation gap — for every valid order and
+    every [k]:
+
+    [partition value(X, k) >= ⌊n/k⌋ Σ_{i<=k} λ_i(L̃) − 2kM.]
+
+    Like the spectral bound, the maximum over [k] lower-bounds [J_G(X)]
+    for that particular schedule (not [J*_G], unless minimized over all
+    schedules). *)
+
+val segments : n:int -> k:int -> int array
+(** [segments ~n ~k] maps position -> segment id for the equal
+    [k]-partition ([1 <= k <= n]). *)
+
+val segment_cost : Graphio_graph.Dag.t -> order:int array -> k:int -> float
+(** [Σ_S Σ_{(u,v) ∈ ∂S} 1/dout(u)] — each crossing edge contributes to
+    both of its segments.  Raises if [order] is not a valid topological
+    order or [k] out of range. *)
+
+val value : Graphio_graph.Dag.t -> order:int array -> k:int -> m:int -> float
+(** [segment_cost − 2 k M] (possibly negative). *)
+
+val best : ?k_max:int -> Graphio_graph.Dag.t -> order:int array -> m:int -> int * float
+(** Maximizing [(k, value)] over [k ∈ 2 .. min k_max n] (default
+    [k_max = 100], the paper's [h]).  The graph must have [n >= 2]. *)

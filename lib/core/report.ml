@@ -1,0 +1,68 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Report.add_row: expected %d cells, got %d"
+         (List.length t.columns) (List.length row));
+  t.rows <- row :: t.rows
+
+let cell_int = string_of_int
+
+let cell_float v = Printf.sprintf "%.6g" v
+
+let add_float_row t row = add_row t (List.map cell_float row)
+
+let note t s = t.notes <- s :: t.notes
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row row =
+    List.iteri
+      (fun i (w, c) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (w - String.length c) ' '))
+      (List.combine widths row);
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  render_row (List.map (fun w -> String.make w '-') widths);
+  List.iter render_row rows;
+  List.iter
+    (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let csv_escape c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let render_row row =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  List.iter render_row (List.rev t.rows);
+  Buffer.contents buf

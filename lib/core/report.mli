@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment output.
+
+    Every bench and example prints through this module so that
+    EXPERIMENTS.md, the bench harness, and the CLI all share one look:
+    a title line, aligned columns, and an optional trailing note.  A CSV
+    emitter is provided for downstream plotting. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] on arity mismatch with [columns]. *)
+
+val add_float_row : t -> float list -> unit
+(** Convenience: renders each cell with [%.6g]. *)
+
+val note : t -> string -> unit
+(** Appends a free-form note printed under the table. *)
+
+val to_string : t -> string
+
+val print : t -> unit
+(** [to_string] to stdout. *)
+
+val to_csv : t -> string
+(** Header + rows, comma-separated with minimal quoting. *)
+
+val cell_int : int -> string
+
+val cell_float : float -> string
+(** [%.6g]. *)

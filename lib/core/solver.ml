@@ -1,0 +1,112 @@
+open Graphio_graph
+open Graphio_la
+
+type method_ = Normalized | Standard
+
+type outcome = {
+  result : Spectral_bound.t;
+  method_ : method_;
+  backend : Eigen.backend;
+  eigenvalues : float array;
+}
+
+let spectrum ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed g =
+  let laplacian =
+    match method_ with
+    | Normalized -> Laplacian.normalized g
+    | Standard -> Laplacian.standard g
+  in
+  let spec = Eigen.smallest ~h ?dense_threshold ?tol ?seed laplacian in
+  let scale =
+    match method_ with
+    | Normalized -> 1.0
+    | Standard ->
+        let dmax = Dag.max_out_degree g in
+        if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax
+  in
+  ( Array.map (fun l -> scale *. Float.max l 0.0) spec.Eigen.values,
+    spec.Eigen.backend )
+
+let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed g ~m =
+  let n = Dag.n_vertices g in
+  if n = 0 then
+    {
+      result = Spectral_bound.compute ~n:0 ~m ~eigenvalues:[||] ();
+      method_;
+      backend = Eigen.Dense;
+      eigenvalues = [||];
+    }
+  else begin
+    let eigenvalues, backend = spectrum ~method_ ~h ?dense_threshold ?tol ?seed g in
+    {
+      result = Spectral_bound.compute ~n ~m ?p ~eigenvalues ();
+      method_;
+      backend;
+      eigenvalues;
+    }
+  end
+
+let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
+  if scale < 0.0 then invalid_arg "Solver.bound_of_spectrum: negative scale";
+  let eigenvalues =
+    Graphio_spectra.Multiset.smallest spectrum ~h:(min h n)
+    |> Array.map (fun l -> scale *. Float.max l 0.0)
+  in
+  Spectral_bound.compute ~n ~m ?p ~eigenvalues ()
+
+let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
+  if scale < 0.0 then invalid_arg "Solver.bound_of_spectrum_all_k: negative scale";
+  if n < 0 then invalid_arg "Solver.bound_of_spectrum_all_k: negative n";
+  if m < 0 then invalid_arg "Solver.bound_of_spectrum_all_k: negative m";
+  if p < 1 then invalid_arg "Solver.bound_of_spectrum_all_k: p must be >= 1";
+  let runs = (spectrum : Graphio_spectra.Multiset.t :> (float * int) array) in
+  let k_max = min n (Graphio_spectra.Multiset.total spectrum) in
+  (* exact objective at one k (prefix sum supplied by the caller) *)
+  let value ~prefix_sum k =
+    let segments = float_of_int (n / (k * p)) in
+    (segments *. prefix_sum) -. (2.0 *. float_of_int (k * m))
+  in
+  let best_k = ref 0 and best_raw = ref neg_infinity in
+  let consider ~base_sum ~base_count ~lambda k =
+    if k >= 2 && k <= k_max && k > base_count then begin
+      let prefix_sum = base_sum +. (float_of_int (k - base_count) *. lambda) in
+      let v = value ~prefix_sum k in
+      if v > !best_raw then begin
+        best_raw := v;
+        best_k := k
+      end
+    end
+  in
+  let base_sum = ref 0.0 and base_count = ref 0 in
+  Array.iter
+    (fun (raw_lambda, mult) ->
+      let lambda = scale *. Float.max raw_lambda 0.0 in
+      let run_end = !base_count + mult in
+      (* run boundaries *)
+      consider ~base_sum:!base_sum ~base_count:!base_count ~lambda (!base_count + 1);
+      consider ~base_sum:!base_sum ~base_count:!base_count ~lambda (min run_end k_max);
+      (* interior stationary point of the continuous relaxation
+         f(k) = (n/(kp)) (S0 + (k - K0) L) - 2kM, maximised at
+         k* = sqrt(n (K0 L - S0) / (2 M p)) when that quantity is
+         positive *)
+      let num = float_of_int n *. ((float_of_int !base_count *. lambda) -. !base_sum) in
+      if num > 0.0 && m > 0 then begin
+        let k_star = sqrt (num /. (2.0 *. float_of_int (m * p))) in
+        let k0 = int_of_float k_star in
+        for k = max (!base_count + 1) (k0 - 2) to min run_end (k0 + 2) do
+          consider ~base_sum:!base_sum ~base_count:!base_count ~lambda k
+        done
+      end;
+      base_sum := !base_sum +. (float_of_int mult *. lambda);
+      base_count := run_end)
+    runs;
+  let best_raw = if !best_k = 0 then 0.0 else !best_raw in
+  {
+    Spectral_bound.bound = Float.max 0.0 best_raw;
+    best_k = !best_k;
+    best_raw;
+    n;
+    m;
+    p;
+    h = k_max;
+  }

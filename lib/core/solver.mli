@@ -1,0 +1,83 @@
+(** End-to-end spectral lower bounds on computation graphs (§6.1's solver).
+
+    Pipeline: build the Laplacian selected by [method_], obtain its [h]
+    smallest eigenvalues through the size-adaptive backend
+    ({!Graphio_la.Eigen}: dense Householder/QL below the threshold,
+    Chebyshev-filtered block subspace iteration above), rescale for
+    Theorem 5 if applicable, and maximize over the segment count [k]
+    ({!Spectral_bound.compute}).
+
+    Defaults follow the paper: [h = 100] eigenvalues, [k ∈ {2..h}],
+    sequential ([p = 1]). *)
+
+type method_ =
+  | Normalized  (** Theorem 4: eigenvalues of the out-degree normalized [L̃] *)
+  | Standard  (** Theorem 5: eigenvalues of [L], scaled by [1/max_out_degree] *)
+
+type outcome = {
+  result : Spectral_bound.t;
+  method_ : method_;
+  backend : Graphio_la.Eigen.backend;
+  eigenvalues : float array;  (** the (scaled) eigenvalues fed to the maximization *)
+}
+
+val bound :
+  ?method_:method_ ->
+  ?h:int ->
+  ?p:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  Graphio_graph.Dag.t ->
+  m:int ->
+  outcome
+(** [bound g ~m] — the spectral lower bound on non-trivial I/O.  Default
+    method is [Normalized] (the paper's main Theorem 4 instrument).
+    Graphs with no edges yield a 0 bound. *)
+
+val spectrum :
+  ?method_:method_ ->
+  ?h:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  Graphio_graph.Dag.t ->
+  float array * Graphio_la.Eigen.backend
+(** The (clamped, Theorem-5-scaled when [Standard]) smallest eigenvalues
+    used by {!bound} — exposed so sweeps over many [M] (or [p]) values can
+    pay for the eigensolve once and re-run only the cheap [k]-maximization
+    via {!Spectral_bound.compute}. *)
+
+val bound_of_spectrum :
+  ?h:int ->
+  ?p:int ->
+  spectrum:Graphio_spectra.Multiset.t ->
+  scale:float ->
+  n:int ->
+  m:int ->
+  unit ->
+  Spectral_bound.t
+(** Closed-form entry point: bound from an exact spectrum multiset (e.g.
+    {!Graphio_spectra.Butterfly_spectra.spectrum}) whose values are first
+    multiplied by [scale] (pass [1 / max_out_degree] for Theorem 5, [1.]
+    if the multiset already describes [L̃]).  Works at sizes far beyond
+    what any numeric eigensolver reaches; the [k]-search is capped at [h]
+    (default 100, the paper's choice) — use {!bound_of_spectrum_all_k}
+    when the maximizing [k] may be huge. *)
+
+val bound_of_spectrum_all_k :
+  ?p:int ->
+  spectrum:Graphio_spectra.Multiset.t ->
+  scale:float ->
+  n:int ->
+  m:int ->
+  unit ->
+  Spectral_bound.t
+(** Like {!bound_of_spectrum} but maximizes over {e all} [k <= n] in
+    [O(distinct values)] instead of capping at [h]: within a run of equal
+    eigenvalues the objective [⌊n/(kp)⌋ Σλ − 2kM] is explicitly
+    optimizable (the closed-form hypercube/butterfly analyses of Section 5
+    pick [k] in the thousands or millions, far past any sensible [h]).
+    The search evaluates run boundaries and the per-run stationary point;
+    every evaluated [k] is exact, so the result is always a valid lower
+    bound, within floor-rounding of the true maximum. *)

@@ -1,0 +1,80 @@
+type t = {
+  bound : float;
+  best_k : int;
+  best_raw : float;
+  n : int;
+  m : int;
+  p : int;
+  h : int;
+}
+
+let validate ~n ~m ~p ~eigenvalues =
+  if n < 0 then invalid_arg "Spectral_bound: negative n";
+  if m < 0 then invalid_arg "Spectral_bound: negative m";
+  if p < 1 then invalid_arg "Spectral_bound: p must be >= 1";
+  let h = Array.length eigenvalues in
+  for i = 1 to h - 1 do
+    if eigenvalues.(i) < eigenvalues.(i - 1) then
+      invalid_arg "Spectral_bound: eigenvalues must be ascending"
+  done
+
+let clamp eigenvalues = Array.map (fun l -> Float.max l 0.0) eigenvalues
+
+(* Raw bound value for segment count k, given the clamped prefix sums. *)
+let raw_value ~n ~m ~p ~prefix ~k =
+  let segments = float_of_int (n / (k * p)) in
+  (segments *. prefix.(k)) -. (2.0 *. float_of_int (k * m))
+
+let prefix_sums eigenvalues =
+  let h = Array.length eigenvalues in
+  let prefix = Array.make (h + 1) 0.0 in
+  for i = 0 to h - 1 do
+    prefix.(i + 1) <- prefix.(i) +. eigenvalues.(i)
+  done;
+  prefix
+
+let value_for_k ~n ~m ?(p = 1) ~eigenvalues k =
+  validate ~n ~m ~p ~eigenvalues;
+  let h = Array.length eigenvalues in
+  if k < 1 || k > min h n then
+    invalid_arg (Printf.sprintf "Spectral_bound.value_for_k: k=%d out of range" k);
+  let prefix = prefix_sums (clamp eigenvalues) in
+  raw_value ~n ~m ~p ~prefix ~k
+
+let per_k ~n ~m ?(p = 1) ~eigenvalues () =
+  validate ~n ~m ~p ~eigenvalues;
+  let h = min (Array.length eigenvalues) n in
+  let prefix = prefix_sums (clamp eigenvalues) in
+  if h < 2 then [||]
+  else
+    Array.init (h - 1) (fun i ->
+        let k = i + 2 in
+        (k, raw_value ~n ~m ~p ~prefix ~k))
+
+let compute ~n ~m ?(p = 1) ~eigenvalues () =
+  validate ~n ~m ~p ~eigenvalues;
+  let h = min (Array.length eigenvalues) n in
+  let prefix = prefix_sums (clamp eigenvalues) in
+  let best_k = ref 0 and best_raw = ref neg_infinity in
+  for k = 2 to h do
+    let v = raw_value ~n ~m ~p ~prefix ~k in
+    if v > !best_raw then begin
+      best_raw := v;
+      best_k := k
+    end
+  done;
+  let best_raw = if !best_k = 0 then 0.0 else !best_raw in
+  {
+    bound = Float.max 0.0 best_raw;
+    best_k = !best_k;
+    best_raw;
+    n;
+    m;
+    p;
+    h;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[spectral bound %.6g (raw %.6g at k=%d; n=%d, M=%d, p=%d, h=%d)@]" t.bound
+    t.best_raw t.best_k t.n t.m t.p t.h

@@ -1,0 +1,46 @@
+(** The spectral I/O lower bound (Theorems 4, 5 and 6).
+
+    Given the [h] smallest eigenvalues [λ_1 <= ... <= λ_h] of a Laplacian
+    and fast-memory size [M], every segment count [k <= n] yields a valid
+    lower bound on the optimal I/O; on [p] processors the same holds with
+    [⌊n/(kp)⌋] (Theorem 6):
+
+    [J*_G >= ⌊n/(kp)⌋ · Σ_{i=1..k} λ_i − 2 k M.]
+
+    This module performs the [k]-maximization and records how the winning
+    bound was obtained.  Which Laplacian the eigenvalues come from decides
+    the theorem instance:
+
+    - eigenvalues of [L̃] (out-degree normalized): Theorem 4 (and 6);
+    - eigenvalues of [L] pre-scaled by [1 / max_out_degree]: Theorem 5.
+
+    Eigenvalue clamping: symmetric PSD solvers can return tiny negative
+    noise for the zero eigenvalue; inputs are clamped at 0 (a Laplacian
+    has no genuinely negative eigenvalues, and clamping only lowers — i.e.
+    never invalidates — the bound). *)
+
+type t = {
+  bound : float;  (** [max(0, best_k value)] — the reported lower bound *)
+  best_k : int;  (** the maximizing segment count ([0] iff no [k] was tried) *)
+  best_raw : float;  (** the un-clamped maximal value (may be negative) *)
+  n : int;  (** graph size the bound refers to *)
+  m : int;  (** fast-memory size *)
+  p : int;  (** processor count (1 = sequential Theorem 4/5) *)
+  h : int;  (** number of eigenvalues available to the maximization *)
+}
+
+val compute : n:int -> m:int -> ?p:int -> eigenvalues:float array -> unit -> t
+(** [compute ~n ~m ~eigenvalues ()] maximizes over [k = 2 .. min h n].
+    [eigenvalues] must be ascending (checked) and are clamped at [0].
+    Raises [Invalid_argument] for [n < 0], [m < 0], [p < 1], or a
+    descending input. *)
+
+val value_for_k : n:int -> m:int -> ?p:int -> eigenvalues:float array -> int -> float
+(** [value_for_k ~n ~m ~eigenvalues k] — the raw (possibly negative) bound
+    value for one specific [k] ([1 <= k <= min h n]); the quantity whose
+    [k]-profile §6.5 discusses. *)
+
+val per_k : n:int -> m:int -> ?p:int -> eigenvalues:float array -> unit -> (int * float) array
+(** All [(k, value)] pairs for [k = 2 .. min h n]. *)
+
+val pp : Format.formatter -> t -> unit

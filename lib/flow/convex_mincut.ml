@@ -1,0 +1,84 @@
+open Graphio_graph
+
+type per_vertex = {
+  vertex : int;
+  wavefront : int;
+}
+
+let descendants g v =
+  let n = Dag.n_vertices g in
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  Dag.iter_succ g v (fun w ->
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        Stack.push w stack
+      end);
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    Dag.iter_succ g u (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Stack.push w stack
+        end)
+  done;
+  seen
+
+let min_wavefront g v =
+  if Dag.out_degree g v = 0 then 0
+  else begin
+    let n = Dag.n_vertices g in
+    (* Node layout: u_in = 2u, u_out = 2u + 1, s = 2n, t = 2n + 1. *)
+    let net = Dinic.create ((2 * n) + 2) in
+    let s = 2 * n and t = (2 * n) + 1 in
+    let node_in u = 2 * u and node_out u = (2 * u) + 1 in
+    for u = 0 to n - 1 do
+      Dinic.add_edge net ~src:(node_in u) ~dst:(node_out u) ~cap:1
+    done;
+    Dag.iter_edges g (fun u w ->
+        (* u interior => w in S *)
+        Dinic.add_edge net ~src:(node_out u) ~dst:(node_in w) ~cap:Dinic.inf_cap;
+        (* downward closure: w in S => u in S *)
+        Dinic.add_edge net ~src:(node_in w) ~dst:(node_in u) ~cap:Dinic.inf_cap);
+    Dinic.add_edge net ~src:s ~dst:(node_in v) ~cap:Dinic.inf_cap;
+    let desc = descendants g v in
+    for d = 0 to n - 1 do
+      if desc.(d) then Dinic.add_edge net ~src:(node_in d) ~dst:t ~cap:Dinic.inf_cap
+    done;
+    Dinic.max_flow net ~s ~sink:t
+  end
+
+let max_wavefront g =
+  let best = ref { vertex = -1; wavefront = 0 } in
+  for v = 0 to Dag.n_vertices g - 1 do
+    let c = min_wavefront g v in
+    if c > !best.wavefront || !best.vertex < 0 then
+      best := { vertex = v; wavefront = c }
+  done;
+  !best
+
+let bound_of_wavefront best ~m =
+  if m < 0 then invalid_arg "Convex_mincut.bound_of_wavefront: negative memory size";
+  max 0 (2 * (best.wavefront - m))
+
+let bound_detailed g ~m =
+  if m < 0 then invalid_arg "Convex_mincut.bound: negative memory size";
+  let best = max_wavefront g in
+  (bound_of_wavefront best ~m, best)
+
+let bound g ~m = fst (bound_detailed g ~m)
+
+let bound_partitioned g ~m ~part_size =
+  if m < 0 then invalid_arg "Convex_mincut.bound_partitioned: negative memory size";
+  let part = Partition.balanced g ~part_size in
+  let total = ref 0 in
+  for p = 0 to Partition.count part - 1 do
+    let vs = Partition.members part p in
+    let sub, _mapping = Dag.induced_subgraph g vs in
+    let best = ref 0 in
+    for v = 0 to Dag.n_vertices sub - 1 do
+      best := max !best (min_wavefront sub v)
+    done;
+    total := !total + max 0 (2 * (!best - m))
+  done;
+  !total

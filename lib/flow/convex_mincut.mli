@@ -1,0 +1,54 @@
+(** The convex min-cut I/O lower bound — the paper's automatic baseline
+    (Elango, Rastello, Pouchet, Ramanujam & Sadayappan, "Data access
+    complexity: the red/blue pebble game revisited"; reference [13]).
+
+    For a vertex [v], consider any schedule at the instant [v] has just
+    been evaluated.  The set [S] of already-evaluated vertices is closed
+    under predecessors ("convex" / downward-closed), contains [v] and all
+    of [v]'s ancestors, and excludes all of [v]'s descendants.  Every
+    vertex of [S] with an edge into [V \ S] (the {e wavefront}) holds a
+    value still needed later, so at most [M] of them can sit in fast
+    memory and each of the rest costs a write now and a read later:
+
+    [J*_G >= max_v max(0, 2 (C(v, G) − M))]
+
+    where [C(v, G)] is the {e minimum} wavefront size over all such [S].
+    [C(v, G)] is computed exactly as a min [s]-[t] cut on a vertex-split
+    network: vertex [u] is split into [u_in -> u_out] of capacity 1 (cut
+    iff [u] is on the wavefront), infinite arcs [u_out -> w_in] and
+    [w_in -> u_in] per edge [(u, w)] encode "interior implies successors
+    inside" and downward closure, [s] feeds [v_in], and every descendant's
+    [in]-node feeds [t].
+
+    The whole-graph bound maximizes over all [v] ([O(n)] max-flow runs —
+    the [O(n^5)] behaviour the paper measures in Figure 11).  The
+    partitioned variant follows the original authors' [2M]-sub-graph
+    suggestion; the paper reports (and we reproduce) that it is trivial on
+    complex graphs. *)
+
+type per_vertex = {
+  vertex : int;
+  wavefront : int;  (** [C(v, G)] *)
+}
+
+val min_wavefront : Graphio_graph.Dag.t -> int -> int
+(** [min_wavefront g v] = [C(v, G)].  [0] when [v] has no successors. *)
+
+val max_wavefront : Graphio_graph.Dag.t -> per_vertex
+(** [max_v C(v, G)] with its maximizing vertex — the expensive part of the
+    bound, independent of [M]; sweeps over many [M] values should compute
+    it once and finish with {!bound_of_wavefront}. *)
+
+val bound_of_wavefront : per_vertex -> m:int -> int
+(** [max 0 (2 (C - M))]. *)
+
+val bound : Graphio_graph.Dag.t -> m:int -> int
+(** Whole-graph bound [max_v max(0, 2 (C(v,G) − M))]. *)
+
+val bound_detailed : Graphio_graph.Dag.t -> m:int -> int * per_vertex
+(** The bound together with the maximizing vertex and its wavefront. *)
+
+val bound_partitioned : Graphio_graph.Dag.t -> m:int -> part_size:int -> int
+(** [Σ_P max_{v∈P} max(0, 2 (C(v, G_P) − M))] over the BFS-balanced
+    partition into parts of at most [part_size] (the original paper
+    suggests [2M]). *)

@@ -1,0 +1,146 @@
+type edge = {
+  dst : int;
+  mutable cap : int;  (* residual capacity *)
+  rev : int;  (* index of the reverse edge in adj.(dst) *)
+  original_cap : int;
+}
+
+type t = {
+  n : int;
+  mutable proto : (int * int * int) list;  (* (src, dst, cap), reversed *)
+  mutable adj : edge array array option;  (* frozen adjacency *)
+}
+
+let inf_cap = max_int / 4
+
+let create n =
+  if n < 0 then invalid_arg "Dinic.create: negative node count";
+  { n; proto = []; adj = None }
+
+let add_edge t ~src ~dst ~cap =
+  if t.adj <> None then invalid_arg "Dinic.add_edge: network already frozen";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Dinic.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Dinic.add_edge: negative capacity";
+  t.proto <- (src, dst, cap) :: t.proto
+
+let n_nodes t = t.n
+
+(* The adjacency is accumulated as a list and frozen into arrays on first
+   use; [rev] indices are resolved at freeze time via per-node fill
+   counters (each edge occupies one slot at its source and one reverse
+   slot at its destination). *)
+let freeze t =
+  match t.adj with
+  | Some adj -> adj
+  | None ->
+      let edges = List.rev t.proto in
+      t.proto <- [];
+      let counts = Array.make t.n 0 in
+      List.iter
+        (fun (src, dst, _) ->
+          counts.(src) <- counts.(src) + 1;
+          counts.(dst) <- counts.(dst) + 1)
+        edges;
+      let placeholder = { dst = -1; cap = 0; rev = -1; original_cap = 0 } in
+      let adj = Array.init t.n (fun i -> Array.make counts.(i) placeholder) in
+      let fill = Array.make t.n 0 in
+      List.iter
+        (fun (src, dst, cap) ->
+          let i_fwd = fill.(src) in
+          fill.(src) <- i_fwd + 1;
+          let i_rev = fill.(dst) in
+          fill.(dst) <- i_rev + 1;
+          adj.(src).(i_fwd) <- { dst; cap; rev = i_rev; original_cap = cap };
+          adj.(dst).(i_rev) <- { dst = src; cap = 0; rev = i_fwd; original_cap = 0 })
+        edges;
+      t.adj <- Some adj;
+      adj
+
+let max_flow t ~s ~sink =
+  if s = sink then invalid_arg "Dinic.max_flow: source equals sink";
+  if s < 0 || s >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Dinic.max_flow: node out of range";
+  let adj = freeze t in
+  let level = Array.make t.n (-1) in
+  let iter = Array.make t.n 0 in
+  let queue = Queue.create () in
+  let bfs () =
+    Array.fill level 0 t.n (-1);
+    Queue.clear queue;
+    level.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun e ->
+          if e.cap > 0 && level.(e.dst) < 0 then begin
+            level.(e.dst) <- level.(u) + 1;
+            Queue.add e.dst queue
+          end)
+        adj.(u)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs u f =
+    if u = sink then f
+    else begin
+      let pushed = ref 0 in
+      while !pushed = 0 && iter.(u) < Array.length adj.(u) do
+        let e = adj.(u).(iter.(u)) in
+        if e.cap > 0 && level.(e.dst) = level.(u) + 1 then begin
+          let d = dfs e.dst (min f e.cap) in
+          if d > 0 then begin
+            e.cap <- e.cap - d;
+            let r = adj.(e.dst).(e.rev) in
+            r.cap <- r.cap + d;
+            pushed := d
+          end
+          else iter.(u) <- iter.(u) + 1
+        end
+        else iter.(u) <- iter.(u) + 1
+      done;
+      !pushed
+    end
+  in
+  let flow = ref 0 in
+  while bfs () do
+    Array.fill iter 0 t.n 0;
+    let continue_ = ref true in
+    while !continue_ do
+      let f = dfs s inf_cap in
+      if f = 0 then continue_ := false else flow := !flow + f
+    done
+  done;
+  !flow
+
+let min_cut_side t ~s =
+  let adj = freeze t in
+  let side = Array.make t.n false in
+  let stack = Stack.create () in
+  side.(s) <- true;
+  Stack.push s stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    Array.iter
+      (fun e ->
+        if e.cap > 0 && not side.(e.dst) then begin
+          side.(e.dst) <- true;
+          Stack.push e.dst stack
+        end)
+      adj.(u)
+  done;
+  side
+
+let cut_value t side =
+  if Array.length side <> t.n then invalid_arg "Dinic.cut_value: side length mismatch";
+  let adj = freeze t in
+  let acc = ref 0 in
+  for u = 0 to t.n - 1 do
+    if side.(u) then
+      Array.iter
+        (fun e ->
+          if e.original_cap > 0 && not side.(e.dst) then acc := !acc + e.original_cap)
+        adj.(u)
+  done;
+  !acc

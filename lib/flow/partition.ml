@@ -1,0 +1,41 @@
+open Graphio_graph
+
+let balanced g ~part_size =
+  if part_size < 1 then invalid_arg "Partition.balanced: part_size must be >= 1";
+  let n = Dag.n_vertices g in
+  let part = Array.make n (-1) in
+  let next_part = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if part.(start) = -1 then begin
+      let id = !next_part in
+      incr next_part;
+      let size = ref 0 in
+      Queue.clear queue;
+      Queue.add start queue;
+      part.(start) <- id;
+      incr size;
+      while (not (Queue.is_empty queue)) && !size < part_size do
+        let u = Queue.pop queue in
+        let visit w =
+          if part.(w) = -1 && !size < part_size then begin
+            part.(w) <- id;
+            incr size;
+            Queue.add w queue
+          end
+        in
+        Dag.iter_succ g u visit;
+        Dag.iter_pred g u visit
+      done
+    end
+  done;
+  part
+
+let count part = Array.fold_left max (-1) part + 1
+
+let members part id =
+  let out = ref [] in
+  for v = Array.length part - 1 downto 0 do
+    if part.(v) = id then out := v :: !out
+  done;
+  Array.of_list !out

@@ -1,0 +1,21 @@
+(** Balanced graph partitioning (the baseline's METIS stand-in).
+
+    Elango et al. suggest splitting the computation graph into sub-graphs
+    of at most [2M] vertices (via METIS) and running convex min-cut per
+    part.  This module provides a deterministic BFS-grown balanced
+    partitioner playing that role; it optimizes nothing fancy — which is
+    fine, because the experiment it supports reproduces the paper's
+    observation that the partitioned variant collapses to trivial bounds
+    regardless. *)
+
+val balanced : Graphio_graph.Dag.t -> part_size:int -> int array
+(** [balanced g ~part_size] labels each vertex with a part id; parts are
+    grown by BFS over the undirected support from the smallest unassigned
+    vertex and contain at most [part_size] vertices ([>= 1]).  Part ids
+    are consecutive from 0. *)
+
+val count : int array -> int
+(** Number of parts in a labelling. *)
+
+val members : int array -> int -> int array
+(** Vertices of one part, ascending. *)

@@ -1,0 +1,31 @@
+let components g =
+  let n = Dag.n_vertices g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let id = !next in
+      incr next;
+      Stack.push v stack;
+      comp.(v) <- id;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        let visit w =
+          if comp.(w) = -1 then begin
+            comp.(w) <- id;
+            Stack.push w stack
+          end
+        in
+        Dag.iter_succ g u visit;
+        Dag.iter_pred g u visit
+      done
+    end
+  done;
+  comp
+
+let count g =
+  let comp = components g in
+  Array.fold_left max (-1) comp + 1
+
+let is_connected g = count g <= 1

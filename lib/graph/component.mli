@@ -1,0 +1,17 @@
+(** Connected components of the undirected support of a graph.
+
+    Used by the Erdős–Rényi analysis (§5.3 assumes the regime where the
+    random graph is almost surely connected) and by test invariants (the
+    multiplicity of the Laplacian eigenvalue 0 equals the number of
+    components). *)
+
+val components : Dag.t -> int array
+(** [components g] labels every vertex with a component id in
+    [0 .. count-1]; ids are assigned in order of the smallest vertex of
+    each component. *)
+
+val count : Dag.t -> int
+
+val is_connected : Dag.t -> bool
+(** True iff the undirected support is connected ([n = 0] counts as
+    connected). *)

@@ -1,0 +1,96 @@
+(** Directed computation graphs.
+
+    A computation graph has one vertex per operation (inputs and outputs
+    included); an edge [u -> v] means [v] consumes the value produced by
+    [u] (Section 3 of the paper).  Graphs are built through a mutable
+    {!Builder} and frozen into an immutable adjacency-array representation
+    ([t]) that every analysis in this project consumes.
+
+    Vertices are dense integers [0 .. n-1] in creation order; that creation
+    order is, for every generator in {!module:Graphio_workloads}, a natural
+    topological order, which the pebble-game simulator exploits. *)
+
+type t
+
+module Builder : sig
+  type dag := t
+  type t
+
+  val create : ?capacity_hint:int -> unit -> t
+
+  val add_vertex : ?label:string -> t -> int
+  (** Returns the new vertex id ([0]-based, consecutive). *)
+
+  val add_edge : t -> int -> int -> unit
+  (** [add_edge b u v] records the dependency [u -> v].  Self-loops are
+      rejected; duplicate edges are rejected (a vertex is consumed at most
+      once per operand slot in our model — callers wanting multiplicity
+      must model distinct operand vertices).  Raises [Invalid_argument] on
+      unknown vertex ids. *)
+
+  val n_vertices : t -> int
+
+  val build : ?verify_acyclic:bool -> t -> dag
+  (** Freeze the builder.  With [~verify_acyclic:true] (the default) a
+      Kahn pass checks acyclicity and raises [Invalid_argument "Dag.build:
+      graph has a cycle"] on failure. *)
+end
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val succ : t -> int -> int array
+(** Out-neighbours (fresh array). *)
+
+val pred : t -> int -> int array
+(** In-neighbours (fresh array). *)
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+
+val iter_pred : t -> int -> (int -> unit) -> unit
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate [(u, v)] over all directed edges. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val degree : t -> int -> int
+(** Total (undirected) degree. *)
+
+val max_out_degree : t -> int
+
+val max_in_degree : t -> int
+
+val max_degree : t -> int
+
+val label : t -> int -> string option
+
+val sources : t -> int array
+(** Vertices with no predecessors (the computation's inputs), ascending. *)
+
+val sinks : t -> int array
+(** Vertices with no successors (the outputs), ascending. *)
+
+val has_edge : t -> int -> int -> bool
+
+val of_edges : ?labels:string array -> n:int -> (int * int) list -> t
+(** Convenience constructor from an explicit edge list over vertices
+    [0..n-1]. *)
+
+val edges : t -> (int * int) list
+(** All edges, ordered by source then target. *)
+
+val reverse : t -> t
+(** The graph with every edge flipped (labels preserved). *)
+
+val induced_subgraph : t -> int array -> t * int array
+(** [induced_subgraph g vs] is the subgraph on the (distinct) vertices
+    [vs], together with the mapping from new ids to the original ids.
+    Edges internal to [vs] are kept. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fdbf6f"; "#cab2d6"; "#fb9a99"; "#ffff99"; "#1f78b4"; "#33a02c" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "G") ?order ?partition g =
+  let n = Dag.n_vertices g in
+  (match order with
+  | Some o when Array.length o <> n ->
+      invalid_arg "Dot.to_string: order length mismatch"
+  | _ -> ());
+  (match partition with
+  | Some p when Array.length p <> n ->
+      invalid_arg "Dot.to_string: partition length mismatch"
+  | _ -> ());
+  let pos = Option.map Topo.position_of order in
+  let buf = Buffer.create (64 * (n + 1)) in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=circle, style=filled, fillcolor=white];\n";
+  for v = 0 to n - 1 do
+    let base_label =
+      match Dag.label g v with Some l -> l | None -> string_of_int v
+    in
+    let label =
+      match pos with
+      | Some pos -> Printf.sprintf "%s\\nt=%d" (escape base_label) pos.(v)
+      | None -> escape base_label
+    in
+    let color =
+      match partition with
+      | Some p ->
+          let c = palette.(((p.(v) mod Array.length palette) + Array.length palette) mod Array.length palette) in
+          Printf.sprintf ", fillcolor=\"%s\"" c
+      | None -> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  v%d [label=\"%s\"%s];\n" v label color)
+  done;
+  Dag.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  v%d -> v%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?order ?partition path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?order ?partition g))

@@ -1,0 +1,26 @@
+(** Graphviz (DOT) export of computation graphs.
+
+    Used to regenerate the paper's illustration figures (Figures 1–6) and
+    for ad-hoc inspection via the CLI.  Vertices are labelled with their
+    builder labels when present, ids otherwise; an optional partition
+    assigns fill colors per segment (Figure 2 style) and an optional
+    evaluation order annotates time-steps. *)
+
+val to_string :
+  ?name:string ->
+  ?order:int array ->
+  ?partition:int array ->
+  Dag.t ->
+  string
+(** [to_string g] renders the graph.  [order] maps time-step -> vertex (a
+    topological order as produced by {!Topo}); [partition] maps vertex ->
+    segment index (colored with a fixed palette, cycling). *)
+
+val to_file :
+  ?name:string ->
+  ?order:int array ->
+  ?partition:int array ->
+  string ->
+  Dag.t ->
+  unit
+(** Same, written to the given path. *)

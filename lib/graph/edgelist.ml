@@ -1,0 +1,119 @@
+let hex = "0123456789ABCDEF"
+
+let percent_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '*' | '+' | '(' | ')'
+      | '[' | ']' | ',' | '^' | '=' | '/' | '<' | '>' | '@' | ':' ->
+          Buffer.add_char buf c
+      | c ->
+          Buffer.add_char buf '%';
+          Buffer.add_char buf hex.[Char.code c lsr 4];
+          Buffer.add_char buf hex.[Char.code c land 0xf])
+    s;
+  Buffer.contents buf
+
+let percent_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let len = String.length s in
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> failwith "Edgelist: bad percent escape"
+  in
+  while !i < len do
+    (match s.[!i] with
+    | '%' ->
+        if !i + 2 >= len then failwith "Edgelist: truncated percent escape";
+        Buffer.add_char buf
+          (Char.chr ((hex_val s.[!i + 1] lsl 4) lor hex_val s.[!i + 2]));
+        i := !i + 2
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graphio 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "n %d m %d\n" (Dag.n_vertices g) (Dag.n_edges g));
+  for v = 0 to Dag.n_vertices g - 1 do
+    match Dag.label g v with
+    | Some l -> Buffer.add_string buf (Printf.sprintf "l %d %s\n" v (percent_escape l))
+    | None -> ()
+  done;
+  Dag.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v));
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let fail lineno msg = failwith (Printf.sprintf "Edgelist: line %d: %s" lineno msg) in
+  let n = ref (-1) and m = ref (-1) in
+  let labels = Hashtbl.create 16 in
+  let edges = ref [] in
+  let saw_header = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if not !saw_header then begin
+        if line <> "graphio 1" then fail lineno "expected header 'graphio 1'";
+        saw_header := true
+      end
+      else if !n < 0 then begin
+        try Scanf.sscanf line "n %d m %d" (fun a b ->
+            if a < 0 || b < 0 then fail lineno "negative counts";
+            n := a;
+            m := b)
+        with Scanf.Scan_failure _ | End_of_file ->
+          fail lineno "expected 'n <vertices> m <edges>'"
+      end
+      else
+        match String.index_opt line ' ' with
+        | None -> fail lineno "malformed record"
+        | Some _ -> (
+            match line.[0] with
+            | 'l' -> (
+                try
+                  Scanf.sscanf line "l %d %s" (fun v l ->
+                      if v < 0 || v >= !n then fail lineno "label vertex out of range";
+                      Hashtbl.replace labels v (percent_unescape l))
+                with Scanf.Scan_failure _ | End_of_file -> fail lineno "malformed label")
+            | 'e' -> (
+                try Scanf.sscanf line "e %d %d" (fun u v -> edges := (u, v) :: !edges)
+                with Scanf.Scan_failure _ | End_of_file -> fail lineno "malformed edge")
+            | _ -> fail lineno "unknown record type"))
+    lines;
+  if not !saw_header then failwith "Edgelist: empty input";
+  if !n < 0 then failwith "Edgelist: missing size line";
+  let edges = List.rev !edges in
+  if List.length edges <> !m then
+    failwith
+      (Printf.sprintf "Edgelist: edge count mismatch (declared %d, found %d)" !m
+         (List.length edges));
+  let b = Dag.Builder.create ~capacity_hint:!n () in
+  for v = 0 to !n - 1 do
+    ignore (Dag.Builder.add_vertex ?label:(Hashtbl.find_opt labels v) b)
+  done;
+  (try List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges
+   with Invalid_argument msg -> failwith ("Edgelist: " ^ msg));
+  try Dag.Builder.build b
+  with Invalid_argument msg -> failwith ("Edgelist: " ^ msg)
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,21 @@
+(** Plain-text serialization of computation graphs.
+
+    Format (line oriented, [#]-comments allowed):
+    {v
+    graphio 1
+    n <vertices> m <edges>
+    [l <vertex> <label>]*
+    [e <src> <dst>]*
+    v}
+    Vertex labels are optional and URL-percent-escaped so they may contain
+    spaces.  The loader validates counts, ranges, acyclicity and duplicate
+    edges (via {!Dag.Builder}). *)
+
+val to_string : Dag.t -> string
+
+val of_string : string -> Dag.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_file : string -> Dag.t -> unit
+
+val of_file : string -> Dag.t

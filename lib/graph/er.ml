@@ -1,0 +1,33 @@
+open Graphio_la
+
+let gnp ~n ~p ~seed =
+  if n < 0 then invalid_arg "Er.gnp: negative n";
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Er.gnp: p must be in [0,1]";
+  let rng = Rng.create seed in
+  let b = Dag.Builder.create ~capacity_hint:n () in
+  for _ = 1 to n do
+    ignore (Dag.Builder.add_vertex b)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng < p then Dag.Builder.add_edge b i j
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let gnp_connected ~n ~p ~seed ~max_attempts =
+  let rec attempt k =
+    if k >= max_attempts then
+      failwith
+        (Printf.sprintf
+           "Er.gnp_connected: no connected sample in %d attempts (n=%d, p=%g)"
+           max_attempts n p)
+    else
+      let g = gnp ~n ~p ~seed:(seed + (k * 7919)) in
+      if Component.is_connected g then g else attempt (k + 1)
+  in
+  attempt 0
+
+let connectivity_regime_p ~n ~p0 =
+  if n < 2 then invalid_arg "Er.connectivity_regime_p: n must be >= 2";
+  p0 *. log (float_of_int n) /. float_of_int (n - 1)

@@ -1,0 +1,20 @@
+(** Erdős–Rényi random graphs (Section 5.3).
+
+    The paper analyses the spectral bound on [G(n, p)].  As a computation
+    graph we use the canonical acyclic orientation: vertices [0..n-1],
+    each unordered pair [{i, j}] ([i < j]) keeps an edge [i -> j] with
+    probability [p].  The undirected support is then exactly the classical
+    [G(n, p)], so the standard Laplacian [L] (Theorem 5) has the spectra
+    that §5.3's probabilistic statements are about. *)
+
+val gnp : n:int -> p:float -> seed:int -> Dag.t
+(** Acyclically-oriented [G(n, p)].  Raises [Invalid_argument] unless
+    [0 <= p <= 1] and [n >= 0]. *)
+
+val gnp_connected : n:int -> p:float -> seed:int -> max_attempts:int -> Dag.t
+(** Resamples (advancing the seed) until the undirected support is
+    connected; raises [Failure] after [max_attempts] failures.  §5.3 only
+    concerns the almost-surely-connected regime [p >= log n / n]. *)
+
+val connectivity_regime_p : n:int -> p0:float -> float
+(** The paper's sparse regime [p = p0 log n / (n - 1)] (requires [n >= 2]). *)

@@ -1,0 +1,35 @@
+open Graphio_la
+
+let build_laplacian g weight_of_edge =
+  let n = Dag.n_vertices g in
+  let triplets = ref [] in
+  Dag.iter_edges g (fun u v ->
+      let w = weight_of_edge u v in
+      triplets :=
+        (u, u, w) :: (v, v, w) :: (u, v, -.w) :: (v, u, -.w) :: !triplets);
+  Csr.of_triplets ~rows:n ~cols:n !triplets
+
+let normalized g =
+  build_laplacian g (fun u _ -> 1.0 /. float_of_int (Dag.out_degree g u))
+
+let standard g = build_laplacian g (fun _ _ -> 1.0)
+
+let normalized_dense g = Csr.to_dense (normalized g)
+
+let standard_dense g = Csr.to_dense (standard g)
+
+let check_membership name g member =
+  if Array.length member <> Dag.n_vertices g then
+    invalid_arg ("Laplacian." ^ name ^ ": membership length mismatch")
+
+let boundary_weight g member =
+  check_membership "boundary_weight" g member;
+  Dag.fold_edges g ~init:0.0 ~f:(fun acc u v ->
+      if member.(u) <> member.(v) then
+        acc +. (1.0 /. float_of_int (Dag.out_degree g u))
+      else acc)
+
+let boundary_size g member =
+  check_membership "boundary_size" g member;
+  Dag.fold_edges g ~init:0 ~f:(fun acc u v ->
+      if member.(u) <> member.(v) then acc + 1 else acc)

@@ -1,0 +1,33 @@
+(** Graph Laplacians of computation graphs (Section 4.2 of the paper).
+
+    Two Laplacians are used by the spectral bounds:
+
+    - the {e out-degree normalized} Laplacian [L̃] of Theorem 4: each
+      directed edge [(u, v)] of [G] contributes an {e undirected} edge of
+      weight [1/dout(u)] to the weighted graph [G̃], and
+      [L̃ = D̃ − Ã];
+    - the {e standard} Laplacian [L] of Theorem 5: the unweighted Laplacian
+      of the undirected support of [G].
+
+    Both are symmetric positive semi-definite; for a one-hot vector [x] of a
+    vertex subset [S],
+    [xᵀ L̃ x = Σ_{(u,v) ∈ ∂S} 1/dout(u)]  and  [xᵀ L x = |∂S|]
+    (Equation 3) — properties the test suite checks directly. *)
+
+val normalized : Dag.t -> Graphio_la.Csr.t
+(** The out-degree normalized Laplacian [L̃] as a symmetric CSR matrix. *)
+
+val standard : Dag.t -> Graphio_la.Csr.t
+(** The plain undirected Laplacian [L]. *)
+
+val normalized_dense : Dag.t -> Graphio_la.Mat.t
+
+val standard_dense : Dag.t -> Graphio_la.Mat.t
+
+val boundary_weight : Dag.t -> bool array -> float
+(** [boundary_weight g member] is [Σ_{(u,v) ∈ ∂S} 1/dout(u)] for the subset
+    [S = {v | member.(v)}], computed combinatorially (the quantity
+    [xᵀ L̃ x] equals by Equation 3). *)
+
+val boundary_size : Dag.t -> bool array -> int
+(** [|∂S|]: number of directed edges with exactly one endpoint in [S]. *)

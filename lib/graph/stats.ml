@@ -1,0 +1,53 @@
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_sources : int;
+  n_sinks : int;
+  max_in_degree : int;
+  max_out_degree : int;
+  max_degree : int;
+  depth : int;
+  max_level_width : int;
+  components : int;
+}
+
+let levels g =
+  let n = Dag.n_vertices g in
+  let level = Array.make n 0 in
+  (* longest-path depth: process in topological order *)
+  Array.iter
+    (fun v ->
+      Dag.iter_pred g v (fun u -> level.(v) <- max level.(v) (level.(u) + 1)))
+    (Topo.kahn g);
+  level
+
+let compute g =
+  let n = Dag.n_vertices g in
+  let lv = levels g in
+  let depth = if n = 0 then 0 else Array.fold_left max 0 lv + 1 in
+  let width =
+    if n = 0 then 0
+    else begin
+      let counts = Array.make depth 0 in
+      Array.iter (fun l -> counts.(l) <- counts.(l) + 1) lv;
+      Array.fold_left max 0 counts
+    end
+  in
+  {
+    n_vertices = n;
+    n_edges = Dag.n_edges g;
+    n_sources = Array.length (Dag.sources g);
+    n_sinks = Array.length (Dag.sinks g);
+    max_in_degree = Dag.max_in_degree g;
+    max_out_degree = Dag.max_out_degree g;
+    max_degree = Dag.max_degree g;
+    depth;
+    max_level_width = width;
+    components = Component.count g;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>vertices: %d@,edges: %d@,sources: %d@,sinks: %d@,max in/out/total degree: %d/%d/%d@,depth: %d@,max level width: %d@,components: %d@]"
+    t.n_vertices t.n_edges t.n_sources t.n_sinks t.max_in_degree t.max_out_degree
+    t.max_degree t.depth t.max_level_width t.components

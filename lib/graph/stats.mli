@@ -1,0 +1,31 @@
+(** Structural statistics of computation graphs.
+
+    Cheap summaries used by the CLI's [analyze] report and by experiment
+    write-ups: sizes, degree profile, depth (critical path), level widths
+    (a proxy for inherent parallelism and minimum live-set pressure). *)
+
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_sources : int;
+  n_sinks : int;
+  max_in_degree : int;
+  max_out_degree : int;
+  max_degree : int;
+  depth : int;
+      (** number of vertices on a longest directed path ([0] for the empty
+          graph, [1] for edgeless graphs) *)
+  max_level_width : int;
+      (** max number of vertices at equal longest-path depth — every
+          schedule must sweep through each level, so wide levels hint at
+          memory pressure *)
+  components : int;
+}
+
+val compute : Dag.t -> t
+
+val levels : Dag.t -> int array
+(** [levels g] assigns each vertex its longest-path depth from the
+    sources ([0]-based). *)
+
+val pp : Format.formatter -> t -> unit

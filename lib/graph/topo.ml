@@ -1,0 +1,110 @@
+let kahn g =
+  let n = Dag.n_vertices g in
+  let indeg = Array.init n (Dag.in_degree g) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make n 0 in
+  let t = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!t) <- v;
+    incr t;
+    Dag.iter_succ g v (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+  done;
+  if !t <> n then invalid_arg "Topo.kahn: graph has a cycle";
+  order
+
+let dfs g =
+  let n = Dag.n_vertices g in
+  let visited = Array.make n false in
+  let postorder = ref [] in
+  (* Iterative DFS emitting reverse postorder. *)
+  let visit root =
+    if not visited.(root) then begin
+      let stack = Stack.create () in
+      Stack.push (root, 0) stack;
+      visited.(root) <- true;
+      while not (Stack.is_empty stack) do
+        let v, next = Stack.pop stack in
+        let children = Dag.succ g v in
+        if next < Array.length children then begin
+          Stack.push (v, next + 1) stack;
+          let w = children.(next) in
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            Stack.push (w, 0) stack
+          end
+        end
+        else postorder := v :: !postorder
+      done
+    end
+  in
+  Array.iter visit (Dag.sources g);
+  (* Isolated cycles would be unreachable, but builders guarantee
+     acyclicity; vertices unreachable from sources cannot exist in a DAG. *)
+  let order = Array.of_list !postorder in
+  if Array.length order <> n then invalid_arg "Topo.dfs: graph has a cycle";
+  order
+
+let is_valid g order =
+  let n = Dag.n_vertices g in
+  Array.length order = n
+  &&
+  let pos = Array.make n (-1) in
+  let ok = ref true in
+  Array.iteri
+    (fun t v ->
+      if v < 0 || v >= n || pos.(v) <> -1 then ok := false else pos.(v) <- t)
+    order;
+  !ok
+  &&
+  let ok = ref true in
+  Dag.iter_edges g (fun u v -> if pos.(u) >= pos.(v) then ok := false);
+  !ok
+
+let natural g =
+  let n = Dag.n_vertices g in
+  let order = Array.init n (fun i -> i) in
+  let ok = ref true in
+  Dag.iter_edges g (fun u v -> if u >= v then ok := false);
+  if not !ok then
+    invalid_arg "Topo.natural: creation order is not topological for this graph";
+  order
+
+let random ~seed g =
+  let n = Dag.n_vertices g in
+  let rng = Graphio_la.Rng.create seed in
+  let indeg = Array.init n (Dag.in_degree g) in
+  (* ready pool as a growable array with O(1) random removal *)
+  let ready = Array.make n 0 in
+  let ready_count = ref 0 in
+  let push v =
+    ready.(!ready_count) <- v;
+    incr ready_count
+  in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then push v
+  done;
+  let order = Array.make n 0 in
+  for t = 0 to n - 1 do
+    if !ready_count = 0 then invalid_arg "Topo.random: graph has a cycle";
+    let pick = Graphio_la.Rng.int rng !ready_count in
+    let v = ready.(pick) in
+    ready.(pick) <- ready.(!ready_count - 1);
+    decr ready_count;
+    order.(t) <- v;
+    Dag.iter_succ g v (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then push w)
+  done;
+  order
+
+let position_of order =
+  let n = Array.length order in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun t v -> pos.(v) <- t) order;
+  pos

@@ -1,0 +1,32 @@
+(** Topological orders on computation graphs.
+
+    An evaluation order (the permutation [X] of Section 3.1) is represented
+    as an array [order] with [order.(t)] the vertex evaluated at time-step
+    [t]; validity means every vertex appears after all its predecessors. *)
+
+val kahn : Dag.t -> int array
+(** Breadth-first (Kahn) topological order: repeatedly evaluates the oldest
+    ready vertex.  Deterministic (FIFO over vertex ids). *)
+
+val dfs : Dag.t -> int array
+(** Depth-first topological order (reverse postorder of an iterative DFS
+    from each source, in ascending source order).  Deterministic. *)
+
+val natural : Dag.t -> int array
+(** The creation order [0..n-1], *asserted* topological: raises
+    [Invalid_argument] if the graph's builder emitted a vertex before one of
+    its operands.  All generators in {!module:Graphio_workloads} satisfy
+    this. *)
+
+val random : seed:int -> Dag.t -> int array
+(** A uniformly-ish random topological order: Kahn with a random ready
+    pick.  Used by tests and the pebble simulator to probe schedule
+    sensitivity. *)
+
+val is_valid : Dag.t -> int array -> bool
+(** Checks that the array is a permutation of [0..n-1] respecting all
+    edges. *)
+
+val position_of : int array -> int array
+(** [position_of order] inverts the order: [(position_of order).(v)] is the
+    time-step at which [v] is evaluated. *)

@@ -1,0 +1,185 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let dims m = (m.rows, m.cols)
+
+let nnz m = Array.length m.values
+
+let of_triplets_array ~rows ~cols triplets =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.of_triplets: negative dimension";
+  Array.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Csr.of_triplets: entry (%d,%d) out of %dx%d" i j rows cols))
+    triplets;
+  let triplets = Array.copy triplets in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) ->
+      match compare i1 i2 with 0 -> compare j1 j2 | c -> c)
+    triplets;
+  (* merge duplicates *)
+  let merged_i = ref [] and merged_j = ref [] and merged_v = ref [] in
+  let count = ref 0 in
+  let push i j v =
+    merged_i := i :: !merged_i;
+    merged_j := j :: !merged_j;
+    merged_v := v :: !merged_v;
+    incr count
+  in
+  let m = Array.length triplets in
+  let idx = ref 0 in
+  while !idx < m do
+    let i, j, _ = triplets.(!idx) in
+    let acc = ref 0.0 in
+    while
+      !idx < m
+      &&
+      let i', j', _ = triplets.(!idx) in
+      i' = i && j' = j
+    do
+      let _, _, v = triplets.(!idx) in
+      acc := !acc +. v;
+      incr idx
+    done;
+    push i j !acc
+  done;
+  let n = !count in
+  let is = Array.make n 0 and js = Array.make n 0 and vs = Array.make n 0.0 in
+  let rec fill k li lj lv =
+    match (li, lj, lv) with
+    | i :: li', j :: lj', v :: lv' ->
+        is.(k) <- i;
+        js.(k) <- j;
+        vs.(k) <- v;
+        fill (k - 1) li' lj' lv'
+    | [], [], [] -> ()
+    | _ -> assert false
+  in
+  fill (n - 1) !merged_i !merged_j !merged_v;
+  let row_ptr = Array.make (rows + 1) 0 in
+  Array.iter (fun i -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) is;
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { rows; cols; row_ptr; col_idx = js; values = vs }
+
+let of_triplets ~rows ~cols triplets =
+  of_triplets_array ~rows ~cols (Array.of_list triplets)
+
+let of_dense a =
+  let rows, cols = Mat.dims a in
+  let triplets = ref [] in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      if a.(i).(j) <> 0.0 then triplets := (i, j, a.(i).(j)) :: !triplets
+    done
+  done;
+  of_triplets ~rows ~cols !triplets
+
+let to_dense m =
+  let out = Mat.create m.rows m.cols in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      out.(i).(m.col_idx.(k)) <- out.(i).(m.col_idx.(k)) +. m.values.(k)
+    done
+  done;
+  out
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Csr.get: index out of range";
+  let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = m.col_idx.(mid) in
+    if c = j then begin
+      result := m.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let matvec_into m x y =
+  if Array.length x <> m.cols || Array.length y <> m.rows then
+    invalid_arg "Csr.matvec: dimension mismatch";
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let matvec m x =
+  let y = Array.make m.rows 0.0 in
+  matvec_into m x y;
+  y
+
+let scale c m = { m with values = Array.map (fun v -> c *. v) m.values }
+
+let transpose m =
+  let triplets = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for k = m.row_ptr.(i + 1) - 1 downto m.row_ptr.(i) do
+      triplets := (m.col_idx.(k), i, m.values.(k)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:m.cols ~cols:m.rows !triplets
+
+let is_symmetric ?(tol = 1e-12) m =
+  m.rows = m.cols
+  &&
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col_idx.(k) in
+      if Float.abs (m.values.(k) -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let prune ?(tol = 0.0) m =
+  let triplets = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for k = m.row_ptr.(i + 1) - 1 downto m.row_ptr.(i) do
+      if Float.abs m.values.(k) > tol then
+        triplets := (i, m.col_idx.(k), m.values.(k)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:m.rows ~cols:m.cols !triplets
+
+let gershgorin_upper m =
+  let best = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    let radius = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      radius := !radius +. Float.abs m.values.(k)
+    done;
+    if !radius > !best then best := !radius
+  done;
+  !best
+
+let row_iter m i f =
+  if i < 0 || i >= m.rows then invalid_arg "Csr.row_iter: row out of range";
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>csr %dx%d (nnz=%d)@," m.rows m.cols (nnz m);
+  for i = 0 to min (m.rows - 1) 19 do
+    Format.fprintf fmt "row %d:" i;
+    row_iter m i (fun j v -> Format.fprintf fmt " (%d,%g)" j v);
+    Format.fprintf fmt "@,"
+  done;
+  if m.rows > 20 then Format.fprintf fmt "...@,";
+  Format.fprintf fmt "@]"

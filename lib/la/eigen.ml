@@ -1,0 +1,33 @@
+type backend = Dense | Sparse_filtered
+
+type spectrum = {
+  values : float array;
+  backend : backend;
+  exact : bool;
+}
+
+let default_dense_threshold = 1024
+
+let smallest_dense ?(h = 100) a =
+  let rows, cols = Mat.dims a in
+  if rows <> cols then invalid_arg "Eigen.smallest_dense: matrix not square";
+  let values = Tql.symmetric_eigenvalues a in
+  let take = min h rows in
+  { values = Array.sub values 0 take; backend = Dense; exact = true }
+
+let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed m =
+  let rows, cols = Csr.dims m in
+  if rows <> cols then invalid_arg "Eigen.smallest: matrix not square";
+  if rows = 0 then { values = [||]; backend = Dense; exact = true }
+  else if rows <= dense_threshold then smallest_dense ~h (Csr.to_dense m)
+  else begin
+    (* Chebyshev-filtered block subspace iteration: the block captures
+       whole eigenspace clusters at once, which graph-Laplacian
+       multiplicities demand (see Filtered).  [tol] stays relative; the
+       default 1e-5 keeps eigenvalue errors far below anything visible in
+       an I/O bound while shortening the convergence tail on clustered
+       spectra. *)
+    let tol = match tol with Some t -> t | None -> 1e-5 in
+    let result = Filtered.smallest_csr ?seed ~tol m ~h in
+    { values = result.Filtered.values; backend = Sparse_filtered; exact = false }
+  end

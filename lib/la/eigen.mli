@@ -1,0 +1,41 @@
+(** Unified driver for "give me the [h] smallest eigenvalues of this
+    symmetric matrix", selecting the numerical backend by problem size.
+
+    Policy (see DESIGN.md §5):
+    - small/medium dense problems go through Householder + implicit QL and
+      return the exact full spectrum truncated to [h] (exact multiplicity
+      handling);
+    - larger problems go through Chebyshev-filtered block subspace
+      iteration ({!Filtered}) on the CSR representation — the block
+      approach is required because graph-Laplacian spectra here carry
+      heavy multiplicities ({!Lanczos} remains available as a reference
+      single-vector iterative solver).
+
+    The crossover is overridable for testing both paths on the same input. *)
+
+type backend = Dense | Sparse_filtered
+
+type spectrum = {
+  values : float array;  (** ascending, [min h n] entries *)
+  backend : backend;  (** which path computed them *)
+  exact : bool;  (** dense full decomposition (true) vs iterative (false) *)
+}
+
+val default_dense_threshold : int
+(** Largest [n] routed to the dense path by default (1024). *)
+
+val smallest :
+  ?h:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  Csr.t ->
+  spectrum
+(** [smallest ?h m] returns the [h] (default 100, the paper's §6.1 choice)
+    smallest eigenvalues of symmetric [m], clamping tiny negative numerical
+    noise up to [0.] for positive semi-definite inputs is left to callers —
+    values are reported as computed.  Raises [Invalid_argument] if [m] is
+    not square. *)
+
+val smallest_dense : ?h:int -> Mat.t -> spectrum
+(** Force the dense path on a dense symmetric matrix. *)

@@ -1,0 +1,81 @@
+(** Chebyshev-filtered block subspace iteration for the smallest
+    eigenvalues of a large symmetric PSD operator.
+
+    The production sparse eigenpath (thick-restart {!Lanczos} is kept as a
+    reference implementation).  Graph Laplacians in this project need many
+    ([h = 100]) smallest eigenvalues {e with multiplicity} — hypercubes
+    carry binomial multiplicities, butterflies the Theorem 7 families —
+    which single-vector Krylov methods only reach one copy at a time.  A
+    block of [h + guard] vectors iterated together captures whole
+    eigenspace clusters at once:
+
+    {v
+    repeat:
+      Rayleigh-Ritz on span(X)  ->  rotate X to Ritz vectors
+      converged := prefix of Ritz pairs with small residual
+      X <- T_d( (A - c I)/e ) X   (Chebyshev filter damping [cut, up])
+      orthonormalize X
+    v}
+
+    where [up] is a Gershgorin upper bound on the spectrum, [cut] is the
+    current first guard Ritz value, and [T_d] is the degree-[d] Chebyshev
+    polynomial — uniformly small on [[cut, up]] and exponentially large
+    below [cut], so every unwanted component is damped by a factor
+    [~e^{-d sqrt(gap)}] per iteration across the whole block. *)
+
+type result = {
+  values : float array;  (** ascending, [min h n] entries *)
+  vectors : float array array option;
+  iterations : int;
+  matvecs : int;
+  converged : bool;  (** every reported value passed its residual check *)
+  padded : int;
+      (** number of trailing entries of [values] that did {e not} converge
+          and were replaced by the last converged value.  Eigenvalues
+          ascend, so the padded spectrum is a pointwise {e lower} bound on
+          the true one — exactly what the I/O bounds need — and it is
+          exact whenever the unresolved region is a flat multiplicity
+          cluster (the situation that causes padding in the first place:
+          giant clusters straddling the block boundary give the Chebyshev
+          filter no gap to exploit). *)
+}
+
+val smallest :
+  ?tol:float ->
+  ?max_iterations:int ->
+  ?degree:int ->
+  ?guard:int ->
+  ?seed:int ->
+  ?want_vectors:bool ->
+  matvec:(float array -> float array -> unit) ->
+  upper_bound:float ->
+  n:int ->
+  h:int ->
+  unit ->
+  result
+(** [smallest ~matvec ~upper_bound ~n ~h ()] returns the [h] smallest
+    eigenvalues of the symmetric operator.
+
+    - [matvec x y] writes [A x] into [y];
+    - [upper_bound] must dominate the largest eigenvalue (Gershgorin for
+      CSR matrices: {!Csr.gershgorin_upper});
+    - [tol] is the residual threshold relative to [upper_bound]
+      (default [1e-6]);
+    - [degree] is the Chebyshev filter degree per iteration (default 20);
+    - [guard] extra block vectors beyond [h] (default [max 16 (h/3)]);
+    - [max_iterations] defaults to 300.
+
+    Raises [Invalid_argument] on non-positive [n]/[h] or a non-finite
+    [upper_bound]. *)
+
+val smallest_csr :
+  ?tol:float ->
+  ?max_iterations:int ->
+  ?degree:int ->
+  ?guard:int ->
+  ?seed:int ->
+  ?want_vectors:bool ->
+  Csr.t ->
+  h:int ->
+  result
+(** Wrapper over a symmetric CSR matrix (upper bound via Gershgorin). *)

@@ -1,0 +1,89 @@
+exception No_convergence
+
+let off_diagonal_mass a n =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  sqrt (2.0 *. !acc)
+
+(* One cyclic sweep of Jacobi rotations over the strict upper triangle. *)
+let sweep a v n =
+  for p = 0 to n - 2 do
+    for q = p + 1 to n - 1 do
+      let apq = a.(p).(q) in
+      if apq <> 0.0 then begin
+        let app = a.(p).(p) and aqq = a.(q).(q) in
+        let theta = (aqq -. app) /. (2.0 *. apq) in
+        (* stable tangent of the rotation angle *)
+        let t =
+          let sign = if theta >= 0.0 then 1.0 else -1.0 in
+          sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+        in
+        let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+        let s = t *. c in
+        let tau = s /. (1.0 +. c) in
+        a.(p).(p) <- app -. (t *. apq);
+        a.(q).(q) <- aqq +. (t *. apq);
+        a.(p).(q) <- 0.0;
+        a.(q).(p) <- 0.0;
+        let rotate m i1 j1 i2 j2 =
+          let g = m.(i1).(j1) and h = m.(i2).(j2) in
+          m.(i1).(j1) <- g -. (s *. (h +. (tau *. g)));
+          m.(i2).(j2) <- h +. (s *. (g -. (tau *. h)))
+        in
+        for k = 0 to p - 1 do
+          rotate a k p k q
+        done;
+        for k = p + 1 to q - 1 do
+          rotate a p k k q
+        done;
+        for k = q + 1 to n - 1 do
+          rotate a p k q k
+        done;
+        (* Only the upper triangle is read anywhere (rotations and the
+           off-diagonal mass), so the lower triangle may go stale. *)
+        match v with
+        | Some v ->
+            for k = 0 to n - 1 do
+              rotate v k p k q
+            done
+        | None -> ()
+      end
+    done
+  done
+
+let run ?(tol = 1e-12) a with_vectors =
+  let rows, cols = Mat.dims a in
+  if rows <> cols then invalid_arg "Jacobi: matrix not square";
+  if not (Mat.is_symmetric ~tol:1e-8 a) then
+    invalid_arg "Jacobi: matrix not symmetric";
+  let n = rows in
+  let a = Mat.symmetrize a in
+  let v = if with_vectors then Some (Mat.identity n) else None in
+  let scale = Float.max (Mat.frobenius_norm a) 1e-300 in
+  let sweeps = ref 0 in
+  while off_diagonal_mass a n > tol *. scale do
+    if !sweeps >= 100 then raise No_convergence;
+    sweep a v n;
+    incr sweeps
+  done;
+  let d = Array.init n (fun i -> a.(i).(i)) in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun x y -> Float.compare d.(x) d.(y)) idx;
+  let values = Array.init n (fun j -> d.(idx.(j))) in
+  let vectors =
+    match v with
+    | Some v -> Some (Mat.init n n (fun i j -> v.(i).(idx.(j))))
+    | None -> None
+  in
+  (values, vectors)
+
+let eigenvalues ?tol a = fst (run ?tol a false)
+
+let eigensystem ?tol a =
+  match run ?tol a true with
+  | values, Some vectors -> (values, vectors)
+  | _ -> assert false

@@ -1,0 +1,18 @@
+(** Cyclic Jacobi eigensolver for dense symmetric matrices.
+
+    Slower than the Householder/QL path ({!Tql.symmetric_eigenvalues}) but
+    simple and extremely robust; kept as an independent implementation used
+    to cross-validate the primary dense solver in the test suite, and for
+    tiny matrices where its simplicity wins. *)
+
+exception No_convergence
+(** Raised if the off-diagonal mass fails to vanish in 100 sweeps. *)
+
+val eigenvalues : ?tol:float -> Mat.t -> float array
+(** All eigenvalues of a symmetric matrix, ascending.  [tol] bounds the
+    final off-diagonal Frobenius mass relative to the matrix norm
+    (default [1e-12]). *)
+
+val eigensystem : ?tol:float -> Mat.t -> float array * Mat.t
+(** [(values, vectors)] with vectors in columns aligned to ascending
+    values. *)

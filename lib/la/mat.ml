@@ -1,0 +1,113 @@
+type t = float array array
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  Array.init rows (fun _ -> Array.make cols 0.0)
+
+let identity n =
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then 1.0 else 0.0))
+
+let init rows cols f = Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let dims m =
+  let rows = Array.length m in
+  if rows = 0 then (0, 0)
+  else begin
+    let cols = Array.length m.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then invalid_arg "Mat.dims: ragged matrix")
+      m;
+    (rows, cols)
+  end
+
+let copy m = Array.map Array.copy m
+
+let transpose m =
+  let rows, cols = dims m in
+  init cols rows (fun i j -> m.(j).(i))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then
+    invalid_arg (Printf.sprintf "Mat.mul: dimension mismatch (%dx%d * %dx%d)" ra ca rb cb);
+  let out = create ra cb in
+  for i = 0 to ra - 1 do
+    let ai = a.(i) and oi = out.(i) in
+    for k = 0 to ca - 1 do
+      let aik = ai.(k) in
+      if aik <> 0.0 then begin
+        let bk = b.(k) in
+        for j = 0 to cb - 1 do
+          oi.(j) <- oi.(j) +. (aik *. bk.(j))
+        done
+      end
+    done
+  done;
+  out
+
+let matvec m x =
+  let rows, cols = dims m in
+  if cols <> Array.length x then invalid_arg "Mat.matvec: dimension mismatch";
+  Array.init rows (fun i -> Vec.dot m.(i) x)
+
+let map2 name f a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ra <> rb || ca <> cb then invalid_arg ("Mat." ^ name ^ ": dimension mismatch");
+  init ra ca (fun i j -> f a.(i).(j) b.(i).(j))
+
+let add a b = map2 "add" ( +. ) a b
+
+let sub a b = map2 "sub" ( -. ) a b
+
+let scale c m = Array.map (Array.map (fun x -> c *. x)) m
+
+let is_symmetric ?(tol = 1e-12) m =
+  let rows, cols = dims m in
+  rows = cols
+  &&
+  let ok = ref true in
+  for i = 0 to rows - 1 do
+    for j = i + 1 to rows - 1 do
+      if Float.abs (m.(i).(j) -. m.(j).(i)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let symmetrize m =
+  let rows, cols = dims m in
+  if rows <> cols then invalid_arg "Mat.symmetrize: not square";
+  init rows rows (fun i j -> 0.5 *. (m.(i).(j) +. m.(j).(i)))
+
+let trace m =
+  let rows, cols = dims m in
+  if rows <> cols then invalid_arg "Mat.trace: not square";
+  let acc = ref 0.0 in
+  for i = 0 to rows - 1 do
+    acc := !acc +. m.(i).(i)
+  done;
+  !acc
+
+let frobenius_norm m =
+  sqrt (Array.fold_left (fun acc row -> acc +. Vec.dot row row) 0.0 m)
+
+let max_abs m =
+  Array.fold_left (fun acc row -> Float.max acc (Vec.norm_inf row)) 0.0 m
+
+let approx_equal ?(tol = 1e-9) a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  ra = rb && ca = cb
+  &&
+  let ok = ref true in
+  for i = 0 to ra - 1 do
+    for j = 0 to ca - 1 do
+      if Float.abs (a.(i).(j) -. b.(i).(j)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iter (fun row -> Format.fprintf fmt "%a@," Vec.pp row) m;
+  Format.fprintf fmt "@]"

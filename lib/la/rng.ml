@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t =
+  let s = next_raw t in
+  { state = s }
+
+let float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Top 62 bits keep the value within OCaml's native positive int range;
+     modulo bias is negligible for bound << 2^62 and irrelevant to the
+     experiments' statistics. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u1 = float t in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  draw ()
+
+let unit_vector t n =
+  if n < 1 then invalid_arg "Rng.unit_vector: n must be >= 1";
+  let rec attempt () =
+    let v = Array.init n (fun _ -> gaussian t) in
+    let nrm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+    if nrm < 1e-12 then attempt ()
+    else (
+      for i = 0 to n - 1 do
+        v.(i) <- v.(i) /. nrm
+      done;
+      v)
+  in
+  attempt ()

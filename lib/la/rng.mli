@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (splitmix64) used everywhere randomness is
+    needed (Lanczos starting vectors, Erdős–Rényi graphs, property tests'
+    auxiliary data).  Being fully deterministic under an explicit seed keeps
+    every experiment in the repository reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Two
+    generators created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new, statistically independent
+    generator (splitmix64 split). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [[0,1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal variate (Box–Muller). *)
+
+val unit_vector : t -> int -> float array
+(** [unit_vector t n] is a uniformly random point on the unit sphere in
+    R^n (n >= 1). *)

@@ -1,0 +1,16 @@
+let eigenvalues ~n ~diag ~off =
+  if n <= 0 then invalid_arg "Toeplitz.eigenvalues: n must be positive";
+  let vals =
+    Array.init n (fun i ->
+        let k = float_of_int (i + 1) in
+        diag +. (2.0 *. off *. cos (k *. Float.pi /. float_of_int (n + 1))))
+  in
+  Array.sort Float.compare vals;
+  vals
+
+let matrix ~n ~diag ~off =
+  if n <= 0 then invalid_arg "Toeplitz.matrix: n must be positive";
+  Mat.init n n (fun i j ->
+      if i = j then diag else if abs (i - j) = 1 then off else 0.0)
+
+let dirichlet_laplacian_eigenvalues ~n = eigenvalues ~n ~diag:2.0 ~off:(-1.0)

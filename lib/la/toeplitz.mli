@@ -1,0 +1,22 @@
+(** Closed-form spectra of symmetric tridiagonal Toeplitz matrices.
+
+    A tridiagonal Toeplitz matrix with diagonal [a] and off-diagonal [b] has
+    eigenvalues [a + 2 b cos(k pi / (n+1))], [k = 1..n]  (Noschese, Pasquini
+    & Reichel, 2013 — reference [19] in the paper).  Lemma 11's path-graph
+    spectra are derived from these and from the odd-index extraction trick
+    the paper uses for [P'_i]; those graph-specific forms live in
+    {!module:Graphio_spectra}, this module provides the raw matrix facts and
+    constructors used to verify them numerically. *)
+
+val eigenvalues : n:int -> diag:float -> off:float -> float array
+(** Closed-form spectrum, ascending, of the [n x n] tridiagonal Toeplitz
+    matrix.  [n] must be positive. *)
+
+val matrix : n:int -> diag:float -> off:float -> Mat.t
+(** Dense realization of the same matrix (for cross-checks). *)
+
+val dirichlet_laplacian_eigenvalues : n:int -> float array
+(** Spectrum of the [n x n] second-difference matrix (2 on the diagonal,
+    -1 off): [2 - 2 cos(k pi/(n+1))], ascending — the classic discrete
+    Dirichlet Laplacian, used as an independent sanity anchor for the
+    eigensolvers. *)

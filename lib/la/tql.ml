@@ -1,0 +1,111 @@
+exception No_convergence of int
+
+let pythag a b = Float.hypot a b
+
+(* Implicit-shift QL with Wilkinson shift, following the classic tqli
+   routine.  [d] and [e] are mutated in place; [e] uses the tqli internal
+   convention after the initial left-shift ([e.(i)] couples rows i,i+1).
+   [z], when present, accumulates the rotations applied column-wise. *)
+let solve_inplace d e (z : Mat.t option) =
+  let n = Array.length d in
+  if Array.length e <> n then invalid_arg "Tql: d/e length mismatch";
+  if n > 1 then begin
+    for i = 1 to n - 1 do
+      e.(i - 1) <- e.(i)
+    done;
+    e.(n - 1) <- 0.0;
+    let eps = epsilon_float in
+    for l = 0 to n - 1 do
+      let iter = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        (* Find the first m >= l where the off-diagonal is negligible. *)
+        let m = ref l in
+        let searching = ref true in
+        while !searching && !m < n - 1 do
+          let dd = Float.abs d.(!m) +. Float.abs d.(!m + 1) in
+          if Float.abs e.(!m) <= eps *. dd then searching := false
+          else incr m
+        done;
+        if !m = l then finished := true
+        else begin
+          incr iter;
+          if !iter > 50 then raise (No_convergence l);
+          let g0 = (d.(l + 1) -. d.(l)) /. (2.0 *. e.(l)) in
+          let r0 = pythag g0 1.0 in
+          let g = ref (d.(!m) -. d.(l) +. (e.(l) /. (g0 +. Float.copy_sign r0 g0))) in
+          let s = ref 1.0 and c = ref 1.0 and p = ref 0.0 in
+          let i = ref (!m - 1) in
+          let underflow = ref false in
+          while !i >= l && not !underflow do
+            let f = !s *. e.(!i) in
+            let b = !c *. e.(!i) in
+            let r = pythag f !g in
+            e.(!i + 1) <- r;
+            if r = 0.0 then begin
+              d.(!i + 1) <- d.(!i + 1) -. !p;
+              e.(!m) <- 0.0;
+              underflow := true
+            end
+            else begin
+              s := f /. r;
+              c := !g /. r;
+              let gg = d.(!i + 1) -. !p in
+              let rr = ((d.(!i) -. gg) *. !s) +. (2.0 *. !c *. b) in
+              p := !s *. rr;
+              d.(!i + 1) <- gg +. !p;
+              g := (!c *. rr) -. b;
+              (match z with
+              | Some z ->
+                  let ii = !i in
+                  for k = 0 to n - 1 do
+                    let f = z.(k).(ii + 1) in
+                    z.(k).(ii + 1) <- (!s *. z.(k).(ii)) +. (!c *. f);
+                    z.(k).(ii) <- (!c *. z.(k).(ii)) -. (!s *. f)
+                  done
+              | None -> ());
+              decr i
+            end
+          done;
+          if not !underflow then begin
+            d.(l) <- d.(l) -. !p;
+            e.(l) <- !g;
+            e.(!m) <- 0.0
+          end
+        end
+      done
+    done
+  end
+
+let sort_permutation d =
+  let n = Array.length d in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare d.(a) d.(b)) idx;
+  idx
+
+let eigenvalues ~d ~e =
+  let d = Array.copy d and e = Array.copy e in
+  solve_inplace d e None;
+  Array.sort Float.compare d;
+  d
+
+let eigensystem ~d ~e ?z () =
+  let n = Array.length d in
+  let z = match z with Some z -> Mat.copy z | None -> Mat.identity n in
+  let zr, zc = Mat.dims z in
+  if zc <> n then invalid_arg "Tql.eigensystem: z column count mismatch";
+  let d = Array.copy d and e = Array.copy e in
+  solve_inplace d e (Some z);
+  let idx = sort_permutation d in
+  let values = Array.init n (fun j -> d.(idx.(j))) in
+  let vectors = Mat.init zr n (fun i j -> z.(i).(idx.(j))) in
+  (values, vectors)
+
+let symmetric_eigenvalues a =
+  let { Tridiag.d; e; _ } = Tridiag.reduce ~with_q:false a in
+  eigenvalues ~d ~e
+
+let symmetric_eigensystem a =
+  let { Tridiag.d; e; q } = Tridiag.reduce ~with_q:true a in
+  let z = match q with Some q -> q | None -> assert false in
+  eigensystem ~d ~e ~z ()

@@ -1,0 +1,33 @@
+(** Implicit-shift QL eigensolver for symmetric tridiagonal matrices.
+
+    Second half of the dense symmetric eigenpath (the classic [tqli]
+    routine): given the tridiagonal [d]/[e] produced by {!Tridiag.reduce},
+    computes all eigenvalues, and optionally eigenvectors by rotating an
+    initial matrix (identity for the tridiagonal eigenvectors, or the
+    Householder accumulation [Q] for eigenvectors of the original matrix). *)
+
+exception No_convergence of int
+(** Raised (with the stuck row index) if an eigenvalue fails to converge in
+    50 implicit QL sweeps — practically unreachable for real symmetric
+    input. *)
+
+val eigenvalues : d:float array -> e:float array -> float array
+(** [eigenvalues ~d ~e] returns all eigenvalues in ascending order.
+    [d] is the diagonal (length [n]); [e] the sub-diagonal with [e.(0)]
+    ignored (the {!Tridiag.reduce} convention).  Inputs are not mutated. *)
+
+val eigensystem :
+  d:float array -> e:float array -> ?z:Mat.t -> unit -> float array * Mat.t
+(** [eigensystem ~d ~e ~z ()] additionally accumulates eigenvectors into the
+    columns of [z] (default: identity).  Returns [(values, vectors)] with
+    values ascending and [vectors] column-aligned: column [j] (i.e.
+    [(fun i -> vectors.(i).(j))]) is the eigenvector for [values.(j)].
+    If [z] is the Householder [q] from {!Tridiag.reduce}, the columns are
+    eigenvectors of the original dense matrix. *)
+
+val symmetric_eigenvalues : Mat.t -> float array
+(** Full spectrum of a dense symmetric matrix (Householder + QL), ascending. *)
+
+val symmetric_eigensystem : Mat.t -> float array * Mat.t
+(** Full eigendecomposition of a dense symmetric matrix; vectors in columns,
+    aligned with the ascending eigenvalues. *)

@@ -1,0 +1,98 @@
+type t = {
+  d : float array;
+  e : float array;
+  q : Mat.t option;
+}
+
+(* Householder tridiagonalization following the classic tred2 routine
+   (Numerical Recipes / EISPACK lineage).  The working matrix [z] is
+   destroyed; when [with_q] is set it ends up holding the orthogonal
+   accumulation Q with A = Q T Q^T. *)
+let reduce ?(with_q = false) a =
+  let rows, cols = Mat.dims a in
+  if rows <> cols then invalid_arg "Tridiag.reduce: matrix not square";
+  if not (Mat.is_symmetric ~tol:1e-8 a) then
+    invalid_arg "Tridiag.reduce: matrix not symmetric";
+  let n = rows in
+  let z = Mat.copy a in
+  let d = Array.make n 0.0 and e = Array.make n 0.0 in
+  if n = 0 then { d; e; q = (if with_q then Some [||] else None) }
+  else begin
+    for i = n - 1 downto 1 do
+      let l = i - 1 in
+      let h = ref 0.0 and scale = ref 0.0 in
+      if l > 0 then begin
+        for k = 0 to l do
+          scale := !scale +. Float.abs z.(i).(k)
+        done;
+        if !scale = 0.0 then e.(i) <- z.(i).(l)
+        else begin
+          for k = 0 to l do
+            z.(i).(k) <- z.(i).(k) /. !scale;
+            h := !h +. (z.(i).(k) *. z.(i).(k))
+          done;
+          let f = z.(i).(l) in
+          let g = if f >= 0.0 then -.sqrt !h else sqrt !h in
+          e.(i) <- !scale *. g;
+          h := !h -. (f *. g);
+          z.(i).(l) <- f -. g;
+          let fsum = ref 0.0 in
+          for j = 0 to l do
+            if with_q then z.(j).(i) <- z.(i).(j) /. !h;
+            let g = ref 0.0 in
+            for k = 0 to j do
+              g := !g +. (z.(j).(k) *. z.(i).(k))
+            done;
+            for k = j + 1 to l do
+              g := !g +. (z.(k).(j) *. z.(i).(k))
+            done;
+            e.(j) <- !g /. !h;
+            fsum := !fsum +. (e.(j) *. z.(i).(j))
+          done;
+          let hh = !fsum /. (!h +. !h) in
+          for j = 0 to l do
+            let f = z.(i).(j) in
+            let g = e.(j) -. (hh *. f) in
+            e.(j) <- g;
+            for k = 0 to j do
+              z.(j).(k) <- z.(j).(k) -. ((f *. e.(k)) +. (g *. z.(i).(k)))
+            done
+          done
+        end
+      end
+      else e.(i) <- z.(i).(l);
+      d.(i) <- !h
+    done;
+    if with_q then d.(0) <- 0.0;
+    e.(0) <- 0.0;
+    for i = 0 to n - 1 do
+      if with_q then begin
+        if d.(i) <> 0.0 then
+          for j = 0 to i - 1 do
+            let g = ref 0.0 in
+            for k = 0 to i - 1 do
+              g := !g +. (z.(i).(k) *. z.(k).(j))
+            done;
+            for k = 0 to i - 1 do
+              z.(k).(j) <- z.(k).(j) -. (!g *. z.(k).(i))
+            done
+          done;
+        d.(i) <- z.(i).(i);
+        z.(i).(i) <- 1.0;
+        for j = 0 to i - 1 do
+          z.(j).(i) <- 0.0;
+          z.(i).(j) <- 0.0
+        done
+      end
+      else d.(i) <- z.(i).(i)
+    done;
+    { d; e; q = (if with_q then Some z else None) }
+  end
+
+let to_dense { d; e; _ } =
+  let n = Array.length d in
+  Mat.init n n (fun i j ->
+      if i = j then d.(i)
+      else if i = j + 1 then e.(i)
+      else if j = i + 1 then e.(j)
+      else 0.0)

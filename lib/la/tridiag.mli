@@ -1,0 +1,22 @@
+(** Householder reduction of a real symmetric matrix to tridiagonal form.
+
+    This is the first half of the dense symmetric eigensolver (the classic
+    [tred2] reduction): a symmetric [n x n] matrix [A] is transformed by a
+    sequence of Householder reflections into a symmetric tridiagonal matrix
+    with diagonal [d] and sub-diagonal [e], optionally accumulating the
+    orthogonal transformation [Q] such that [A = Q T Qᵀ]. *)
+
+type t = {
+  d : float array;  (** diagonal, length [n] *)
+  e : float array;  (** sub/super-diagonal, length [n]; [e.(0)] is unused and 0 *)
+  q : Mat.t option;  (** accumulated transform when requested *)
+}
+
+val reduce : ?with_q:bool -> Mat.t -> t
+(** [reduce a] tridiagonalizes symmetric [a] (the input is copied, not
+    mutated).  Raises [Invalid_argument] if [a] is not square or not
+    symmetric to a loose tolerance.  With [~with_q:true] (default [false])
+    the orthogonal accumulation is returned for eigenvector recovery. *)
+
+val to_dense : t -> Mat.t
+(** Rebuild the tridiagonal matrix [T] as a dense matrix (for testing). *)

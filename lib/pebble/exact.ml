@@ -1,0 +1,124 @@
+open Graphio_graph
+
+exception Too_large of string
+
+let max_vertices = 20
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+type state = {
+  computed : int;
+  cache : int;
+  written : int;
+}
+
+let optimal_io ?(max_states = 2_000_000) g ~m =
+  let n = Dag.n_vertices g in
+  if n > max_vertices then
+    raise (Too_large (Printf.sprintf "Exact.optimal_io: %d vertices (max %d)" n max_vertices));
+  if m < Simulator.min_feasible_m g then
+    invalid_arg
+      (Printf.sprintf "Exact.optimal_io: fast memory %d below feasible minimum %d" m
+         (Simulator.min_feasible_m g));
+  if n = 0 then 0
+  else begin
+    let full = (1 lsl n) - 1 in
+    let pred_mask = Array.make n 0 and succ_mask = Array.make n 0 in
+    for v = 0 to n - 1 do
+      Dag.iter_pred g v (fun u -> pred_mask.(v) <- pred_mask.(v) lor (1 lsl u));
+      Dag.iter_succ g v (fun w -> succ_mask.(v) <- succ_mask.(v) lor (1 lsl w))
+    done;
+    (* u is needed in state c iff some successor is not yet computed *)
+    let needed c u = succ_mask.(u) land lnot c <> 0 in
+    let normalize c k w =
+      (* drop dead values from cache and written set *)
+      let alive = ref 0 in
+      let rest = ref c in
+      while !rest <> 0 do
+        let u_bit = !rest land - !rest in
+        let u = popcount (u_bit - 1) in
+        if needed c u then alive := !alive lor u_bit;
+        rest := !rest land lnot u_bit
+      done;
+      { computed = c; cache = k land !alive; written = w land !alive }
+    in
+    let dist : (state, int) Hashtbl.t = Hashtbl.create 4096 in
+    (* Dial-style buckets keyed by cost: edge costs are 0/1 and the total
+       is bounded by n (each value written at most once) plus the number
+       of uses (each read serves at least one), so an array of queues
+       indexed by cost gives Dijkstra order with O(1) queue operations. *)
+    let max_cost = n + Dag.n_edges g + 1 in
+    let buckets = Array.init (max_cost + 1) (fun _ -> Queue.create ()) in
+    let start = normalize 0 0 0 in
+    Hashtbl.replace dist start 0;
+    Queue.add start buckets.(0);
+    let best = ref None in
+    let enqueue cost s =
+      match Hashtbl.find_opt dist s with
+      | Some d when d <= cost -> ()
+      | _ ->
+          if Hashtbl.length dist >= max_states then
+            raise (Too_large "Exact.optimal_io: state budget exhausted");
+          Hashtbl.replace dist s cost;
+          if cost <= max_cost then Queue.add s buckets.(cost)
+    in
+    let cost_level = ref 0 in
+    while !best = None && !cost_level <= max_cost do
+      let q = buckets.(!cost_level) in
+      if Queue.is_empty q then incr cost_level
+      else begin
+        let s = Queue.pop q in
+        let cost = !cost_level in
+        if Hashtbl.find_opt dist s = Some cost then begin
+          if s.computed = full then best := Some cost
+          else begin
+            let cache_size = popcount s.cache in
+            (* 1. compute an enabled vertex *)
+            for v = 0 to n - 1 do
+              if s.computed land (1 lsl v) = 0
+                 && pred_mask.(v) land lnot s.cache = 0
+              then begin
+                let c' = s.computed lor (1 lsl v) in
+                if needed c' v then begin
+                  if cache_size < m then
+                    enqueue cost (normalize c' (s.cache lor (1 lsl v)) s.written)
+                end
+                else
+                  (* sink (or value consumed by nothing further): result
+                     streams to the user without occupying a slot *)
+                  enqueue cost (normalize c' s.cache s.written)
+              end
+            done;
+            (* 2. evict a cached value *)
+            let rest = ref s.cache in
+            while !rest <> 0 do
+              let u_bit = !rest land - !rest in
+              rest := !rest land lnot u_bit;
+              let k' = s.cache land lnot u_bit in
+              if s.written land u_bit <> 0 then
+                enqueue cost (normalize s.computed k' s.written)
+              else
+                (* needed (cache is normalized) and unwritten: pay the write *)
+                enqueue (cost + 1) (normalize s.computed k' (s.written lor u_bit))
+            done;
+            (* 3. load a written value back *)
+            if cache_size < m then begin
+              let rest = ref (s.written land lnot s.cache) in
+              while !rest <> 0 do
+                let u_bit = !rest land - !rest in
+                rest := !rest land lnot u_bit;
+                enqueue (cost + 1) (normalize s.computed (s.cache lor u_bit) s.written)
+              done
+            end
+          end
+        end
+      end
+    done;
+    match !best with
+    | Some io -> io
+    | None ->
+        (* unreachable for feasible m: some vertex could never be computed *)
+        raise (Too_large "Exact.optimal_io: no complete evaluation found")
+  end

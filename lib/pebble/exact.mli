@@ -1,0 +1,36 @@
+(** Exact optimal I/O for small computation graphs.
+
+    Computes [J*_G = inf_X J_G(X)] — the paper's target quantity — by
+    shortest-path search over memory states, so the lower bounds can be
+    measured against the {e true} optimum instead of a heuristic
+    schedule's I/O (something the paper itself never had: its figures
+    compare lower bounds only against each other).
+
+    A state is [(computed, cache, written)] vertex sets with the
+    normalizations that make the search finite and small:
+
+    - values with no pending uses are dropped from the cache immediately
+      (free, and never useful again — dominance);
+    - sink results never occupy the cache (reported to the user);
+    - a needed value evicted before being written costs its write at
+      eviction time; a value is written at most once (immutability).
+
+    Transitions: compute an enabled vertex (operands in cache, a slot
+    free; cost 0), evict (cost 1 if needed-and-unwritten, else 0), load a
+    written value back (cost 1).  Dial's algorithm (bucket Dijkstra) over
+    these states returns the optimal non-trivial I/O.
+
+    The state space is exponential; intended for graphs of up to ~20
+    vertices (guarded), which is exactly the regime where exact tightness
+    measurements are interesting. *)
+
+exception Too_large of string
+(** Raised when [n > max_vertices] or the state budget is exhausted. *)
+
+val max_vertices : int
+(** Hard cap (20). *)
+
+val optimal_io : ?max_states:int -> Graphio_graph.Dag.t -> m:int -> int
+(** [optimal_io g ~m] = [J*_G].  [max_states] (default [2_000_000])
+    bounds the explored states; {!Too_large} on overflow.  Raises
+    [Invalid_argument] when [m] is below {!Simulator.min_feasible_m}. *)

@@ -1,0 +1,170 @@
+open Graphio_graph
+
+type result = {
+  per_processor : Simulator.result array;
+  max_io : int;
+  total_io : int;
+  publish_writes : int;
+}
+
+let block_assignment g ~order ~p =
+  if p < 1 then invalid_arg "Parallel_sim.block_assignment: p must be >= 1";
+  let n = Dag.n_vertices g in
+  let assignment = Array.make n 0 in
+  Array.iteri (fun t v -> assignment.(v) <- min (p - 1) (t * p / max n 1)) order;
+  assignment
+
+let round_robin_assignment g ~order ~p =
+  if p < 1 then invalid_arg "Parallel_sim.round_robin_assignment: p must be >= 1";
+  let assignment = Array.make (Dag.n_vertices g) 0 in
+  Array.iteri (fun t v -> assignment.(v) <- t mod p) order;
+  assignment
+
+let simulate g ~assignment ~order ~p ~m =
+  let n = Dag.n_vertices g in
+  if p < 1 then invalid_arg "Parallel_sim.simulate: p must be >= 1";
+  if p > 62 then invalid_arg "Parallel_sim.simulate: p too large";
+  if Array.length assignment <> n then
+    invalid_arg "Parallel_sim.simulate: assignment length mismatch";
+  Array.iter
+    (fun a ->
+      if a < 0 || a >= p then invalid_arg "Parallel_sim.simulate: processor out of range")
+    assignment;
+  if not (Topo.is_valid g order) then
+    invalid_arg "Parallel_sim.simulate: order is not a valid topological order";
+  if m < Simulator.min_feasible_m g then
+    invalid_arg
+      (Printf.sprintf "Parallel_sim.simulate: fast memory %d below feasible minimum %d"
+         m (Simulator.min_feasible_m g));
+  let pos = Topo.position_of order in
+  (* Per-processor next-use schedule: uses of u charged to processor i are
+     the evaluation times of u's consumers owned by i. *)
+  let uses = Array.make_matrix p n [||] in
+  for u = 0 to n - 1 do
+    let by_proc = Array.make p [] in
+    Dag.iter_succ g u (fun w ->
+        let i = assignment.(w) in
+        by_proc.(i) <- pos.(w) :: by_proc.(i));
+    for i = 0 to p - 1 do
+      let times = Array.of_list by_proc.(i) in
+      Array.sort compare times;
+      uses.(i).(u) <- times
+    done
+  done;
+  let use_ptr = Array.make_matrix p n 0 in
+  let next_use i u =
+    if use_ptr.(i).(u) < Array.length uses.(i).(u) then uses.(i).(u).(use_ptr.(i).(u))
+    else max_int
+  in
+  (* any-processor pending uses, for spill accounting *)
+  let remaining_uses = Array.init n (Dag.out_degree g) in
+  let resident_mask = Array.make n 0 in
+  let in_slow = Array.make n false in
+  let pinned = Array.make n false in
+  (* per-processor resident sets *)
+  let resident = Array.make_matrix p m (-1) in
+  let slot_of = Array.make_matrix p n (-1) in
+  let resident_count = Array.make p 0 in
+  let peak = Array.make p 0 in
+  let reads = Array.make p 0 and writes = Array.make p 0 in
+  let publish_writes = ref 0 in
+  let add_resident i v =
+    resident.(i).(resident_count.(i)) <- v;
+    slot_of.(i).(v) <- resident_count.(i);
+    resident_count.(i) <- resident_count.(i) + 1;
+    resident_mask.(v) <- resident_mask.(v) lor (1 lsl i);
+    if resident_count.(i) > peak.(i) then peak.(i) <- resident_count.(i)
+  in
+  let remove_resident i v =
+    let s = slot_of.(i).(v) in
+    let last = resident.(i).(resident_count.(i) - 1) in
+    resident.(i).(s) <- last;
+    slot_of.(i).(last) <- s;
+    resident_count.(i) <- resident_count.(i) - 1;
+    slot_of.(i).(v) <- -1;
+    resident_mask.(v) <- resident_mask.(v) land lnot (1 lsl i)
+  in
+  let owner = assignment in
+  let evict_one i =
+    (* Belady on processor i's own trace; dead values first (free). *)
+    let victim = ref (-1) and victim_key = ref min_int in
+    for s = 0 to resident_count.(i) - 1 do
+      let v = resident.(i).(s) in
+      if not pinned.(v) then begin
+        let nu = next_use i v in
+        let key =
+          if remaining_uses.(v) = 0 then max_int
+          else if nu = max_int && (owner.(v) <> i || in_slow.(v)) then max_int - 1
+          else nu
+        in
+        if key > !victim_key then begin
+          victim_key := key;
+          victim := v
+        end
+      end
+    done;
+    if !victim < 0 then
+      invalid_arg "Parallel_sim.simulate: fast memory exhausted by pinned operands";
+    let v = !victim in
+    (* spill: only the owner of a needed, never-published value pays *)
+    if remaining_uses.(v) > 0 && owner.(v) = i && not in_slow.(v) then begin
+      writes.(i) <- writes.(i) + 1;
+      in_slow.(v) <- true
+    end;
+    remove_resident i v
+  in
+  let ensure_one_free i = if resident_count.(i) >= m then evict_one i in
+  Array.iteri
+    (fun t v ->
+      let i = assignment.(v) in
+      let parents = Dag.pred g v in
+      Array.iter
+        (fun u -> if resident_mask.(u) land (1 lsl i) <> 0 then pinned.(u) <- true)
+        parents;
+      Array.iter
+        (fun u ->
+          if resident_mask.(u) land (1 lsl i) = 0 then begin
+            (* remote or spilled operand: make sure a slow-memory copy
+               exists (producer publishes), then read it locally *)
+            if not in_slow.(u) then begin
+              writes.(owner.(u)) <- writes.(owner.(u)) + 1;
+              incr publish_writes;
+              in_slow.(u) <- true
+            end;
+            ensure_one_free i;
+            reads.(i) <- reads.(i) + 1;
+            add_resident i u;
+            pinned.(u) <- true
+          end)
+        parents;
+      ensure_one_free i;
+      add_resident i v;
+      Array.iter
+        (fun u ->
+          pinned.(u) <- false;
+          remaining_uses.(u) <- remaining_uses.(u) - 1;
+          for j = 0 to p - 1 do
+            while
+              use_ptr.(j).(u) < Array.length uses.(j).(u)
+              && uses.(j).(u).(use_ptr.(j).(u)) <= t
+            do
+              use_ptr.(j).(u) <- use_ptr.(j).(u) + 1
+            done
+          done)
+        parents;
+      if remaining_uses.(v) = 0 then remove_resident i v)
+    order;
+  let per_processor =
+    Array.init p (fun i ->
+        {
+          Simulator.reads = reads.(i);
+          writes = writes.(i);
+          io = reads.(i) + writes.(i);
+          peak_resident = peak.(i);
+        })
+  in
+  let max_io = Array.fold_left (fun acc r -> max acc r.Simulator.io) 0 per_processor in
+  let total_io =
+    Array.fold_left (fun acc r -> acc + r.Simulator.io) 0 per_processor
+  in
+  { per_processor; max_io; total_io; publish_writes = !publish_writes }

@@ -1,0 +1,45 @@
+(** Parallel execution simulator for the Theorem 6 setting.
+
+    [p] processors each own a fast memory of [M] elements and communicate
+    through shared slow memory.  A parallel execution is (i) an assignment
+    of every vertex to a processor and (ii) a global topological order
+    (vertices execute in that order; interleaving preserves the
+    dependencies).  I/O is counted per processor, as in the theorem:
+
+    - a processor evaluating [v] must hold [v]'s operands in its local
+      fast memory; operands produced on another processor must first have
+      been published to slow memory (a write charged to the {e producer})
+      and are then read by the consumer;
+    - local spills/reloads are charged exactly as in the sequential
+      {!Simulator} (Belady eviction on the processor's own trace).
+
+    The returned per-processor maxima are feasible upper bounds, so
+    [max_io] must dominate the Theorem 6 lower bound for the same [p] —
+    an empirical sandwich for the parallel theorem that the paper itself
+    leaves analytic (tested in the integration suite). *)
+
+type result = {
+  per_processor : Simulator.result array;
+  max_io : int;  (** [max_i J(X_i)] — the quantity Theorem 6 bounds *)
+  total_io : int;
+  publish_writes : int;
+      (** writes forced purely by cross-processor communication *)
+}
+
+val simulate :
+  Graphio_graph.Dag.t ->
+  assignment:int array ->
+  order:int array ->
+  p:int ->
+  m:int ->
+  result
+(** [assignment.(v)] is the owning processor in [0..p-1]; [order] a valid
+    topological order.  Raises [Invalid_argument] on malformed inputs or
+    an [m] below the per-processor feasibility minimum. *)
+
+val block_assignment : Graphio_graph.Dag.t -> order:int array -> p:int -> int array
+(** Contiguous blocks of the order, one per processor — the simplest
+    balanced assignment. *)
+
+val round_robin_assignment : Graphio_graph.Dag.t -> order:int array -> p:int -> int array
+(** Position mod [p] — the maximally-communicating strawman. *)

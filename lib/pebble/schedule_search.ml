@@ -1,0 +1,50 @@
+open Graphio_graph
+
+type outcome = {
+  order : int array;
+  result : Simulator.result;
+  initial : Simulator.result;
+  evaluations : int;
+}
+
+let optimize ?(seed = 7) ?(budget = 200) ?(policy = Simulator.Belady) g ~m =
+  let n = Dag.n_vertices g in
+  let rng = Graphio_la.Rng.create seed in
+  (* Starting point: best of the standard schedules. *)
+  let candidates =
+    (try [ Topo.natural g ] with Invalid_argument _ -> [])
+    @ [ Topo.kahn g; Topo.dfs g; Topo.random ~seed g ]
+  in
+  let evaluations = ref 0 in
+  let score order =
+    incr evaluations;
+    Simulator.simulate ~policy g ~order ~m
+  in
+  let scored = List.map (fun o -> (o, score o)) candidates in
+  let start_order, start_result =
+    List.fold_left
+      (fun (bo, br) (o, r) ->
+        if r.Simulator.io < br.Simulator.io then (o, r) else (bo, br))
+      (List.hd scored) (List.tl scored)
+  in
+  let order = Array.copy start_order in
+  let best = ref start_result in
+  if n >= 2 then begin
+    let remaining = max 0 (budget - !evaluations) in
+    for _ = 1 to remaining do
+      let i = Graphio_la.Rng.int rng (n - 1) in
+      let u = order.(i) and w = order.(i + 1) in
+      if not (Dag.has_edge g u w) then begin
+        order.(i) <- w;
+        order.(i + 1) <- u;
+        let r = score order in
+        if r.Simulator.io <= !best.Simulator.io then best := r
+        else begin
+          (* revert *)
+          order.(i) <- u;
+          order.(i + 1) <- w
+        end
+      end
+    done
+  end;
+  { order; result = !best; initial = start_result; evaluations = !evaluations }

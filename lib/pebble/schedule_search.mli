@@ -1,0 +1,28 @@
+(** Local search over evaluation orders to tighten the simulated upper
+    bound.
+
+    The paper frames optimal I/O as a minimization over topological orders
+    (§3.1); this module explores that space with hill-climbing over
+    precedence-respecting adjacent transpositions, starting from the best
+    of the standard schedules.  Tighter upper bounds narrow the sandwich
+    around [J*_G] reported in EXPERIMENTS.md — they never affect the lower
+    bounds themselves. *)
+
+type outcome = {
+  order : int array;  (** best order found *)
+  result : Simulator.result;  (** its simulated I/O *)
+  initial : Simulator.result;  (** the starting schedule's I/O *)
+  evaluations : int;  (** simulator calls spent *)
+}
+
+val optimize :
+  ?seed:int ->
+  ?budget:int ->
+  ?policy:Simulator.policy ->
+  Graphio_graph.Dag.t ->
+  m:int ->
+  outcome
+(** [optimize g ~m] hill-climbs for [budget] (default 200) simulator
+    evaluations under the given eviction [policy] (default Belady).
+    Deterministic for a fixed [seed].  The returned order is always valid
+    and the returned I/O never exceeds the initial one. *)

@@ -1,0 +1,137 @@
+open Graphio_graph
+
+type policy = Belady | Lru
+
+type result = {
+  reads : int;
+  writes : int;
+  io : int;
+  peak_resident : int;
+}
+
+let min_feasible_m g = max 2 (Dag.max_in_degree g + 1)
+
+let simulate ?(policy = Belady) g ~order ~m =
+  if m < 2 then invalid_arg "Simulator.simulate: m must be >= 2";
+  if not (Topo.is_valid g order) then
+    invalid_arg "Simulator.simulate: order is not a valid topological order";
+  let n = Dag.n_vertices g in
+  if min_feasible_m g > m then
+    invalid_arg
+      (Printf.sprintf
+         "Simulator.simulate: fast memory %d too small for max in-degree %d" m
+         (Dag.max_in_degree g));
+  let pos = Topo.position_of order in
+  (* uses.(u): evaluation times of u's consumers, ascending; use_ptr.(u)
+     indexes the next unconsumed use. *)
+  let uses =
+    Array.init n (fun u ->
+        let times = Array.map (fun w -> pos.(w)) (Dag.succ g u) in
+        Array.sort compare times;
+        times)
+  in
+  let use_ptr = Array.make n 0 in
+  let next_use u =
+    if use_ptr.(u) < Array.length uses.(u) then uses.(u).(use_ptr.(u)) else max_int
+  in
+  let in_fast = Array.make n false and in_slow = Array.make n false in
+  let pinned = Array.make n false in
+  let last_used = Array.make n (-1) in
+  (* resident set as array + slot map for O(1) removal *)
+  let resident = Array.make m (-1) in
+  let slot_of = Array.make n (-1) in
+  let resident_count = ref 0 in
+  let peak = ref 0 in
+  let reads = ref 0 and writes = ref 0 in
+  let add_resident v =
+    resident.(!resident_count) <- v;
+    slot_of.(v) <- !resident_count;
+    incr resident_count;
+    in_fast.(v) <- true;
+    if !resident_count > !peak then peak := !resident_count
+  in
+  let remove_resident v =
+    let s = slot_of.(v) in
+    let last = resident.(!resident_count - 1) in
+    resident.(s) <- last;
+    slot_of.(last) <- s;
+    decr resident_count;
+    slot_of.(v) <- -1;
+    in_fast.(v) <- false
+  in
+  let evict_one () =
+    (* Victim selection: any dead unpinned value first (free), otherwise by
+       policy among unpinned residents. *)
+    let victim = ref (-1) in
+    let victim_key = ref min_int in
+    for s = 0 to !resident_count - 1 do
+      let v = resident.(s) in
+      if not pinned.(v) then begin
+        let nu = next_use v in
+        let key =
+          match policy with
+          | Belady -> if nu = max_int then max_int else nu
+          | Lru -> if nu = max_int then max_int else -last_used.(v)
+        in
+        if key > !victim_key then begin
+          victim_key := key;
+          victim := v
+        end
+      end
+    done;
+    if !victim < 0 then
+      invalid_arg "Simulator.simulate: fast memory exhausted by pinned operands";
+    let v = !victim in
+    if next_use v <> max_int && not in_slow.(v) then begin
+      incr writes;
+      in_slow.(v) <- true
+    end;
+    remove_resident v
+  in
+  let ensure_one_free () = if !resident_count >= m then evict_one () in
+  Array.iteri
+    (fun t v ->
+      let parents = Dag.pred g v in
+      (* Pin operands already resident. *)
+      Array.iter (fun u -> if in_fast.(u) then pinned.(u) <- true) parents;
+      (* Load the missing ones. *)
+      Array.iter
+        (fun u ->
+          if not in_fast.(u) then begin
+            ensure_one_free ();
+            assert in_slow.(u);
+            incr reads;
+            add_resident u;
+            pinned.(u) <- true
+          end)
+        parents;
+      (* Slot for the result. *)
+      ensure_one_free ();
+      add_resident v;
+      (* Bookkeeping: consume the operand uses at this time-step. *)
+      Array.iter
+        (fun u ->
+          pinned.(u) <- false;
+          last_used.(u) <- t;
+          while use_ptr.(u) < Array.length uses.(u) && uses.(u).(use_ptr.(u)) <= t do
+            use_ptr.(u) <- use_ptr.(u) + 1
+          done)
+        parents;
+      last_used.(v) <- t;
+      (* A sink's value is reported to the user immediately; drop it so it
+         never occupies memory or triggers spills. *)
+      if Array.length uses.(v) = 0 then remove_resident v)
+    order;
+  { reads = !reads; writes = !writes; io = !reads + !writes; peak_resident = !peak }
+
+let best_upper_bound ?(seed = 42) ?(extra_orders = 3) g ~m =
+  let orders =
+    (try [ Topo.natural g ] with Invalid_argument _ -> [])
+    @ [ Topo.kahn g; Topo.dfs g ]
+    @ List.init extra_orders (fun i -> Topo.random ~seed:(seed + i) g)
+  in
+  let results = List.map (fun order -> simulate g ~order ~m) orders in
+  List.fold_left
+    (fun best r -> match best with Some b when b.io <= r.io -> Some b | _ -> Some r)
+    None results
+  |> Option.get

@@ -1,0 +1,50 @@
+(** Execution simulator for the paper's two-level memory model (Section 3).
+
+    Given a computation graph, a topological evaluation order [X] and a
+    fast-memory size [M], the simulator plays the schedule under red/blue
+    pebble semantics {e without recomputation} and counts the non-trivial
+    I/O [J_G(X)]:
+
+    - evaluating a vertex requires all its operands in fast memory plus a
+      slot for the result, so [M >= in_degree(v) + 1] must hold for every
+      vertex (the paper likewise omits configurations where operands don't
+      fit);
+    - a source's value materializes in fast memory for free at its
+      evaluation step (inputs are read from the user directly — trivial
+      I/O is not counted), and results of sinks are reported to the user
+      for free;
+    - evicting a value that is still needed and has never been written to
+      slow memory costs one write; values are immutable, so a value
+      already resident in slow memory is evicted for free;
+    - loading a value from slow memory costs one read.
+
+    Because every simulated schedule is a feasible execution, the returned
+    count is an {e upper} bound on the optimal [J*_G] — the counterpart of
+    the paper's lower bounds, used throughout the test suite to sandwich
+    them ([lower <= J*_G <= simulated]). *)
+
+type policy =
+  | Belady  (** evict the resident value whose next use is farthest *)
+  | Lru  (** least-recently-used *)
+
+type result = {
+  reads : int;  (** loads from slow into fast memory *)
+  writes : int;  (** spills of still-needed values to slow memory *)
+  io : int;  (** [reads + writes] = [J_G(X)] *)
+  peak_resident : int;  (** max fast-memory occupancy observed *)
+}
+
+val simulate : ?policy:policy -> Graphio_graph.Dag.t -> order:int array -> m:int -> result
+(** Raises [Invalid_argument] if [order] is not a valid topological order,
+    if [m < 2], or if some vertex has [in_degree + 1 > m]. *)
+
+val min_feasible_m : Graphio_graph.Dag.t -> int
+(** [max 2 (max_in_degree + 1)] — the smallest fast memory the simulator
+    (and the model) accepts for this graph. *)
+
+val best_upper_bound :
+  ?seed:int -> ?extra_orders:int -> Graphio_graph.Dag.t -> m:int -> result
+(** Simulates the natural, Kahn, and DFS orders plus [extra_orders]
+    (default 3) random topological orders under Belady eviction and
+    returns the best (lowest-I/O) result — a cheap but serviceable upper
+    bound on [J*_G]. *)

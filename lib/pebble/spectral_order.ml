@@ -1,0 +1,50 @@
+open Graphio_graph
+open Graphio_la
+
+let fiedler_vector ?(seed = 0x5eed) g =
+  let n = Dag.n_vertices g in
+  let lap = Laplacian.normalized g in
+  if n <= Eigen.default_dense_threshold then begin
+    let _, vectors = Tql.symmetric_eigensystem (Csr.to_dense lap) in
+    Array.init n (fun i -> vectors.(i).(min 1 (n - 1)))
+  end
+  else begin
+    let r = Filtered.smallest_csr ~seed ~want_vectors:true lap ~h:2 in
+    match r.Filtered.vectors with
+    | Some vecs when Array.length vecs >= 2 -> vecs.(1)
+    | _ -> Array.make n 0.0
+  end
+
+module Ready = Set.Make (struct
+  type t = float * int
+
+  let compare (a, u) (b, v) =
+    match Float.compare a b with 0 -> compare u v | c -> c
+end)
+
+let fiedler_order ?seed g =
+  let n = Dag.n_vertices g in
+  if n < 3 then Array.init n (fun i -> i)
+  else begin
+    let priority = fiedler_vector ?seed g in
+    let indeg = Array.init n (Dag.in_degree g) in
+    let ready = ref Ready.empty in
+    for v = 0 to n - 1 do
+      if indeg.(v) = 0 then ready := Ready.add (priority.(v), v) !ready
+    done;
+    let order = Array.make n 0 in
+    for t = 0 to n - 1 do
+      match Ready.min_elt_opt !ready with
+      | None -> invalid_arg "Spectral_order.fiedler_order: graph has a cycle"
+      | Some ((_, v) as elt) ->
+          ready := Ready.remove elt !ready;
+          order.(t) <- v;
+          Dag.iter_succ g v (fun w ->
+              indeg.(w) <- indeg.(w) - 1;
+              if indeg.(w) = 0 then ready := Ready.add (priority.(w), w) !ready)
+    done;
+    order
+  end
+
+let upper_bound ?seed g ~m =
+  Simulator.simulate g ~order:(fiedler_order ?seed g) ~m

@@ -1,0 +1,32 @@
+let path n =
+  if n < 1 then invalid_arg "Basic_spectra.path: n must be >= 1";
+  Multiset.of_list
+    (List.init n (fun k ->
+         (2.0 -. (2.0 *. cos (Float.pi *. float_of_int k /. float_of_int n)), 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Basic_spectra.cycle: n must be >= 3";
+  Multiset.of_list
+    (List.init n (fun k ->
+         ( 2.0 -. (2.0 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n)),
+           1 )))
+
+let complete n =
+  if n < 1 then invalid_arg "Basic_spectra.complete: n must be >= 1";
+  if n = 1 then Multiset.of_list [ (0.0, 1) ]
+  else Multiset.of_list [ (0.0, 1); (float_of_int n, n - 1) ]
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then
+    invalid_arg "Basic_spectra.complete_bipartite: sides must be >= 1";
+  Multiset.of_list
+    [
+      (0.0, 1);
+      (float_of_int a, b - 1);
+      (float_of_int b, a - 1);
+      (float_of_int (a + b), 1);
+    ]
+
+let star leaves = complete_bipartite 1 leaves
+
+let edge = Multiset.of_list [ (0.0, 1); (2.0, 1) ]

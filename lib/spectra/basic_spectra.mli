@@ -1,0 +1,26 @@
+(** Closed-form Laplacian spectra of elementary (unweighted) graphs.
+
+    Building blocks for spectral reasoning beyond the paper's three
+    families: combined with {!Product_spectra} they give closed forms for
+    grids, tori and (re-derived, as a cross-check) the hypercube.  All
+    spectra are of the {e standard} unweighted Laplacian [L = D - A]. *)
+
+val path : int -> Multiset.t
+(** [path n]: [2 − 2 cos(k π / n)], [k = 0..n−1].  [n >= 1]. *)
+
+val cycle : int -> Multiset.t
+(** [cycle n]: [2 − 2 cos(2 π k / n)], [k = 0..n−1].  [n >= 3]. *)
+
+val complete : int -> Multiset.t
+(** [complete n]: [0] once and [n] with multiplicity [n−1].  [n >= 1]. *)
+
+val complete_bipartite : int -> int -> Multiset.t
+(** [complete_bipartite a b]: [0], [a] ([b−1] times), [b] ([a−1] times),
+    [a+b].  [a, b >= 1]. *)
+
+val star : int -> Multiset.t
+(** [star leaves] = [complete_bipartite 1 leaves]. *)
+
+val edge : Multiset.t
+(** The single-edge graph [K_2]: [{0, 2}] — the hypercube's product
+    factor. *)

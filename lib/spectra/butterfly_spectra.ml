@@ -1,0 +1,30 @@
+let n_vertices k =
+  if k < 0 then invalid_arg "Butterfly_spectra.n_vertices: negative level";
+  (k + 1) * (1 lsl k)
+
+let spectrum k =
+  if k < 0 then invalid_arg "Butterfly_spectra.spectrum: negative level";
+  if k = 0 then Multiset.of_list [ (0.0, 1) ]
+  else begin
+    let pairs = ref [] in
+    let add_family values multiplicity =
+      Array.iter (fun v -> pairs := (v, multiplicity) :: !pairs) values
+    in
+    (* One instance of P_{k+1}. *)
+    add_family (Path_spectra.p (k + 1)) 1;
+    (* 2^{k-i+1} instances of P'_i, i = 1..k. *)
+    for i = 1 to k do
+      add_family (Path_spectra.p' i) (1 lsl (k - i + 1))
+    done;
+    (* (k-i) 2^{k-i-1} instances of P''_i, i = 1..k-1. *)
+    for i = 1 to k - 1 do
+      add_family (Path_spectra.p'' i) ((k - i) * (1 lsl (k - i - 1)))
+    done;
+    let ms = Multiset.of_list !pairs in
+    assert (Multiset.total ms = n_vertices k);
+    ms
+  end
+
+let second_smallest k =
+  if k < 1 then invalid_arg "Butterfly_spectra.second_smallest: level must be >= 1";
+  4.0 -. (4.0 *. cos (Float.pi /. float_of_int ((2 * k) + 1)))

@@ -1,0 +1,29 @@
+(** Laplacian spectrum of the unwrapped butterfly graph [B_k] (Theorem 7).
+
+    [B_k] is the computation graph of a [2^k]-point FFT: [(k+1)] columns of
+    [2^k] vertices.  Appendix A decomposes its Laplacian spectrum (counting
+    multiplicity) into weighted-path spectra:
+
+    - one instance of [P_{k+1}];
+    - [2^{k-i+1}] instances of [P'_i] for [i = 1..k];
+    - [(k-i) 2^{k-i-1}] instances of [P''_i] for [i = 1..k-1].
+
+    (The first family is stated in Theorem 7 as
+    [4 − 4 cos(π j/(k+1)), j = 0..k] — the Section 5.2 form; the appendix
+    restatement with denominator [k] is a typo, which our numeric
+    cross-check in the test suite confirms.)
+
+    To the authors' knowledge this was the first closed form with
+    multiplicities for the {e unwrapped} butterfly. *)
+
+val spectrum : int -> Multiset.t
+(** [spectrum k] for [k >= 0].  Total multiplicity is [(k+1) 2^k].
+    [spectrum 0] is the single-vertex graph: [{0}]. *)
+
+val n_vertices : int -> int
+(** [(k+1) 2^k]. *)
+
+val second_smallest : int -> float
+(** The smallest nonzero eigenvalue [4 − 4 cos(π/(2k+1))] (the [i = k],
+    [j = 0] member of the [P'] family), used by the §5.2 closed-form
+    analysis. *)

@@ -1,0 +1,19 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      let next_num = !acc * (n - k + i) in
+      if next_num < 0 || next_num / (n - k + i) <> !acc then
+        failwith "Hypercube_spectra.binomial: overflow";
+      acc := next_num / i
+    done;
+    !acc
+  end
+
+let eigenvalue i = 2.0 *. float_of_int i
+
+let spectrum l =
+  if l < 0 then invalid_arg "Hypercube_spectra.spectrum: negative dimension";
+  Multiset.of_list (List.init (l + 1) (fun i -> (eigenvalue i, binomial l i)))

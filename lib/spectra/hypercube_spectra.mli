@@ -1,0 +1,17 @@
+(** Laplacian spectrum of the boolean hypercube [Q_l] (Section 5.1).
+
+    The [l]-dimensional hypercube has [2^l] vertices and (unweighted,
+    undirected) Laplacian eigenvalues [2i] with multiplicity [C(l, i)] for
+    [i = 0..l].  This is the spectrum of the undirected support of the
+    Bellman–Held–Karp computation graph, i.e. the [L] of Theorem 5. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = [C(n, k)] by the multiplicative formula; exact for all
+    values fitting a native int (raises [Failure] on overflow). *)
+
+val spectrum : int -> Multiset.t
+(** [spectrum l] for [l >= 0].  Total multiplicity is [2^l]. *)
+
+val eigenvalue : int -> float
+(** [eigenvalue i] = [2 i] — the value paired with multiplicity
+    [C(l, i)]. *)

@@ -1,0 +1,77 @@
+type t = (float * int) array
+
+let of_list ?(merge_tol = 1e-9) pairs =
+  List.iter
+    (fun (_, m) ->
+      if m < 0 then invalid_arg "Multiset.of_list: negative multiplicity")
+    pairs;
+  let pairs = List.filter (fun (_, m) -> m > 0) pairs in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) pairs in
+  let rec merge_run acc = function
+    | [] -> List.rev acc
+    | (v, m) :: rest -> (
+        match acc with
+        | (v0, m0) :: acc' when Float.abs (v -. v0) <= merge_tol ->
+            merge_run ((v0, m0 + m) :: acc') rest
+        | _ -> merge_run ((v, m) :: acc) rest)
+  in
+  Array.of_list (merge_run [] sorted)
+
+let of_array ?merge_tol values =
+  of_list ?merge_tol (Array.to_list (Array.map (fun v -> (v, 1)) values))
+
+let total t = Array.fold_left (fun acc (_, m) -> acc + m) 0 t
+
+let distinct = Array.length
+
+let smallest t ~h =
+  if h < 0 then invalid_arg "Multiset.smallest: negative h";
+  let n = min h (total t) in
+  let out = Array.make n 0.0 in
+  let k = ref 0 in
+  Array.iter
+    (fun (v, m) ->
+      let take = min m (n - !k) in
+      for _ = 1 to take do
+        out.(!k) <- v;
+        incr k
+      done)
+    t;
+  out
+
+let smallest_sum t ~k =
+  if k < 0 then invalid_arg "Multiset.smallest_sum: negative k";
+  if k > total t then invalid_arg "Multiset.smallest_sum: k exceeds total";
+  let remaining = ref k and acc = ref 0.0 in
+  Array.iter
+    (fun (v, m) ->
+      let take = min m !remaining in
+      acc := !acc +. (float_of_int take *. v);
+      remaining := !remaining - take)
+    t;
+  !acc
+
+let to_array t = smallest t ~h:(total t)
+
+let min_value t =
+  if Array.length t = 0 then invalid_arg "Multiset.min_value: empty";
+  fst t.(0)
+
+let max_value t =
+  if Array.length t = 0 then invalid_arg "Multiset.max_value: empty";
+  fst t.(Array.length t - 1)
+
+let merge a b = of_list (Array.to_list a @ Array.to_list b)
+
+let scale c t =
+  if c < 0.0 then invalid_arg "Multiset.scale: negative factor";
+  Array.map (fun (v, m) -> (c *. v, m)) t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>{";
+  Array.iteri
+    (fun i (v, m) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      if m = 1 then Format.fprintf fmt "%g" v else Format.fprintf fmt "%g^%d" v m)
+    t;
+  Format.fprintf fmt "}@]"

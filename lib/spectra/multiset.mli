@@ -1,0 +1,47 @@
+(** Eigenvalue multisets: sorted [(value, multiplicity)] pairs.
+
+    Closed-form graph spectra come naturally with multiplicities (e.g. the
+    hypercube's eigenvalue [2i] appears [C(l,i)] times); this module keeps
+    them compact so bounds over graphs with millions of vertices never
+    materialize million-element arrays unless asked to. *)
+
+type t = private (float * int) array
+(** Ascending by value; multiplicities positive; values distinct up to the
+    merge tolerance. *)
+
+val of_list : ?merge_tol:float -> (float * int) list -> t
+(** Sorts, merges values closer than [merge_tol] (default [1e-9]), drops
+    zero multiplicities.  Raises [Invalid_argument] on negative
+    multiplicities. *)
+
+val of_array : ?merge_tol:float -> float array -> t
+(** From an explicit eigenvalue array (each value multiplicity 1 before
+    merging). *)
+
+val total : t -> int
+(** Total count including multiplicity (the matrix dimension). *)
+
+val distinct : t -> int
+
+val smallest : t -> h:int -> float array
+(** The [min h total] smallest values, expanded with multiplicity,
+    ascending. *)
+
+val smallest_sum : t -> k:int -> float
+(** Sum of the [k] smallest values (with multiplicity).  Raises
+    [Invalid_argument] if [k > total]. *)
+
+val to_array : t -> float array
+(** Full expansion (use only for small spectra). *)
+
+val min_value : t -> float
+(** Raises on the empty multiset. *)
+
+val max_value : t -> float
+
+val merge : t -> t -> t
+
+val scale : float -> t -> t
+(** Multiply every value by a nonnegative factor (order preserved). *)
+
+val pp : Format.formatter -> t -> unit

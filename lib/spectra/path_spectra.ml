@@ -1,0 +1,51 @@
+let check_size name i =
+  if i < 1 then invalid_arg ("Path_spectra." ^ name ^ ": size must be >= 1")
+
+let cos_family ~count ~angle =
+  let vals = Array.init count (fun j -> 4.0 -. (4.0 *. cos (angle j))) in
+  Array.sort Float.compare vals;
+  vals
+
+let p i =
+  check_size "p" i;
+  cos_family ~count:i ~angle:(fun j ->
+      Float.pi *. float_of_int j /. float_of_int i)
+
+let p' i =
+  check_size "p'" i;
+  cos_family ~count:i ~angle:(fun j ->
+      Float.pi *. float_of_int ((2 * j) + 1) /. float_of_int ((2 * i) + 1))
+
+let p'' i =
+  check_size "p''" i;
+  cos_family ~count:i ~angle:(fun j ->
+      Float.pi *. float_of_int (j + 1) /. float_of_int (i + 1))
+
+let path_laplacian ~vertex_weight i =
+  let open Graphio_la in
+  Mat.init i i (fun r c ->
+      if r = c then begin
+        let edge_part =
+          2.0 *. float_of_int ((if r > 0 then 1 else 0) + if r < i - 1 then 1 else 0)
+        in
+        edge_part +. vertex_weight r
+      end
+      else if abs (r - c) = 1 then -2.0
+      else 0.0)
+
+let p_laplacian i =
+  check_size "p_laplacian" i;
+  path_laplacian ~vertex_weight:(fun _ -> 0.0) i
+
+let p'_laplacian i =
+  check_size "p'_laplacian" i;
+  path_laplacian ~vertex_weight:(fun r -> if r = i - 1 then 2.0 else 0.0) i
+
+let p''_laplacian i =
+  check_size "p''_laplacian" i;
+  (* Each endpoint contributes weight 2; for i = 1 the single vertex is
+     both endpoints and carries 4 (L(P''_1) = [4], eigenvalue 4). *)
+  path_laplacian
+    ~vertex_weight:(fun r ->
+      (if r = 0 then 2.0 else 0.0) +. if r = i - 1 then 2.0 else 0.0)
+    i

@@ -1,0 +1,30 @@
+(** Spectra of the weighted path graphs of Lemma 11.
+
+    The butterfly decomposition (Appendix A) reduces [B_k] to three kinds of
+    path graphs, all with edge weight 2:
+
+    - [P_i]  — plain path on [i] vertices;
+    - [P'_i] — path with one endpoint carrying vertex weight 2;
+    - [P''_i] — path with both endpoints carrying vertex weight 2.
+
+    Lemma 11 gives their weighted-Laplacian spectra in closed form; this
+    module provides both the closed forms and the dense Laplacians so the
+    test suite can check one against the other. *)
+
+val p : int -> float array
+(** [λ(L(P_i)) = 4 − 4 cos(π j / i)], [j = 0..i−1], ascending.  [i >= 1]. *)
+
+val p' : int -> float array
+(** [λ(L(P'_i)) = 4 − 4 cos(π (2j+1) / (2i+1))], [j = 0..i−1], ascending. *)
+
+val p'' : int -> float array
+(** [λ(L(P''_i)) = 4 − 4 cos(π j / (i+1))], [j = 1..i], ascending. *)
+
+val p_laplacian : int -> Graphio_la.Mat.t
+(** Dense weighted Laplacian of [P_i] (edge weights 2). *)
+
+val p'_laplacian : int -> Graphio_la.Mat.t
+(** As above plus vertex weight 2 on the last vertex. *)
+
+val p''_laplacian : int -> Graphio_la.Mat.t
+(** As above plus vertex weight 2 on both end vertices. *)

@@ -1,0 +1,26 @@
+let cartesian_sum (a : Multiset.t) (b : Multiset.t) =
+  let pairs = ref [] in
+  Array.iter
+    (fun (va, ma) ->
+      Array.iter
+        (fun (vb, mb) -> pairs := (va +. vb, ma * mb) :: !pairs)
+        (b :> (float * int) array))
+    (a :> (float * int) array);
+  Multiset.of_list !pairs
+
+let rec power s k =
+  if k < 1 then invalid_arg "Product_spectra.power: k must be >= 1";
+  if k = 1 then s
+  else begin
+    let half = power s (k / 2) in
+    let sq = cartesian_sum half half in
+    if k mod 2 = 0 then sq else cartesian_sum sq s
+  end
+
+let grid rows cols = cartesian_sum (Basic_spectra.path rows) (Basic_spectra.path cols)
+
+let torus rows cols = cartesian_sum (Basic_spectra.cycle rows) (Basic_spectra.cycle cols)
+
+let hypercube l =
+  if l < 0 then invalid_arg "Product_spectra.hypercube: negative dimension";
+  if l = 0 then Multiset.of_list [ (0.0, 1) ] else power Basic_spectra.edge l

@@ -1,0 +1,26 @@
+(** Spectra of Cartesian graph products.
+
+    For the Cartesian product [G □ H], the Laplacian eigenvalues are all
+    pairwise sums [λ_i(G) + μ_j(H)] (with multiplicities multiplying) — the
+    standard separability property.  This yields closed forms for grids
+    ([path □ path]), tori ([cycle □ cycle]) and re-derives the hypercube as
+    the [l]-fold product of single edges, which the test suite checks
+    against {!Hypercube_spectra} and against numerically-built graphs. *)
+
+val cartesian_sum : Multiset.t -> Multiset.t -> Multiset.t
+(** All pairwise sums; total multiplicity is the product of totals.
+    Intended for modest distinct counts (the result has up to
+    [distinct a * distinct b] distinct values before merging). *)
+
+val power : Multiset.t -> int -> Multiset.t
+(** [power s k] — the [k]-fold Cartesian power ([k >= 1]). *)
+
+val grid : int -> int -> Multiset.t
+(** [grid rows cols] — Laplacian spectrum of the [rows x cols] grid. *)
+
+val torus : int -> int -> Multiset.t
+(** [torus rows cols] — spectrum of the discrete torus ([rows, cols >= 3]). *)
+
+val hypercube : int -> Multiset.t
+(** [l]-fold product of edges; equals
+    {!Hypercube_spectra.spectrum}[ l] (tested). *)

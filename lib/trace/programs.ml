@@ -1,0 +1,246 @@
+let inner_product ctx x y =
+  if Array.length x <> Array.length y || Array.length x = 0 then
+    invalid_arg "Programs.inner_product: bad dimensions";
+  let d = Array.length x in
+  let xs = Array.mapi (fun i v -> Trace.input ~label:(Printf.sprintf "x%d" i) ctx v) x in
+  let ys = Array.mapi (fun i v -> Trace.input ~label:(Printf.sprintf "y%d" i) ctx v) y in
+  let prods = Array.init d (fun i -> Trace.mul xs.(i) ys.(i)) in
+  let acc = ref prods.(0) in
+  for i = 1 to d - 1 do
+    acc := Trace.add !acc prods.(i)
+  done;
+  !acc
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let walsh_hadamard ctx input =
+  let n = Array.length input in
+  if not (is_power_of_two n) then
+    invalid_arg "Programs.walsh_hadamard: length must be a power of two";
+  let current =
+    ref
+      (Array.mapi
+         (fun i v -> Trace.input ~label:(Printf.sprintf "x%d" i) ctx v)
+         input)
+  in
+  let l = int_of_float (Float.round (Float.log2 (float_of_int n))) in
+  for c = 1 to l do
+    let stride = 1 lsl (c - 1) in
+    let prev = !current in
+    current :=
+      Array.init n (fun r ->
+          let partner = r lxor stride in
+          (* The two operands of the butterfly; sign chosen by which half
+             of the pair this row is. *)
+          let f ops =
+            if r land stride = 0 then ops.(0) +. ops.(1) else ops.(1) -. ops.(0)
+          in
+          Trace.custom ~label:(Printf.sprintf "b%d_%d" c r) ~f
+            [ prev.(r); prev.(partner) ])
+  done;
+  !current
+
+let reference_walsh_hadamard input =
+  let n = Array.length input in
+  if not (is_power_of_two n) then
+    invalid_arg "Programs.reference_walsh_hadamard: length must be a power of two";
+  let current = ref (Array.copy input) in
+  let l = int_of_float (Float.round (Float.log2 (float_of_int n))) in
+  for c = 1 to l do
+    let stride = 1 lsl (c - 1) in
+    let prev = !current in
+    current :=
+      Array.init n (fun r ->
+          if r land stride = 0 then prev.(r) +. prev.(r lxor stride)
+          else prev.(r lxor stride) -. prev.(r))
+  done;
+  !current
+
+let matmul ctx a b =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n then invalid_arg "Programs.matmul: bad dimensions";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Programs.matmul: ragged input")
+    a;
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Programs.matmul: ragged input")
+    b;
+  let av =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Trace.input ~label:(Printf.sprintf "A%d,%d" i j) ctx a.(i).(j)))
+  in
+  let bv =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Trace.input ~label:(Printf.sprintf "B%d,%d" i j) ctx b.(i).(j)))
+  in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let prods = Array.to_list (Array.init n (fun k -> Trace.mul av.(i).(k) bv.(k).(j))) in
+          Trace.custom
+            ~label:(Printf.sprintf "C%d,%d" i j)
+            ~f:(fun ops -> Array.fold_left ( +. ) 0.0 ops)
+            prods))
+
+let strassen ctx a bb =
+  let n = Array.length a in
+  if not (is_power_of_two n) then
+    invalid_arg "Programs.strassen: n must be a positive power of two";
+  if Array.length bb <> n then invalid_arg "Programs.strassen: bad dimensions";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Programs.strassen: ragged input")
+    a;
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Programs.strassen: ragged input")
+    bb;
+  let input name (m : float array array) =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Trace.input ~label:(Printf.sprintf "%s%d,%d" name i j) ctx m.(i).(j)))
+  in
+  let av = input "A" a and bv = input "B" bb in
+  let quadrant m ~row ~col ~size =
+    Array.init size (fun i -> Array.init size (fun j -> m.(row + i).(col + j)))
+  in
+  let binop tag f x y =
+    let size = Array.length x in
+    Array.init size (fun i ->
+        Array.init size (fun j ->
+            Trace.custom ~label:tag ~f:(fun o -> f o.(0) o.(1)) [ x.(i).(j); y.(i).(j) ]))
+  in
+  let add = binop "+" ( +. ) and sub = binop "-" ( -. ) in
+  let combine4 tag f w x y z =
+    let size = Array.length w in
+    Array.init size (fun i ->
+        Array.init size (fun j ->
+            Trace.custom ~label:tag
+              ~f:(fun o -> f o.(0) o.(1) o.(2) o.(3))
+              [ w.(i).(j); x.(i).(j); y.(i).(j); z.(i).(j) ]))
+  in
+  let assemble ~size c11 c12 c21 c22 =
+    let half = size / 2 in
+    Array.init size (fun i ->
+        Array.init size (fun j ->
+            match (i < half, j < half) with
+            | true, true -> c11.(i).(j)
+            | true, false -> c12.(i).(j - half)
+            | false, true -> c21.(i - half).(j)
+            | false, false -> c22.(i - half).(j - half)))
+  in
+  let rec multiply x y =
+    let size = Array.length x in
+    if size = 1 then [| [| Trace.custom ~label:"*" ~f:(fun o -> o.(0) *. o.(1)) [ x.(0).(0); y.(0).(0) ] |] |]
+    else begin
+      let half = size / 2 in
+      let x11 = quadrant x ~row:0 ~col:0 ~size:half
+      and x12 = quadrant x ~row:0 ~col:half ~size:half
+      and x21 = quadrant x ~row:half ~col:0 ~size:half
+      and x22 = quadrant x ~row:half ~col:half ~size:half in
+      let y11 = quadrant y ~row:0 ~col:0 ~size:half
+      and y12 = quadrant y ~row:0 ~col:half ~size:half
+      and y21 = quadrant y ~row:half ~col:0 ~size:half
+      and y22 = quadrant y ~row:half ~col:half ~size:half in
+      let m1 = multiply (add x11 x22) (add y11 y22) in
+      let m2 = multiply (add x21 x22) y11 in
+      let m3 = multiply x11 (sub y12 y22) in
+      let m4 = multiply x22 (sub y21 y11) in
+      let m5 = multiply (add x11 x12) y22 in
+      let m6 = multiply (sub x21 x11) (add y11 y12) in
+      let m7 = multiply (sub x12 x22) (add y21 y22) in
+      let c11 = combine4 "C11" (fun a b c d -> a +. b -. c +. d) m1 m4 m5 m7 in
+      let c12 = binop "C12" ( +. ) m3 m5 in
+      let c21 = binop "C21" ( +. ) m2 m4 in
+      let c22 = combine4 "C22" (fun a b c d -> a -. b +. c +. d) m1 m2 m3 m6 in
+      assemble ~size c11 c12 c21 c22
+    end
+  in
+  multiply av bv
+
+let check_square name dist =
+  let l = Array.length dist in
+  if l < 1 then invalid_arg (name ^ ": empty distance matrix");
+  Array.iter
+    (fun row -> if Array.length row <> l then invalid_arg (name ^ ": ragged matrix"))
+    dist;
+  l
+
+(* Plain Held-Karp: best.(mask).(i) = shortest path visiting exactly the
+   cities of mask, ending at city i (mask must contain i). *)
+let held_karp_table dist =
+  let l = check_square "Programs.held_karp" dist in
+  if l > 20 then invalid_arg "Programs.held_karp: too many cities";
+  let size = 1 lsl l in
+  let best = Array.make_matrix size l infinity in
+  for i = 0 to l - 1 do
+    best.(1 lsl i).(i) <- 0.0
+  done;
+  for mask = 1 to size - 1 do
+    for i = 0 to l - 1 do
+      if mask land (1 lsl i) <> 0 && best.(mask).(i) < infinity then
+        for j = 0 to l - 1 do
+          if mask land (1 lsl j) = 0 then begin
+            let mask' = mask lor (1 lsl j) in
+            let cand = best.(mask).(i) +. dist.(i).(j) in
+            if cand < best.(mask').(j) then best.(mask').(j) <- cand
+          end
+        done
+    done
+  done;
+  best
+
+let reference_held_karp dist =
+  let l = check_square "Programs.reference_held_karp" dist in
+  let best = held_karp_table dist in
+  let full = (1 lsl l) - 1 in
+  Array.fold_left Float.min infinity best.(full)
+
+let held_karp ctx dist =
+  let l = check_square "Programs.held_karp" dist in
+  let best = held_karp_table dist in
+  let size = 1 lsl l in
+  (* One traced element per hypercube vertex: the "solution set" Y[mask],
+     summarized by its cheapest member.  Mask 0 (the empty set) is the
+     input vertex; every other mask is a custom op over the masks with one
+     city removed — exactly the hypercube dependency structure. *)
+  let values = Array.make size None in
+  values.(0) <- Some (Trace.input ~label:"S0" ctx 0.0);
+  for mask = 1 to size - 1 do
+    let operands = ref [] in
+    for i = l - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then
+        operands := Option.get values.(mask land lnot (1 lsl i)) :: !operands
+    done;
+    let summary =
+      let m = Array.fold_left Float.min infinity best.(mask) in
+      if m = infinity then 0.0 else m
+    in
+    values.(mask) <-
+      Some
+        (Trace.custom
+           ~label:(Printf.sprintf "S%x" mask)
+           ~f:(fun _ -> summary)
+           !operands)
+  done;
+  Option.get values.(size - 1)
+
+let brute_force_shortest_path dist =
+  let l = check_square "Programs.brute_force_shortest_path" dist in
+  if l > 9 then invalid_arg "Programs.brute_force_shortest_path: too many cities";
+  let cities = List.init l (fun i -> i) in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+          xs
+  in
+  List.fold_left
+    (fun best perm ->
+      let rec cost = function
+        | a :: b :: rest -> dist.(a).(b) +. cost (b :: rest)
+        | _ -> 0.0
+      in
+      Float.min best (cost perm))
+    infinity (permutations cities)

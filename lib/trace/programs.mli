@@ -1,0 +1,47 @@
+(** Traced reference programs.
+
+    Each function runs a real algorithm through the {!Trace} DSL, so both
+    the numeric result and the extracted computation graph can be checked:
+    results against plain reference implementations, graphs against the
+    direct builders in {!module:Graphio_workloads} (same vertex counts,
+    degree profiles and — for the regular generators — identical edge
+    sets).  These are the "four common computation graphs" of §6.2 as a
+    user of the solver front-end would produce them. *)
+
+val inner_product : Trace.ctx -> float array -> float array -> Trace.value
+(** Chained-sum inner product; the [d = 2] instance is Figure 1. *)
+
+val walsh_hadamard : Trace.ctx -> float array -> Trace.value array
+(** Iterative radix-2 butterfly network (the FFT dataflow with real
+    twiddles, i.e. the Walsh–Hadamard transform — identical computation
+    graph to the [2^l]-point FFT, one binary op per element per level).
+    Input length must be a power of two. *)
+
+val matmul : Trace.ctx -> float array array -> float array array -> Trace.value array array
+(** Naive [C = A B] with one [n]-ary sum per output entry (the paper's
+    dot-product formulation). *)
+
+val strassen : Trace.ctx -> float array array -> float array array -> Trace.value array array
+(** Recursive Strassen multiplication ([n] a power of two), mirroring
+    {!Graphio_workloads.Strassen.build} operation-for-operation: quadrant
+    sums as binary vertices, [C11]/[C22] as 4-ary combinations.  Payloads
+    compute the real product (tests check them against plain
+    multiplication) and the extracted graph is edge-identical to the
+    direct builder. *)
+
+val held_karp : Trace.ctx -> float array array -> Trace.value
+(** Bellman–Held–Karp over the boolean hypercube: vertex per visited-set
+    mask; the returned value's payload is the length of the shortest
+    Hamiltonian path (the paper's [Y[{1}^l]] solution set, summarized by
+    its cheapest member).  The distance matrix must be square ([l >= 1],
+    [l <= 20]). *)
+
+val reference_walsh_hadamard : float array -> float array
+(** Untraced [O(n^2)] Walsh–Hadamard for validation. *)
+
+val reference_held_karp : float array array -> float
+(** Untraced Held–Karp (same DP, plain arrays). *)
+
+val brute_force_shortest_path : float array array -> float
+(** Exhaustive shortest Hamiltonian path (only for tiny [l]; raises above
+    [l = 9]). *)

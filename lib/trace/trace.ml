@@ -1,0 +1,75 @@
+open Graphio_graph
+
+type ctx = { builder : Dag.Builder.t }
+
+type value = {
+  ctx : ctx;
+  vid : int;
+  data : float;
+}
+
+let create () = { builder = Dag.Builder.create () }
+
+let input ?label ctx data =
+  let label = Option.value label ~default:(Printf.sprintf "in%d" (Dag.Builder.n_vertices ctx.builder)) in
+  { ctx; vid = Dag.Builder.add_vertex ~label ctx.builder; data }
+
+let payload v = v.data
+
+let id v = v.vid
+
+let same_ctx operands =
+  match operands with
+  | [] -> invalid_arg "Trace: operation with no operands"
+  | first :: rest ->
+      List.iter
+        (fun v ->
+          if v.ctx != first.ctx then
+            invalid_arg "Trace: operands belong to different contexts")
+        rest;
+      first.ctx
+
+let dedup_ids operands =
+  (* Repeated operands are a single data dependency. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v.vid then false
+      else begin
+        Hashtbl.add seen v.vid ();
+        true
+      end)
+    operands
+
+let record ~label ctx operands data =
+  let vid = Dag.Builder.add_vertex ~label ctx.builder in
+  List.iter (fun op -> Dag.Builder.add_edge ctx.builder op.vid vid) (dedup_ids operands);
+  { ctx; vid; data }
+
+let custom ~label ~f operands =
+  let ctx = same_ctx operands in
+  let data = f (Array.of_list (List.map payload operands)) in
+  record ~label ctx operands data
+
+let binop label f a b =
+  let ctx = same_ctx [ a; b ] in
+  record ~label ctx [ a; b ] (f a.data b.data)
+
+let add a b = binop "+" ( +. ) a b
+let sub a b = binop "-" ( -. ) a b
+let mul a b = binop "*" ( *. ) a b
+let div a b = binop "/" ( /. ) a b
+
+let neg a = record ~label:"neg" a.ctx [ a ] (-.a.data)
+
+let graph ctx = Dag.Builder.build ~verify_acyclic:false ctx.builder
+
+let n_operations ctx = Dag.Builder.n_vertices ctx.builder
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+end

@@ -1,0 +1,57 @@
+(** Tracing DSL: run ordinary-looking arithmetic, get the computation graph.
+
+    The paper's evaluation uses a solver that "traces operations during a
+    Python computation and thus extracts a computation graph" and
+    "inter-operates with standard arithmetic operations and supports the
+    inclusion of custom operations" (§6.1).  This module is the OCaml
+    counterpart: a [value] is a handle carrying a real [float] payload, so
+    traced programs compute genuine results (tests validate them against
+    untraced reference implementations) while every operation records a
+    vertex in a {!Graphio_graph.Dag.t}.
+
+    Each operation produces a single element — the paper's memory-model
+    granularity — and repeated operands contribute a single dependency
+    edge (the model counts data dependencies, not syntactic operand
+    slots). *)
+
+type ctx
+(** A tracing context: owns the growing graph. *)
+
+type value
+(** A traced element: payload plus vertex id, tied to its context. *)
+
+val create : unit -> ctx
+
+val input : ?label:string -> ctx -> float -> value
+(** A source vertex (read from the user at no I/O cost per §3). *)
+
+val payload : value -> float
+(** The computed number. *)
+
+val id : value -> int
+(** The vertex id in the extracted graph. *)
+
+val add : value -> value -> value
+val sub : value -> value -> value
+val mul : value -> value -> value
+val div : value -> value -> value
+val neg : value -> value
+
+val custom : label:string -> f:(float array -> float) -> value list -> value
+(** An [n]-ary custom operation; [f] receives the operand payloads in
+    order.  Operands must belong to the same context ([Invalid_argument]
+    otherwise) and the list must be non-empty. *)
+
+val graph : ctx -> Graphio_graph.Dag.t
+(** Freeze the current trace into a DAG (the context stays usable; calling
+    again after more operations returns the extended graph). *)
+
+val n_operations : ctx -> int
+
+module Infix : sig
+  val ( + ) : value -> value -> value
+  val ( - ) : value -> value -> value
+  val ( * ) : value -> value -> value
+  val ( / ) : value -> value -> value
+  val ( ~- ) : value -> value
+end

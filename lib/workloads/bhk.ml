@@ -1,0 +1,23 @@
+open Graphio_graph
+
+let n_vertices l = 1 lsl l
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let build l =
+  if l < 0 then invalid_arg "Bhk.build: negative city count";
+  if l > 25 then invalid_arg "Bhk.build: city count too large (2^l vertices)";
+  let n = n_vertices l in
+  let b = Dag.Builder.create ~capacity_hint:n () in
+  for mask = 0 to n - 1 do
+    ignore (Dag.Builder.add_vertex ~label:(Printf.sprintf "S%x" mask) b)
+  done;
+  for mask = 0 to n - 1 do
+    for bit = 0 to l - 1 do
+      if mask land (1 lsl bit) = 0 then
+        Dag.Builder.add_edge b mask (mask lor (1 lsl bit))
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

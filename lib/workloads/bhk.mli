@@ -1,0 +1,20 @@
+(** Bellman–Held–Karp computation graph for the [l]-city TSP (Section 5.1 /
+    Figure 4): the boolean hypercube [Q_l].
+
+    Vertices are the [2^l] "visited cities" bitmasks; an edge goes from
+    mask [k1] to [k2] when [k2] sets exactly one extra bit of [k1] (the
+    dynamic program extends the optimal paths of a subset by one city).
+    The source is the empty mask and the sink the full mask; in-degree of a
+    mask is its popcount, out-degree [l - popcount]; the undirected support
+    is the hypercube whose spectrum
+    {!Graphio_spectra.Hypercube_spectra.spectrum} gives in closed form. *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build l] for [l >= 0]: vertex id = bitmask, so creation order
+    (numeric) is topological. *)
+
+val n_vertices : int -> int
+(** [2^l]. *)
+
+val popcount : int -> int
+(** Bits set (exposed for tests and degree reasoning). *)

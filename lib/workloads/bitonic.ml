@@ -1,0 +1,41 @@
+open Graphio_graph
+
+let n_stages l = l * (l + 1) / 2
+
+let n_vertices l = (1 lsl l) * (1 + n_stages l)
+
+(* Standard iterative bitonic network: for k = 2, 4, .., 2^l (block size)
+   and j = k/2, k/4, .., 1 (stride), wires pair up as (i, i xor j) and
+   every pair carries one comparator, so each stage is a full exchange
+   column: every output vertex depends on both wires of its pair (the min
+   and the max each read both operands).  The stage schedule — not the
+   column shape — is what distinguishes the bitonic network from the FFT
+   butterfly: it has l(l+1)/2 columns instead of l. *)
+let build l =
+  if l < 0 then invalid_arg "Bitonic.build: negative level";
+  let n = 1 lsl l in
+  let b = Dag.Builder.create ~capacity_hint:(n_vertices l) () in
+  let current =
+    ref (Array.init n (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "w%d" i) b))
+  in
+  let stage = ref 0 in
+  let k = ref 2 in
+  while !k <= n do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      incr stage;
+      let prev = !current in
+      current :=
+        Array.init n (fun i ->
+            let partner = i lxor !j in
+            let v =
+              Dag.Builder.add_vertex ~label:(Printf.sprintf "s%d_%d" !stage i) b
+            in
+            Dag.Builder.add_edge b prev.(i) v;
+            Dag.Builder.add_edge b prev.(partner) v;
+            v);
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

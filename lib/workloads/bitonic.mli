@@ -1,0 +1,21 @@
+(** Bitonic sorting-network computation graph.
+
+    Batcher's bitonic sorter on [2^l] wires has [l(l+1)/2] compare-exchange
+    stages; each comparator consumes two wire values and produces the
+    (min, max) pair — two vertices sharing the same two parents.  The
+    resulting DAG is butterfly-like but denser in columns, giving the
+    evaluation a fifth "structured" family beyond the paper's four
+    (bitonic networks are a standard I/O-complexity object: their depth is
+    [Θ(log² n)] vs the FFT's [Θ(log n)]). *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build l]: sorting network for [2^l] values ([l >= 0]).  Vertices:
+    [2^l * (1 + l(l+1))] — the input column plus two vertices per
+    comparator position per wire-pair... concretely one vertex per wire
+    per stage, with [l(l+1)/2] stages.  Creation order topological. *)
+
+val n_stages : int -> int
+(** [l (l+1) / 2]. *)
+
+val n_vertices : int -> int
+(** [2^l * (1 + n_stages l)]. *)

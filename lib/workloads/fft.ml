@@ -1,0 +1,32 @@
+open Graphio_graph
+
+let n_points l = 1 lsl l
+
+let n_vertices l = (l + 1) * n_points l
+
+let vertex ~l ~col ~row =
+  if col < 0 || col > l then invalid_arg "Fft.vertex: column out of range";
+  if row < 0 || row >= n_points l then invalid_arg "Fft.vertex: row out of range";
+  (col * n_points l) + row
+
+let build l =
+  if l < 0 then invalid_arg "Fft.build: negative level";
+  let rows = n_points l in
+  let b = Dag.Builder.create ~capacity_hint:(n_vertices l) () in
+  for c = 0 to l do
+    for r = 0 to rows - 1 do
+      let label =
+        if c = 0 then Printf.sprintf "x%d" r else Printf.sprintf "b%d_%d" c r
+      in
+      ignore (Dag.Builder.add_vertex ~label b)
+    done
+  done;
+  for c = 1 to l do
+    let stride = 1 lsl (c - 1) in
+    for r = 0 to rows - 1 do
+      let v = vertex ~l ~col:c ~row:r in
+      Dag.Builder.add_edge b (vertex ~l ~col:(c - 1) ~row:r) v;
+      Dag.Builder.add_edge b (vertex ~l ~col:(c - 1) ~row:(r lxor stride)) v
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

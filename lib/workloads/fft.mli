@@ -1,0 +1,24 @@
+(** Fast Fourier Transform computation graph (the unwrapped butterfly
+    [B_l], Section 5.2 / Figure 5).
+
+    A [2^l]-point radix-2 FFT has [(l+1)] columns of [2^l] vertices.
+    Column 0 holds the inputs; vertex [(c, r)] for [c >= 1] is computed
+    from [(c-1, r)] and [(c-1, r xor 2^{c-1})] — the classic butterfly
+    wiring.  Every non-input vertex has in-degree 2; every non-output
+    vertex has out-degree 2; the undirected support is exactly the
+    butterfly graph whose spectrum {!Graphio_spectra.Butterfly_spectra}
+    gives in closed form. *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build l] for [l >= 0]: the [2^l]-point FFT graph with
+    [(l+1) * 2^l] vertices.  Vertex ids are column-major:
+    [id = c * 2^l + r], which makes the creation order topological. *)
+
+val vertex : l:int -> col:int -> row:int -> int
+(** Vertex id of column [col] ([0..l]), row [row] ([0..2^l-1]). *)
+
+val n_vertices : int -> int
+(** [(l+1) * 2^l]. *)
+
+val n_points : int -> int
+(** [2^l]. *)

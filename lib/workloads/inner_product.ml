@@ -1,0 +1,34 @@
+open Graphio_graph
+
+let build d =
+  if d < 1 then invalid_arg "Inner_product.build: dimension must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:((4 * d) - 1) () in
+  let xs = Array.init d (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "x%d" i) b) in
+  let ys = Array.init d (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "y%d" i) b) in
+  let prods =
+    Array.init d (fun i ->
+        let p = Dag.Builder.add_vertex ~label:(Printf.sprintf "x%d*y%d" i i) b in
+        Dag.Builder.add_edge b xs.(i) p;
+        Dag.Builder.add_edge b ys.(i) p;
+        p)
+  in
+  let acc = ref prods.(0) in
+  for i = 1 to d - 1 do
+    let s = Dag.Builder.add_vertex ~label:(Printf.sprintf "sum%d" i) b in
+    Dag.Builder.add_edge b !acc s;
+    Dag.Builder.add_edge b prods.(i) s;
+    acc := s
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let figure2 () =
+  (* Figure 2: seven vertices numbered by evaluation order (we use 0-based
+     ids for the 1-based figure labels), partitioned into three contiguous
+     segments: {1,2,3}, {4,5}, {6,7}. *)
+  let edges =
+    [ (0, 2); (1, 2); (0, 3); (2, 4); (3, 4); (2, 5); (4, 6); (5, 6) ]
+  in
+  let labels = Array.init 7 (fun i -> string_of_int (i + 1)) in
+  let g = Dag.of_edges ~labels ~n:7 edges in
+  let partition = [| 0; 0; 0; 1; 1; 2; 2 |] in
+  (g, partition)

@@ -1,0 +1,14 @@
+(** Inner-product computation graph (Figure 1) and the Figure 2 partition
+    illustration — the paper's two didactic graphs, used by the quickstart
+    example and as tiny fixtures across the test suite. *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build d]: inner product of two [d]-element vectors — [2d] inputs, [d]
+    product vertices and [d - 1] chained sum vertices ([d >= 1]; for
+    [d = 1] the single product is the output, [3] vertices total).
+    [build 2] is exactly Figure 1 (7 vertices). *)
+
+val figure2 : unit -> Graphio_graph.Dag.t * int array
+(** The 7-vertex graph of Figure 2 together with the valid 3-segment
+    partition shown there (vertex -> segment index, segments contiguous in
+    the natural order). *)

@@ -1,0 +1,64 @@
+open Graphio_graph
+
+let n_vertices n = (2 * n * n) + (n * n * n) + (n * n)
+
+let check n = if n < 1 then invalid_arg "Matmul.build: n must be >= 1"
+
+(* Shared layout: A entries, then B entries, then per-(i,j) products and
+   sum vertices in row-major (i, j) order — a topological creation order. *)
+let build_with_sums n ~make_sum =
+  check n;
+  let b = Dag.Builder.create ~capacity_hint:(n_vertices n) () in
+  let a_id = Array.make (n * n) 0 and b_id = Array.make (n * n) 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a_id.((i * n) + j) <- Dag.Builder.add_vertex ~label:(Printf.sprintf "A%d,%d" i j) b
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      b_id.((i * n) + j) <- Dag.Builder.add_vertex ~label:(Printf.sprintf "B%d,%d" i j) b
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let products =
+        Array.init n (fun k ->
+            let p =
+              Dag.Builder.add_vertex ~label:(Printf.sprintf "P%d,%d,%d" i j k) b
+            in
+            Dag.Builder.add_edge b a_id.((i * n) + k) p;
+            Dag.Builder.add_edge b b_id.((k * n) + j) p;
+            p)
+      in
+      make_sum b i j products
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let build n =
+  build_with_sums n ~make_sum:(fun b i j products ->
+      let s = Dag.Builder.add_vertex ~label:(Printf.sprintf "C%d,%d" i j) b in
+      Array.iter (fun p -> Dag.Builder.add_edge b p s) products)
+
+let build_binary_sums n =
+  build_with_sums n ~make_sum:(fun b i j products ->
+      if Array.length products = 1 then begin
+        (* n = 1: C_ij is just the single product; add a copy vertex so the
+           output is still a distinct labelled vertex. *)
+        let s = Dag.Builder.add_vertex ~label:(Printf.sprintf "C%d,%d" i j) b in
+        Dag.Builder.add_edge b products.(0) s
+      end
+      else begin
+        let acc = ref products.(0) in
+        for k = 1 to Array.length products - 1 do
+          let label =
+            if k = Array.length products - 1 then Printf.sprintf "C%d,%d" i j
+            else Printf.sprintf "S%d,%d,%d" i j k
+          in
+          let s = Dag.Builder.add_vertex ~label b in
+          Dag.Builder.add_edge b !acc s;
+          Dag.Builder.add_edge b products.(k) s;
+          acc := s
+        done
+      end)

@@ -1,0 +1,23 @@
+(** Naive matrix-multiplication computation graphs (Section 6.2, item 2).
+
+    For [C = A * B] with [n x n] matrices, [C_ij] is the dot product of row
+    [i] of [A] and column [j] of [B].  Two sum shapes are provided:
+
+    - {!build} (the paper's): each dot product is [n] product vertices
+      feeding a {e single} [n]-ary sum vertex — max in-degree [n], matching
+      the Figure 8 caption ("Max in-degree n");
+    - {!build_binary_sums}: products reduced by a chain of binary adds —
+      max in-degree 2, useful for ablations on how graph shape affects the
+      bound.
+
+    Input vertices: [2 n^2] (the entries of [A] and [B]); each [A_ik] has
+    out-degree [n] (used by every [C_ij] in row [i]), likewise [B_kj]. *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build n] for [n >= 1]: [2n^2 + n^3 + n^2] vertices. *)
+
+val build_binary_sums : int -> Graphio_graph.Dag.t
+(** [2n^2 + n^3 + n^2 (n-1)] vertices (for [n >= 2]); max in-degree 2. *)
+
+val n_vertices : int -> int
+(** Vertex count of {!build}. *)

@@ -1,0 +1,47 @@
+open Graphio_graph
+
+let check ?(arity = 2) n =
+  if arity < 2 then invalid_arg "Reduction.build: arity must be >= 2";
+  if n < 1 then invalid_arg "Reduction.build: n must be >= 1";
+  arity
+
+let internal_nodes ~arity n =
+  (* number of internal nodes when reducing n leaves arity-at-a-time *)
+  let count = ref 0 and level = ref n in
+  while !level > 1 do
+    let next = (!level + arity - 1) / arity in
+    count := !count + next;
+    level := next
+  done;
+  !count
+
+let n_vertices ?arity n =
+  let arity = check ?arity n in
+  n + internal_nodes ~arity n
+
+let build ?arity n =
+  let arity = check ?arity n in
+  let b = Dag.Builder.create ~capacity_hint:(n * 2) () in
+  let current =
+    ref
+      (Array.init n (fun i ->
+           Dag.Builder.add_vertex ~label:(Printf.sprintf "x%d" i) b))
+  in
+  let level = ref 0 in
+  while Array.length !current > 1 do
+    incr level;
+    let prev = !current in
+    let count = (Array.length prev + arity - 1) / arity in
+    current :=
+      Array.init count (fun i ->
+          let v =
+            Dag.Builder.add_vertex ~label:(Printf.sprintf "r%d_%d" !level i) b
+          in
+          let lo = i * arity in
+          let hi = min (Array.length prev - 1) (lo + arity - 1) in
+          for j = lo to hi do
+            Dag.Builder.add_edge b prev.(j) v
+          done;
+          v)
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

@@ -1,0 +1,15 @@
+(** Tree-reduction computation graphs.
+
+    Combining [n] inputs with a balanced [arity]-ary operator tree (sums,
+    maxima, ...).  Reductions are the cheapest-possible I/O pattern — the
+    working set never exceeds the tree depth — so they anchor the
+    low-connectivity end of the evaluation spectrum (the spectral bound is
+    rightly trivial on them, and the simulator confirms near-zero I/O). *)
+
+val build : ?arity:int -> int -> Graphio_graph.Dag.t
+(** [build n] reduces [n] inputs ([n >= 1]) with a balanced binary tree
+    (or [~arity >= 2]); vertex creation order is topological.  A single
+    input yields the 1-vertex graph. *)
+
+val n_vertices : ?arity:int -> int -> int
+(** Vertex count of {!build} (inputs + internal nodes). *)

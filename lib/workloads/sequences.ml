@@ -1,0 +1,51 @@
+open Graphio_graph
+
+let horner d =
+  if d < 1 then invalid_arg "Sequences.horner: degree must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:((3 * d) + 2) () in
+  let x = Dag.Builder.add_vertex ~label:"x" b in
+  let coeffs =
+    Array.init (d + 1) (fun i ->
+        Dag.Builder.add_vertex ~label:(Printf.sprintf "a%d" (d - i)) b)
+  in
+  (* b_d = a_d; b_k = a_k + b_{k+1} * x *)
+  let acc = ref coeffs.(0) in
+  for k = 1 to d do
+    let m = Dag.Builder.add_vertex ~label:(Printf.sprintf "m%d" k) b in
+    Dag.Builder.add_edge b !acc m;
+    Dag.Builder.add_edge b x m;
+    let s = Dag.Builder.add_vertex ~label:(Printf.sprintf "s%d" k) b in
+    Dag.Builder.add_edge b m s;
+    Dag.Builder.add_edge b coeffs.(k) s;
+    acc := s
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let prefix_sum n =
+  if n < 1 then invalid_arg "Sequences.prefix_sum: n must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:(2 * n) () in
+  let inputs =
+    Array.init n (fun i -> Dag.Builder.add_vertex ~label:(Printf.sprintf "x%d" i) b)
+  in
+  let acc = ref inputs.(0) in
+  for i = 1 to n - 1 do
+    let s = Dag.Builder.add_vertex ~label:(Printf.sprintf "s%d" i) b in
+    Dag.Builder.add_edge b !acc s;
+    Dag.Builder.add_edge b inputs.(i) s;
+    acc := s
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let independent_chains ~count ~length =
+  if count < 1 || length < 1 then
+    invalid_arg "Sequences.independent_chains: count and length must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:(count * length) () in
+  for c = 0 to count - 1 do
+    let prev = ref (-1) in
+    for i = 0 to length - 1 do
+      let v = Dag.Builder.add_vertex ~label:(Printf.sprintf "c%d_%d" c i) b in
+      if i > 0 then Dag.Builder.add_edge b !prev v;
+      prev := v
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

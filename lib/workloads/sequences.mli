@@ -1,0 +1,22 @@
+(** Sequential computation graphs: Horner evaluation and prefix sums.
+
+    Deliberately low-parallelism shapes that bracket the evaluation from
+    the other side: long dependence chains keep working sets tiny, so
+    useful lower-bound methods must (and ours do) report ~0 for them —
+    a graph-aware method's "specificity" check, complementing the
+    high-connectivity workloads where it must report large bounds. *)
+
+val horner : int -> Graphio_graph.Dag.t
+(** [horner d]: evaluate a degree-[d] polynomial by Horner's rule
+    ([d >= 1]).  Vertices: [x], the [d+1] coefficients, and [d]
+    multiply/add pairs; [x] feeds every multiply (out-degree [d]). *)
+
+val prefix_sum : int -> Graphio_graph.Dag.t
+(** [prefix_sum n]: the sequential scan of [n] inputs ([n >= 1]):
+    [s_i = s_{i-1} + x_i].  [2n - 1] vertices; every prefix is an output
+    (sink) except those feeding the next. *)
+
+val independent_chains : count:int -> length:int -> Graphio_graph.Dag.t
+(** [count] disjoint chains of [length] vertices each — the disconnected
+    extreme (tests the bounds' behaviour on graphs with many zero
+    Laplacian eigenvalues). *)

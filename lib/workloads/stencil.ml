@@ -1,0 +1,45 @@
+open Graphio_graph
+
+let vertex ~width ~step ~cell =
+  if cell < 0 || cell >= width then invalid_arg "Stencil.vertex: cell out of range";
+  if step < 0 then invalid_arg "Stencil.vertex: negative step";
+  (step * width) + cell
+
+let build ?(radius = 1) ~width ~steps () =
+  if width < 1 then invalid_arg "Stencil.build: width must be >= 1";
+  if steps < 0 then invalid_arg "Stencil.build: steps must be >= 0";
+  if radius < 0 then invalid_arg "Stencil.build: radius must be >= 0";
+  let b = Dag.Builder.create ~capacity_hint:((steps + 1) * width) () in
+  for t = 0 to steps do
+    for i = 0 to width - 1 do
+      ignore (Dag.Builder.add_vertex ~label:(Printf.sprintf "c%d_%d" t i) b)
+    done
+  done;
+  for t = 1 to steps do
+    for i = 0 to width - 1 do
+      let v = vertex ~width ~step:t ~cell:i in
+      for j = max 0 (i - radius) to min (width - 1) (i + radius) do
+        Dag.Builder.add_edge b (vertex ~width ~step:(t - 1) ~cell:j) v
+      done
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
+let pyramid base =
+  if base < 1 then invalid_arg "Stencil.pyramid: base must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:(base * (base + 1) / 2) () in
+  let prev = ref (Array.init base (fun i ->
+      Dag.Builder.add_vertex ~label:(Printf.sprintf "p0_%d" i) b))
+  in
+  for r = 1 to base - 1 do
+    let width = base - r in
+    let row =
+      Array.init width (fun i ->
+          let v = Dag.Builder.add_vertex ~label:(Printf.sprintf "p%d_%d" r i) b in
+          Dag.Builder.add_edge b !prev.(i) v;
+          Dag.Builder.add_edge b !prev.(i + 1) v;
+          v)
+    in
+    prev := row
+  done;
+  Dag.Builder.build ~verify_acyclic:false b

@@ -1,0 +1,24 @@
+(** Stencil / dynamic-programming grid computation graphs.
+
+    Iterative computations where timestep [t]'s cell [i] reads a
+    neighbourhood of timestep [t-1] — the canonical I/O-bound scientific
+    kernel, and (as the "diamond DAG") a classic object of pebble-game
+    analysis since Hong & Kung.  Two shapes:
+
+    - {!build}: a 1-D stencil of [width] cells over [steps] timesteps with
+      a [radius]-neighbourhood (non-periodic: rows keep full width, border
+      cells just have smaller in-degree);
+    - {!pyramid}: the pyramid graph — row [r] has [base − r] vertices,
+      each reading two adjacent parents below; the apex depends on the
+      whole base. *)
+
+val build : ?radius:int -> width:int -> steps:int -> unit -> Graphio_graph.Dag.t
+(** [(steps + 1) * width] vertices (row 0 = inputs); [radius >= 0]
+    (default 1, the 3-point stencil); creation order topological. *)
+
+val vertex : width:int -> step:int -> cell:int -> int
+(** Vertex id of cell [cell] at timestep [step]. *)
+
+val pyramid : int -> Graphio_graph.Dag.t
+(** [pyramid base]: rows of [base, base−1, ..., 1] vertices; vertex [i] of
+    row [r >= 1] has parents [i] and [i+1] of row [r−1].  [base >= 1]. *)

@@ -1,0 +1,19 @@
+(** Strassen matrix-multiplication computation graph (Section 6.2, item 3).
+
+    Classic Strassen recursion: multiplying two [n x n] matrices splits
+    them into quadrants, forms 7 recursive products [M1..M7] of quadrant
+    sums/differences, and combines them into the quadrants of [C].
+    Element-wise quadrant additions are binary vertices; the two 4-term
+    combinations ([C11 = M1 + M4 − M5 + M7], [C22 = M1 − M2 + M3 + M6])
+    are single 4-ary vertices, so the maximum in-degree is 4 — matching
+    the Figure 9 caption.  [n] must be a power of two (the paper evaluates
+    exactly those sizes). *)
+
+val build : int -> Graphio_graph.Dag.t
+(** [build n]: raises [Invalid_argument] unless [n] is a positive power of
+    two. *)
+
+val n_vertices : int -> int
+(** Closed-form vertex count of {!build} (validated in tests):
+    [2n^2] inputs plus [ops(n)] where [ops(1) = 1] and
+    [ops(n) = 7 ops(n/2) + 14 (n/2)^2]. *)

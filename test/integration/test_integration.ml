@@ -1,0 +1,202 @@
+(* Cross-library invariants: every lower bound in the repository must sit
+   below every feasible schedule's simulated I/O.  These "sandwich" checks
+   tie the whole system together: graph builders, Laplacians, eigensolvers,
+   the spectral maximization, the convex min-cut baseline, and the pebble
+   simulator all have to agree for them to pass. *)
+
+open Graphio_core
+open Graphio_graph
+open Graphio_workloads
+open Graphio_pebble
+
+let spectral g ~m =
+  (Solver.bound g ~m).Solver.result.Spectral_bound.bound
+
+let spectral_std g ~m =
+  (Solver.bound ~method_:Solver.Standard g ~m).Solver.result.Spectral_bound.bound
+
+let upper g ~m = (Simulator.best_upper_bound g ~m).Simulator.io
+
+let sandwich name g ~m =
+  let u = float_of_int (upper g ~m) in
+  let l4 = spectral g ~m in
+  let l5 = spectral_std g ~m in
+  let cm = float_of_int (Graphio_flow.Convex_mincut.bound g ~m) in
+  Alcotest.(check bool) (name ^ ": thm4 <= simulated") true (l4 <= u +. 1e-6);
+  Alcotest.(check bool) (name ^ ": thm5 <= simulated") true (l5 <= u +. 1e-6);
+  Alcotest.(check bool) (name ^ ": mincut <= simulated") true (cm <= u +. 1e-6)
+
+let test_sandwich_fft () =
+  List.iter (fun (l, m) -> sandwich (Printf.sprintf "fft l=%d M=%d" l m) (Fft.build l) ~m)
+    [ (3, 4); (4, 4); (5, 8); (6, 4); (6, 16) ]
+
+let test_sandwich_bhk () =
+  List.iter (fun (l, m) -> sandwich (Printf.sprintf "bhk l=%d M=%d" l m) (Bhk.build l) ~m)
+    [ (4, 8); (5, 8); (6, 8); (7, 16) ]
+
+let test_sandwich_matmul () =
+  List.iter
+    (fun (n, m) -> sandwich (Printf.sprintf "matmul n=%d M=%d" n m) (Matmul.build n) ~m)
+    [ (2, 4); (3, 8); (4, 8) ]
+
+let test_sandwich_strassen () =
+  List.iter
+    (fun (n, m) -> sandwich (Printf.sprintf "strassen n=%d M=%d" n m) (Strassen.build n) ~m)
+    [ (2, 8); (4, 8) ]
+
+let test_sandwich_inner_product () =
+  sandwich "inner product" (Inner_product.build 8) ~m:4
+
+let test_sandwich_er_random () =
+  for seed = 1 to 8 do
+    let g = Er.gnp ~n:60 ~p:0.12 ~seed in
+    let m = max 4 (Simulator.min_feasible_m g) in
+    sandwich (Printf.sprintf "er seed=%d" seed) g ~m
+  done
+
+let test_sandwich_traced_programs () =
+  (* Bound the graphs extracted by the tracer, simulate them, sandwich. *)
+  let open Graphio_trace in
+  let ctx = Trace.create () in
+  let _ = Programs.walsh_hadamard ctx (Array.init 16 float_of_int) in
+  sandwich "traced wht" (Trace.graph ctx) ~m:4;
+  let ctx2 = Trace.create () in
+  let _ = Programs.matmul ctx2 (Array.make_matrix 3 3 1.0) (Array.make_matrix 3 3 2.0) in
+  sandwich "traced matmul" (Trace.graph ctx2) ~m:8
+
+(* ------------------------------------------------------------------ *)
+(* Dense vs Lanczos backends agree on real workloads                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_backends_agree_on_fft () =
+  let g = Fft.build 6 in
+  (* force both paths over the same Laplacian *)
+  let dense = (Solver.bound ~dense_threshold:100_000 g ~m:8).Solver.result in
+  let lanczos = (Solver.bound ~dense_threshold:10 g ~m:8).Solver.result in
+  Alcotest.(check (float 1.0)) "bounds agree"
+    dense.Spectral_bound.bound lanczos.Spectral_bound.bound
+
+let test_backends_agree_on_bhk () =
+  let g = Bhk.build 9 in
+  let dense = (Solver.bound ~dense_threshold:100_000 g ~m:8).Solver.result in
+  let lanczos = (Solver.bound ~dense_threshold:10 g ~m:8).Solver.result in
+  Alcotest.(check (float 1.0)) "bounds agree"
+    dense.Spectral_bound.bound lanczos.Spectral_bound.bound
+
+let test_closed_form_vs_lanczos_butterfly () =
+  (* Theorem 5 numerics via Lanczos vs exact closed-form spectrum. *)
+  let l = 7 in
+  let g = Fft.build l in
+  let lanczos =
+    (Solver.bound ~method_:Solver.Standard ~dense_threshold:10 g ~m:8).Solver.result
+  in
+  let closed =
+    Solver.bound_of_spectrum
+      ~spectrum:(Graphio_spectra.Butterfly_spectra.spectrum l)
+      ~scale:0.5 ~n:(Dag.n_vertices g) ~m:8 ()
+  in
+  Alcotest.(check (float 1.0)) "lanczos matches closed form"
+    closed.Spectral_bound.bound lanczos.Spectral_bound.bound
+
+(* ------------------------------------------------------------------ *)
+(* The paper's headline comparison: spectral vs convex min-cut          *)
+(* ------------------------------------------------------------------ *)
+
+let test_spectral_beats_mincut_on_large_instances () =
+  (* Section 6.4: the spectral bound is tighter than convex min-cut on all
+     four workloads once the graphs are big enough for the bound to be
+     non-trivial.  Representative mid-size instances: *)
+  List.iter
+    (fun (name, g, m) ->
+      let s = spectral g ~m in
+      let c = float_of_int (Graphio_flow.Convex_mincut.bound g ~m) in
+      Alcotest.(check bool) (name ^ ": spectral >= mincut") true (s >= c))
+    [
+      ("fft l=9 M=4", Fft.build 9, 4);
+      ("bhk l=10 M=16", Bhk.build 10, 16);
+    ]
+
+let test_mincut_partitioned_trivial () =
+  (* The paper found the 2M-partitioned variant trivial on complex graphs. *)
+  List.iter
+    (fun (name, g, m) ->
+      let b = Graphio_flow.Convex_mincut.bound_partitioned g ~m ~part_size:(2 * m) in
+      Alcotest.(check int) name 0 b)
+    [
+      ("fft", Fft.build 5, 8);
+      ("matmul", Matmul.build 4, 8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Edgelist round trip through the solver                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_serialized_graph_same_bound () =
+  let g = Fft.build 5 in
+  let g' = Edgelist.of_string (Edgelist.to_string g) in
+  Alcotest.(check (float 1e-6)) "same bound" (spectral g ~m:8) (spectral g' ~m:8)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random DAGs through the full pipeline                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sandwich_random =
+  QCheck2.Test.make ~name:"lower bounds below simulated upper (random dags)"
+    ~count:20
+    QCheck2.Gen.(
+      let* n = int_range 10 50 in
+      let* seed = int_range 0 10_000 in
+      let* p = float_range 0.05 0.3 in
+      return (Er.gnp ~n ~p ~seed))
+    (fun g ->
+      let m = max 4 (Simulator.min_feasible_m g) in
+      let u = float_of_int (upper g ~m) in
+      spectral g ~m <= u +. 1e-6
+      && spectral_std g ~m <= u +. 1e-6
+      && float_of_int (Graphio_flow.Convex_mincut.bound g ~m) <= u +. 1e-6)
+
+let prop_thm5_below_thm4 =
+  QCheck2.Test.make ~name:"thm5 never exceeds thm4 (random dags)" ~count:25
+    QCheck2.Gen.(
+      let* n = int_range 5 60 in
+      let* seed = int_range 0 10_000 in
+      return (Er.gnp ~n ~p:0.2 ~seed))
+    (fun g ->
+      let m = 4 in
+      spectral_std g ~m <= spectral g ~m +. 1e-6)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_sandwich_random; prop_thm5_below_thm4 ]
+
+let () =
+  Alcotest.run "graphio_integration"
+    [
+      ( "sandwich",
+        [
+          Alcotest.test_case "fft" `Quick test_sandwich_fft;
+          Alcotest.test_case "bhk" `Quick test_sandwich_bhk;
+          Alcotest.test_case "matmul" `Quick test_sandwich_matmul;
+          Alcotest.test_case "strassen" `Quick test_sandwich_strassen;
+          Alcotest.test_case "inner product" `Quick test_sandwich_inner_product;
+          Alcotest.test_case "er random" `Quick test_sandwich_er_random;
+          Alcotest.test_case "traced programs" `Quick test_sandwich_traced_programs;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "dense = lanczos (fft)" `Quick test_backends_agree_on_fft;
+          Alcotest.test_case "dense = lanczos (bhk)" `Quick test_backends_agree_on_bhk;
+          Alcotest.test_case "closed form = lanczos" `Quick
+            test_closed_form_vs_lanczos_butterfly;
+        ] );
+      ( "paper-comparisons",
+        [
+          Alcotest.test_case "spectral beats mincut" `Slow
+            test_spectral_beats_mincut_on_large_instances;
+          Alcotest.test_case "partitioned mincut trivial" `Quick
+            test_mincut_partitioned_trivial;
+        ] );
+      ( "serialization",
+        [ Alcotest.test_case "bound stable over roundtrip" `Quick
+            test_serialized_graph_same_bound ] );
+      ("properties", props);
+    ]

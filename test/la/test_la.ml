@@ -1,0 +1,694 @@
+open Graphio_la
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_float_tol tol = Alcotest.(check (float tol))
+
+let float_array_approx tol =
+  Alcotest.testable
+    (fun fmt a -> Vec.pp fmt a)
+    (fun a b -> Vec.approx_equal ~tol a b)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_unit_vector () =
+  let r = Rng.create 11 in
+  for n = 1 to 20 do
+    let v = Rng.unit_vector r n in
+    check_float "unit norm" 1.0 (Vec.norm2 v)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 13 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian r in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_float_tol 0.05 "mean ~ 0" 0.0 mean;
+  check_float_tol 0.1 "var ~ 1" 1.0 var
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_dot () =
+  check_float "dot" 32.0 (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "dot empty" 0.0 (Vec.dot [||] [||])
+
+let test_vec_dot_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vec.dot: length mismatch (2 vs 3)")
+    (fun () -> ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_vec_norm2 () =
+  check_float "3-4-5" 5.0 (Vec.norm2 [| 3.; 4. |]);
+  check_float "zero" 0.0 (Vec.norm2 [| 0.; 0.; 0. |]);
+  (* overflow-safe scaling *)
+  let big = 1e200 in
+  check_float_tol 1e185 "huge" (big *. sqrt 2.0) (Vec.norm2 [| big; big |])
+
+let test_vec_axpy () =
+  let y = [| 1.; 1.; 1. |] in
+  Vec.axpy 2.0 [| 1.; 2.; 3. |] y;
+  Alcotest.check (float_array_approx 1e-12) "axpy" [| 3.; 5.; 7. |] y
+
+let test_vec_normalize () =
+  let v = Vec.normalize [| 3.; 4. |] in
+  Alcotest.check (float_array_approx 1e-12) "normalize" [| 0.6; 0.8 |] v;
+  Alcotest.check_raises "zero vector" (Invalid_argument "Vec.normalize: zero vector")
+    (fun () -> ignore (Vec.normalize [| 0.; 0. |]))
+
+let test_vec_orthogonalize () =
+  let e1 = [| 1.; 0.; 0. |] and e2 = [| 0.; 1.; 0. |] in
+  let v = [| 3.; 4.; 5. |] in
+  Vec.orthogonalize_against [| e1; e2 |] v;
+  Alcotest.check (float_array_approx 1e-12) "residual" [| 0.; 0.; 5. |] v
+
+let test_vec_minmax () =
+  check_float "max" 7.0 (Vec.max_elt [| 3.; 7.; -2. |]);
+  check_float "min" (-2.0) (Vec.min_elt [| 3.; 7.; -2. |]);
+  check_float "sum" 8.0 (Vec.sum [| 3.; 7.; -2. |])
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_mul () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.mul a b in
+  Alcotest.(check bool) "product" true
+    (Mat.approx_equal c [| [| 19.; 22. |]; [| 43.; 50. |] |])
+
+let test_mat_identity_mul () =
+  let a = [| [| 1.; 2.; -1. |]; [| 0.; 3.; 2. |]; [| 4.; -2.; 1. |] |] in
+  Alcotest.(check bool) "I*a = a" true (Mat.approx_equal (Mat.mul (Mat.identity 3) a) a);
+  Alcotest.(check bool) "a*I = a" true (Mat.approx_equal (Mat.mul a (Mat.identity 3)) a)
+
+let test_mat_transpose () =
+  let a = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Mat.transpose a in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Mat.dims t);
+  check_float "entry" 6.0 t.(2).(1)
+
+let test_mat_matvec () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.check (float_array_approx 1e-12) "matvec" [| 5.; 11. |]
+    (Mat.matvec a [| 1.; 2. |])
+
+let test_mat_symmetric () =
+  Alcotest.(check bool) "sym" true (Mat.is_symmetric [| [| 1.; 2. |]; [| 2.; 1. |] |]);
+  Alcotest.(check bool) "not sym" false (Mat.is_symmetric [| [| 1.; 2. |]; [| 3.; 1. |] |]);
+  let s = Mat.symmetrize [| [| 1.; 2. |]; [| 4.; 1. |] |] in
+  check_float "symmetrized" 3.0 s.(0).(1)
+
+let test_mat_trace () =
+  check_float "trace" 5.0 (Mat.trace [| [| 1.; 2. |]; [| 3.; 4. |] |])
+
+(* ------------------------------------------------------------------ *)
+(* Dense eigensolvers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_symmetric rng n =
+  let a = Mat.init n n (fun _ _ -> Rng.gaussian rng) in
+  Mat.symmetrize a
+
+let test_tridiag_preserves_spectrum () =
+  let rng = Rng.create 3 in
+  let a = random_symmetric rng 12 in
+  let t = Tridiag.reduce a in
+  let from_tridiag = Tql.eigenvalues ~d:t.Tridiag.d ~e:t.Tridiag.e in
+  let from_jacobi = Jacobi.eigenvalues a in
+  Alcotest.check (float_array_approx 1e-8) "spectra agree" from_jacobi from_tridiag
+
+let test_tridiag_q_orthogonal () =
+  let rng = Rng.create 4 in
+  let a = random_symmetric rng 10 in
+  let t = Tridiag.reduce ~with_q:true a in
+  match t.Tridiag.q with
+  | None -> Alcotest.fail "expected q"
+  | Some q ->
+      let qtq = Mat.mul (Mat.transpose q) q in
+      Alcotest.(check bool) "QtQ = I" true
+        (Mat.approx_equal ~tol:1e-10 qtq (Mat.identity 10))
+
+let test_tridiag_reconstruction () =
+  let rng = Rng.create 5 in
+  let a = random_symmetric rng 9 in
+  let t = Tridiag.reduce ~with_q:true a in
+  match t.Tridiag.q with
+  | None -> Alcotest.fail "expected q"
+  | Some q ->
+      let reconstructed = Mat.mul q (Mat.mul (Tridiag.to_dense t) (Mat.transpose q)) in
+      Alcotest.(check bool) "Q T Qt = A" true (Mat.approx_equal ~tol:1e-9 reconstructed a)
+
+let test_tql_dirichlet_closed_form () =
+  List.iter
+    (fun n ->
+      let expected = Toeplitz.dirichlet_laplacian_eigenvalues ~n in
+      let d = Array.make n 2.0 in
+      let e = Array.make n (-1.0) in
+      e.(0) <- 0.0;
+      let got = Tql.eigenvalues ~d ~e in
+      Alcotest.check (float_array_approx 1e-9) "dirichlet spectrum" expected got)
+    [ 1; 2; 3; 5; 17; 64 ]
+
+let test_tql_vs_jacobi_random () =
+  let rng = Rng.create 6 in
+  List.iter
+    (fun n ->
+      let a = random_symmetric rng n in
+      let ql = Tql.symmetric_eigenvalues a in
+      let jc = Jacobi.eigenvalues a in
+      Alcotest.check (float_array_approx 1e-7) "ql = jacobi" jc ql)
+    [ 1; 2; 3; 8; 20; 40 ]
+
+let test_eigensystem_residuals () =
+  let rng = Rng.create 8 in
+  let n = 15 in
+  let a = random_symmetric rng n in
+  let values, vectors = Tql.symmetric_eigensystem a in
+  for j = 0 to n - 1 do
+    let v = Array.init n (fun i -> vectors.(i).(j)) in
+    check_float_tol 1e-8 "unit eigenvector" 1.0 (Vec.norm2 v);
+    let av = Mat.matvec a v in
+    let lv = Vec.scale values.(j) v in
+    Alcotest.(check bool) "A v = lambda v" true (Vec.approx_equal ~tol:1e-8 av lv)
+  done
+
+let test_eigenvalue_sum_is_trace () =
+  let rng = Rng.create 9 in
+  let a = random_symmetric rng 25 in
+  let values = Tql.symmetric_eigenvalues a in
+  check_float_tol 1e-8 "sum = trace" (Mat.trace a) (Vec.sum values)
+
+let test_jacobi_eigensystem () =
+  let a = [| [| 2.; -1.; 0. |]; [| -1.; 2.; -1. |]; [| 0.; -1.; 2. |] |] in
+  let values, vectors = Jacobi.eigensystem a in
+  let expected = Toeplitz.dirichlet_laplacian_eigenvalues ~n:3 in
+  Alcotest.check (float_array_approx 1e-10) "values" expected values;
+  for j = 0 to 2 do
+    let v = Array.init 3 (fun i -> vectors.(i).(j)) in
+    let av = Mat.matvec a v in
+    Alcotest.(check bool) "residual" true
+      (Vec.approx_equal ~tol:1e-9 av (Vec.scale values.(j) v))
+  done
+
+let test_diag_matrix_eigenvalues () =
+  let a = Mat.init 5 5 (fun i j -> if i = j then float_of_int i else 0.0) in
+  let values = Tql.symmetric_eigenvalues a in
+  Alcotest.check (float_array_approx 1e-12) "diag" [| 0.; 1.; 2.; 3.; 4. |] values
+
+let test_empty_and_one () =
+  Alcotest.(check int) "n=0" 0 (Array.length (Tql.symmetric_eigenvalues [||]));
+  let one = Tql.symmetric_eigenvalues [| [| 42.0 |] |] in
+  Alcotest.check (float_array_approx 1e-12) "n=1" [| 42.0 |] one
+
+(* ------------------------------------------------------------------ *)
+(* Csr                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csr_roundtrip () =
+  let rng = Rng.create 10 in
+  let a =
+    Mat.init 8 6 (fun _ _ -> if Rng.float rng < 0.3 then Rng.gaussian rng else 0.0)
+  in
+  let m = Csr.of_dense a in
+  Alcotest.(check bool) "roundtrip" true (Mat.approx_equal ~tol:0.0 (Csr.to_dense m) a)
+
+let test_csr_duplicate_summing () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 1, 1.0); (0, 1, 2.5); (1, 0, -1.0) ] in
+  check_float "summed" 3.5 (Csr.get m 0 1);
+  check_float "other" (-1.0) (Csr.get m 1 0);
+  check_float "absent" 0.0 (Csr.get m 0 0);
+  Alcotest.(check int) "nnz" 2 (Csr.nnz m)
+
+let test_csr_out_of_range () =
+  Alcotest.(check_raises) "bad triplet"
+    (Invalid_argument "Csr.of_triplets: entry (2,0) out of 2x2") (fun () ->
+      ignore (Csr.of_triplets ~rows:2 ~cols:2 [ (2, 0, 1.0) ]))
+
+let test_csr_matvec_matches_dense () =
+  let rng = Rng.create 12 in
+  List.iter
+    (fun (r, c) ->
+      let a =
+        Mat.init r c (fun _ _ -> if Rng.float rng < 0.25 then Rng.gaussian rng else 0.0)
+      in
+      let m = Csr.of_dense a in
+      let x = Array.init c (fun _ -> Rng.gaussian rng) in
+      Alcotest.check (float_array_approx 1e-10) "matvec" (Mat.matvec a x) (Csr.matvec m x))
+    [ (1, 1); (5, 3); (10, 10); (40, 17) ]
+
+let test_csr_transpose () =
+  let m = Csr.of_triplets ~rows:3 ~cols:2 [ (0, 1, 2.0); (2, 0, -1.0) ] in
+  let t = Csr.transpose m in
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Csr.dims t);
+  check_float "entry" 2.0 (Csr.get t 1 0);
+  check_float "entry2" (-1.0) (Csr.get t 0 2)
+
+let test_csr_symmetric () =
+  let sym = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 1, 1.0); (1, 0, 1.0) ] in
+  Alcotest.(check bool) "sym" true (Csr.is_symmetric sym);
+  let asym = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 1, 1.0) ] in
+  Alcotest.(check bool) "asym" false (Csr.is_symmetric asym)
+
+let test_csr_prune () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1e-15); (0, 1, 1.0) ] in
+  let p = Csr.prune ~tol:1e-12 m in
+  Alcotest.(check int) "pruned" 1 (Csr.nnz p)
+
+let test_csr_gershgorin () =
+  (* 2x2 Laplacian of a single edge: eigenvalues 0, 2; gershgorin = 2. *)
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (1, 1, 1.0); (0, 1, -1.0); (1, 0, -1.0) ] in
+  check_float "bound" 2.0 (Csr.gershgorin_upper m)
+
+let test_csr_scale () =
+  let m = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 1, 2.0) ] in
+  check_float "scaled" 6.0 (Csr.get (Csr.scale 3.0 m) 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lanczos                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let laplacian_path n =
+  (* path graph Laplacian: tridiagonal (1,2,...,2,1 / -1) *)
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    let deg = (if i > 0 then 1 else 0) + if i < n - 1 then 1 else 0 in
+    triplets := (i, i, float_of_int deg) :: !triplets;
+    if i < n - 1 then triplets := (i, i + 1, -1.0) :: (i + 1, i, -1.0) :: !triplets
+  done;
+  Csr.of_triplets ~rows:n ~cols:n !triplets
+
+let test_lanczos_path_graph () =
+  let n = 300 in
+  let m = laplacian_path n in
+  let h = 12 in
+  let result = Lanczos.smallest_csr m ~h in
+  Alcotest.(check bool) "converged" true result.Lanczos.converged;
+  let dense = Tql.symmetric_eigenvalues (Csr.to_dense m) in
+  let expected = Array.sub dense 0 h in
+  Alcotest.check (float_array_approx 1e-6) "smallest match dense" expected
+    result.Lanczos.values
+
+let test_lanczos_multiplicities () =
+  (* Disjoint union of 6 single edges: eigenvalue 0 with multiplicity 6 and
+     eigenvalue 2 with multiplicity 6.  Plain Lanczos sees each eigenvalue
+     once; the locking restarts must find all copies. *)
+  let triplets = ref [] in
+  for c = 0 to 5 do
+    let a = 2 * c and b = (2 * c) + 1 in
+    triplets :=
+      (a, a, 1.0) :: (b, b, 1.0) :: (a, b, -1.0) :: (b, a, -1.0) :: !triplets
+  done;
+  let m = Csr.of_triplets ~rows:12 ~cols:12 !triplets in
+  let result = Lanczos.smallest_csr m ~h:12 in
+  Alcotest.(check bool) "converged" true result.Lanczos.converged;
+  let expected = Array.append (Array.make 6 0.0) (Array.make 6 2.0) in
+  Alcotest.check (float_array_approx 1e-7) "multiplicity recovered" expected
+    result.Lanczos.values
+
+let test_lanczos_vs_dense_random () =
+  let rng = Rng.create 21 in
+  let n = 120 in
+  let a = random_symmetric rng n in
+  (* sparsify to ~20% fill, keep symmetric *)
+  let masked =
+    Mat.init n n (fun i j ->
+        if i <= j && Float.abs a.(i).(j) < 1.0 then 0.0 else a.(i).(j))
+  in
+  let sym = Mat.symmetrize (Mat.init n n (fun i j -> if i <= j then masked.(i).(j) else masked.(j).(i))) in
+  let m = Csr.of_dense sym in
+  let h = 15 in
+  let result = Lanczos.smallest_csr m ~h ~tol:1e-9 in
+  let dense = Tql.symmetric_eigenvalues sym in
+  Alcotest.check (float_array_approx 1e-5) "lanczos = dense" (Array.sub dense 0 h)
+    result.Lanczos.values
+
+let test_lanczos_h_ge_n () =
+  let m = laplacian_path 10 in
+  let result = Lanczos.smallest_csr m ~h:50 in
+  Alcotest.(check int) "clamped to n" 10 (Array.length result.Lanczos.values);
+  let dense = Tql.symmetric_eigenvalues (Csr.to_dense m) in
+  Alcotest.check (float_array_approx 1e-6) "full spectrum" dense result.Lanczos.values
+
+let test_lanczos_vectors () =
+  let n = 60 in
+  let m = laplacian_path n in
+  let result = Lanczos.smallest_csr m ~h:5 ~want_vectors:true in
+  match result.Lanczos.vectors with
+  | None -> Alcotest.fail "expected vectors"
+  | Some vecs ->
+      Array.iteri
+        (fun i v ->
+          let av = Csr.matvec m v in
+          let lv = Vec.scale result.Lanczos.values.(i) v in
+          Alcotest.(check bool)
+            (Printf.sprintf "residual %d" i)
+            true
+            (Vec.approx_equal ~tol:1e-5 av lv))
+        vecs
+
+let test_lanczos_deterministic () =
+  let m = laplacian_path 100 in
+  let r1 = Lanczos.smallest_csr m ~h:8 ~seed:99 in
+  let r2 = Lanczos.smallest_csr m ~h:8 ~seed:99 in
+  Alcotest.check (float_array_approx 0.0) "same seed same values" r1.Lanczos.values
+    r2.Lanczos.values
+
+(* ------------------------------------------------------------------ *)
+(* Filtered (Chebyshev block subspace iteration)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_filtered_path_graph () =
+  let n = 300 in
+  let m = laplacian_path n in
+  let h = 12 in
+  let result = Filtered.smallest_csr m ~h in
+  Alcotest.(check bool) "converged" true result.Filtered.converged;
+  let dense = Tql.symmetric_eigenvalues (Csr.to_dense m) in
+  Alcotest.check (float_array_approx 1e-5) "smallest match dense"
+    (Array.sub dense 0 h) result.Filtered.values
+
+let test_filtered_multiplicities () =
+  (* Same disjoint-edges construction as the Lanczos test: eigenvalue 0 and
+     2, each with multiplicity 6 — the block must capture whole clusters. *)
+  let triplets = ref [] in
+  for c = 0 to 5 do
+    let a = 2 * c and b = (2 * c) + 1 in
+    triplets :=
+      (a, a, 1.0) :: (b, b, 1.0) :: (a, b, -1.0) :: (b, a, -1.0) :: !triplets
+  done;
+  let m = Csr.of_triplets ~rows:12 ~cols:12 !triplets in
+  let result = Filtered.smallest_csr m ~h:12 in
+  Alcotest.(check bool) "converged" true result.Filtered.converged;
+  let expected = Array.append (Array.make 6 0.0) (Array.make 6 2.0) in
+  Alcotest.check (float_array_approx 1e-6) "multiplicities" expected
+    result.Filtered.values
+
+let test_filtered_vs_dense_random () =
+  let rng = Rng.create 77 in
+  let n = 150 in
+  let a = random_symmetric rng n in
+  let sym = Mat.mul (Mat.transpose a) a in
+  (* PSD *)
+  let m = Csr.of_dense sym in
+  let h = 20 in
+  let result = Filtered.smallest_csr m ~h ~tol:1e-8 in
+  Alcotest.(check bool) "converged" true result.Filtered.converged;
+  let dense = Tql.symmetric_eigenvalues sym in
+  Alcotest.check (float_array_approx 1e-4) "matches dense" (Array.sub dense 0 h)
+    result.Filtered.values
+
+let test_filtered_h_ge_n () =
+  let m = laplacian_path 30 in
+  let result = Filtered.smallest_csr m ~h:50 in
+  Alcotest.(check int) "clamped" 30 (Array.length result.Filtered.values);
+  let dense = Tql.symmetric_eigenvalues (Csr.to_dense m) in
+  Alcotest.check (float_array_approx 1e-6) "full spectrum" dense result.Filtered.values
+
+let test_filtered_vectors () =
+  let n = 200 in
+  let m = laplacian_path n in
+  let result = Filtered.smallest_csr m ~h:6 ~want_vectors:true ~tol:1e-8 in
+  match result.Filtered.vectors with
+  | None -> Alcotest.fail "expected vectors"
+  | Some vecs ->
+      Array.iteri
+        (fun i v ->
+          let av = Csr.matvec m v in
+          let lv = Vec.scale result.Filtered.values.(i) v in
+          Alcotest.(check bool)
+            (Printf.sprintf "residual %d" i)
+            true
+            (Vec.approx_equal ~tol:1e-4 av lv))
+        vecs
+
+let test_filtered_deterministic () =
+  let m = laplacian_path 120 in
+  let a = Filtered.smallest_csr m ~h:8 ~seed:3 in
+  let b = Filtered.smallest_csr m ~h:8 ~seed:3 in
+  Alcotest.check (float_array_approx 0.0) "same seed" a.Filtered.values
+    b.Filtered.values
+
+let test_filtered_hypercube_multiplicity_wall () =
+  (* The stress case that defeats single-vector Krylov methods: the
+     out-degree-normalized hypercube Laplacian has eigenvalue clusters far
+     wider than any Krylov chain discovers per restart. *)
+  let l = 8 in
+  let n = 1 lsl l in
+  let triplets = ref [] in
+  for mask = 0 to n - 1 do
+    for bit = 0 to l - 1 do
+      if mask land (1 lsl bit) = 0 then begin
+        let v = mask lor (1 lsl bit) in
+        let popcount = ref 0 in
+        for b2 = 0 to l - 1 do
+          if mask land (1 lsl b2) <> 0 then incr popcount
+        done;
+        let w = 1.0 /. float_of_int (l - !popcount) in
+        triplets :=
+          (mask, mask, w) :: (v, v, w) :: (mask, v, -.w) :: (v, mask, -.w)
+          :: !triplets
+      end
+    done
+  done;
+  let m = Csr.of_triplets ~rows:n ~cols:n !triplets in
+  let result = Filtered.smallest_csr m ~h:60 in
+  Alcotest.(check bool) "converged" true result.Filtered.converged;
+  let dense = Tql.symmetric_eigenvalues (Csr.to_dense m) in
+  Alcotest.check (float_array_approx 1e-5) "matches dense" (Array.sub dense 0 60)
+    result.Filtered.values
+
+(* ------------------------------------------------------------------ *)
+(* Eigen driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_eigen_backend_selection () =
+  let small = laplacian_path 50 in
+  let s = Eigen.smallest ~h:5 small in
+  Alcotest.(check bool) "dense backend" true (s.Eigen.backend = Eigen.Dense);
+  let big = laplacian_path 1500 in
+  let b = Eigen.smallest ~h:5 big in
+  Alcotest.(check bool) "sparse backend" true (b.Eigen.backend = Eigen.Sparse_filtered)
+
+let test_eigen_paths_agree () =
+  let m = laplacian_path 200 in
+  let dense = Eigen.smallest ~h:10 ~dense_threshold:10_000 m in
+  let sparse = Eigen.smallest ~h:10 ~dense_threshold:10 m in
+  Alcotest.check (float_array_approx 1e-6) "agree" dense.Eigen.values sparse.Eigen.values
+
+(* ------------------------------------------------------------------ *)
+(* Toeplitz                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_toeplitz_closed_form_vs_dense () =
+  List.iter
+    (fun (n, diag, off) ->
+      let expected = Toeplitz.eigenvalues ~n ~diag ~off in
+      let got = Tql.symmetric_eigenvalues (Toeplitz.matrix ~n ~diag ~off) in
+      Alcotest.check (float_array_approx 1e-9) "toeplitz spectrum" expected got)
+    [ (1, 2.0, -1.0); (4, 2.0, -1.0); (9, 4.0, -2.0); (33, 1.0, 0.5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_vec_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    array_size (return n) (float_range (-100.0) 100.0))
+
+let prop_dot_commutative =
+  QCheck2.Test.make ~name:"dot is commutative" ~count:200
+    QCheck2.Gen.(pair small_vec_gen small_vec_gen)
+    (fun (x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      Float.abs (Vec.dot x y -. Vec.dot y x) <= 1e-6 *. (1.0 +. Float.abs (Vec.dot x y)))
+
+let prop_norm_triangle =
+  QCheck2.Test.make ~name:"triangle inequality" ~count:200
+    QCheck2.Gen.(pair small_vec_gen small_vec_gen)
+    (fun (x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9)
+
+let sym_mat_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 10 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (let rng = Rng.create seed in
+       random_symmetric rng n))
+
+let prop_spectrum_sum_trace =
+  QCheck2.Test.make ~name:"eigenvalue sum equals trace" ~count:60 sym_mat_gen
+    (fun a ->
+      let values = Tql.symmetric_eigenvalues a in
+      Float.abs (Vec.sum values -. Mat.trace a)
+      <= 1e-7 *. (1.0 +. Float.abs (Mat.trace a)))
+
+let prop_ql_matches_jacobi =
+  QCheck2.Test.make ~name:"QL matches Jacobi" ~count:40 sym_mat_gen (fun a ->
+      let ql = Tql.symmetric_eigenvalues a in
+      let jc = Jacobi.eigenvalues a in
+      Vec.approx_equal ~tol:1e-6 ql jc)
+
+let prop_gram_matrix_psd =
+  QCheck2.Test.make ~name:"Gram matrices are PSD" ~count:60 sym_mat_gen (fun b ->
+      let g = Mat.mul (Mat.transpose b) b in
+      let values = Tql.symmetric_eigenvalues g in
+      Array.for_all (fun l -> l >= -1e-7 *. (1.0 +. Mat.max_abs g)) values)
+
+let prop_csr_matvec_linear =
+  QCheck2.Test.make ~name:"CSR matvec is linear" ~count:100
+    QCheck2.Gen.(triple (int_range 0 1_000_000) small_vec_gen small_vec_gen)
+    (fun (seed, x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      let rng = Rng.create seed in
+      let a =
+        Mat.init n n (fun _ _ -> if Rng.float rng < 0.4 then Rng.gaussian rng else 0.0)
+      in
+      let m = Csr.of_dense a in
+      let lhs = Csr.matvec m (Vec.add x y) in
+      let rhs = Vec.add (Csr.matvec m x) (Csr.matvec m y) in
+      Vec.approx_equal ~tol:1e-6 lhs rhs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dot_commutative;
+      prop_norm_triangle;
+      prop_spectrum_sum_trace;
+      prop_ql_matches_jacobi;
+      prop_gram_matrix_psd;
+      prop_csr_matvec_linear;
+    ]
+
+let () =
+  Alcotest.run "graphio_la"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "unit vector" `Quick test_rng_unit_vector;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "dot mismatch" `Quick test_vec_dot_mismatch;
+          Alcotest.test_case "norm2" `Quick test_vec_norm2;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "orthogonalize" `Quick test_vec_orthogonalize;
+          Alcotest.test_case "min/max/sum" `Quick test_vec_minmax;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "matvec" `Quick test_mat_matvec;
+          Alcotest.test_case "symmetric" `Quick test_mat_symmetric;
+          Alcotest.test_case "trace" `Quick test_mat_trace;
+        ] );
+      ( "dense-eigen",
+        [
+          Alcotest.test_case "tridiag preserves spectrum" `Quick
+            test_tridiag_preserves_spectrum;
+          Alcotest.test_case "tridiag q orthogonal" `Quick test_tridiag_q_orthogonal;
+          Alcotest.test_case "tridiag reconstruction" `Quick test_tridiag_reconstruction;
+          Alcotest.test_case "tql dirichlet closed form" `Quick
+            test_tql_dirichlet_closed_form;
+          Alcotest.test_case "tql vs jacobi random" `Quick test_tql_vs_jacobi_random;
+          Alcotest.test_case "eigensystem residuals" `Quick test_eigensystem_residuals;
+          Alcotest.test_case "eigenvalue sum = trace" `Quick test_eigenvalue_sum_is_trace;
+          Alcotest.test_case "jacobi eigensystem" `Quick test_jacobi_eigensystem;
+          Alcotest.test_case "diagonal matrix" `Quick test_diag_matrix_eigenvalues;
+          Alcotest.test_case "empty and 1x1" `Quick test_empty_and_one;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "duplicate summing" `Quick test_csr_duplicate_summing;
+          Alcotest.test_case "out of range" `Quick test_csr_out_of_range;
+          Alcotest.test_case "matvec vs dense" `Quick test_csr_matvec_matches_dense;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "symmetric check" `Quick test_csr_symmetric;
+          Alcotest.test_case "prune" `Quick test_csr_prune;
+          Alcotest.test_case "gershgorin" `Quick test_csr_gershgorin;
+          Alcotest.test_case "scale" `Quick test_csr_scale;
+        ] );
+      ( "lanczos",
+        [
+          Alcotest.test_case "path graph" `Quick test_lanczos_path_graph;
+          Alcotest.test_case "multiplicities via locking" `Quick
+            test_lanczos_multiplicities;
+          Alcotest.test_case "vs dense random" `Quick test_lanczos_vs_dense_random;
+          Alcotest.test_case "h >= n" `Quick test_lanczos_h_ge_n;
+          Alcotest.test_case "eigenvectors" `Quick test_lanczos_vectors;
+          Alcotest.test_case "deterministic" `Quick test_lanczos_deterministic;
+        ] );
+      ( "filtered",
+        [
+          Alcotest.test_case "path graph" `Quick test_filtered_path_graph;
+          Alcotest.test_case "multiplicities" `Quick test_filtered_multiplicities;
+          Alcotest.test_case "vs dense random PSD" `Quick test_filtered_vs_dense_random;
+          Alcotest.test_case "h >= n" `Quick test_filtered_h_ge_n;
+          Alcotest.test_case "eigenvectors" `Quick test_filtered_vectors;
+          Alcotest.test_case "deterministic" `Quick test_filtered_deterministic;
+          Alcotest.test_case "hypercube multiplicity wall" `Slow
+            test_filtered_hypercube_multiplicity_wall;
+        ] );
+      ( "eigen-driver",
+        [
+          Alcotest.test_case "backend selection" `Quick test_eigen_backend_selection;
+          Alcotest.test_case "paths agree" `Quick test_eigen_paths_agree;
+        ] );
+      ( "toeplitz",
+        [
+          Alcotest.test_case "closed form vs dense" `Quick
+            test_toeplitz_closed_form_vs_dense;
+        ] );
+      ("properties", props);
+    ]

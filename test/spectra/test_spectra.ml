@@ -1,0 +1,409 @@
+open Graphio_spectra
+open Graphio_la
+
+let float_array_approx tol =
+  Alcotest.testable
+    (fun fmt a -> Vec.pp fmt a)
+    (fun a b -> Vec.approx_equal ~tol a b)
+
+(* ------------------------------------------------------------------ *)
+(* Multiset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiset_basic () =
+  let m = Multiset.of_list [ (2.0, 3); (0.0, 1); (1.0, 2) ] in
+  Alcotest.(check int) "total" 6 (Multiset.total m);
+  Alcotest.(check int) "distinct" 3 (Multiset.distinct m);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Multiset.min_value m);
+  Alcotest.(check (float 0.0)) "max" 2.0 (Multiset.max_value m);
+  Alcotest.check (float_array_approx 0.0) "smallest 4" [| 0.0; 1.0; 1.0; 2.0 |]
+    (Multiset.smallest m ~h:4);
+  Alcotest.(check (float 1e-12)) "sum 4" 4.0 (Multiset.smallest_sum m ~k:4);
+  Alcotest.(check (float 1e-12)) "sum 0" 0.0 (Multiset.smallest_sum m ~k:0)
+
+let test_multiset_merging_values () =
+  let m = Multiset.of_list [ (1.0, 1); (1.0 +. 1e-12, 2) ] in
+  Alcotest.(check int) "merged" 1 (Multiset.distinct m);
+  Alcotest.(check int) "total kept" 3 (Multiset.total m)
+
+let test_multiset_drops_zero_mult () =
+  let m = Multiset.of_list [ (1.0, 0); (2.0, 1) ] in
+  Alcotest.(check int) "dropped" 1 (Multiset.distinct m)
+
+let test_multiset_rejects_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Multiset.of_list: negative multiplicity") (fun () ->
+      ignore (Multiset.of_list [ (1.0, -1) ]))
+
+let test_multiset_of_array_roundtrip () =
+  let values = [| 3.0; 1.0; 2.0; 1.0 |] in
+  let m = Multiset.of_array values in
+  Alcotest.check (float_array_approx 0.0) "sorted expansion" [| 1.0; 1.0; 2.0; 3.0 |]
+    (Multiset.to_array m)
+
+let test_multiset_merge_scale () =
+  let a = Multiset.of_list [ (1.0, 1) ] and b = Multiset.of_list [ (1.0, 2); (3.0, 1) ] in
+  let m = Multiset.merge a b in
+  Alcotest.(check int) "merged total" 4 (Multiset.total m);
+  let s = Multiset.scale 2.0 m in
+  Alcotest.(check (float 0.0)) "scaled max" 6.0 (Multiset.max_value s)
+
+let test_multiset_sum_exceeds () =
+  let m = Multiset.of_list [ (1.0, 2) ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Multiset.smallest_sum: k exceeds total") (fun () ->
+      ignore (Multiset.smallest_sum m ~k:3))
+
+(* ------------------------------------------------------------------ *)
+(* Path spectra (Lemma 11)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_paths_closed_form_vs_numeric () =
+  for i = 1 to 12 do
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "P_%d" i)
+      (Tql.symmetric_eigenvalues (Path_spectra.p_laplacian i))
+      (Path_spectra.p i);
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "P'_%d" i)
+      (Tql.symmetric_eigenvalues (Path_spectra.p'_laplacian i))
+      (Path_spectra.p' i);
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "P''_%d" i)
+      (Tql.symmetric_eigenvalues (Path_spectra.p''_laplacian i))
+      (Path_spectra.p'' i)
+  done
+
+let test_p_has_zero_eigenvalue () =
+  (* P_i is a genuine (weighted) graph Laplacian: nullspace of ones. *)
+  for i = 1 to 8 do
+    Alcotest.(check (float 1e-12)) "lambda_1 = 0" 0.0 (Path_spectra.p i).(0)
+  done
+
+let test_p'_strictly_positive () =
+  (* P'_i has a vertex weight: no zero eigenvalue. *)
+  for i = 1 to 8 do
+    Alcotest.(check bool) "positive" true ((Path_spectra.p' i).(0) > 0.0)
+  done
+
+let test_p''_matches_toeplitz () =
+  (* L(P''_i) is exactly the tridiagonal Toeplitz (4, -2). *)
+  for i = 1 to 10 do
+    Alcotest.check (float_array_approx 1e-10)
+      (Printf.sprintf "toeplitz %d" i)
+      (Toeplitz.eigenvalues ~n:i ~diag:4.0 ~off:(-2.0))
+      (Path_spectra.p'' i)
+  done
+
+let test_p'_interlaces_p2i1 () =
+  (* The P' eigenvalues are the odd-indexed eigenvalues of P_{2i+1}
+     (the reduction used in the paper's Lemma 11 proof). *)
+  let i = 6 in
+  let big = Path_spectra.p ((2 * i) + 1) in
+  let odd = Array.init i (fun j -> big.((2 * j) + 1)) in
+  Alcotest.check (float_array_approx 1e-9) "odd extraction" odd (Path_spectra.p' i)
+
+(* ------------------------------------------------------------------ *)
+(* Hypercube spectra                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial () =
+  Alcotest.(check int) "C(5,2)" 10 (Hypercube_spectra.binomial 5 2);
+  Alcotest.(check int) "C(10,0)" 1 (Hypercube_spectra.binomial 10 0);
+  Alcotest.(check int) "C(10,10)" 1 (Hypercube_spectra.binomial 10 10);
+  Alcotest.(check int) "C(4,7)" 0 (Hypercube_spectra.binomial 4 7);
+  Alcotest.(check int) "C(7,-1)" 0 (Hypercube_spectra.binomial 7 (-1));
+  Alcotest.(check int) "C(30,15)" 155117520 (Hypercube_spectra.binomial 30 15)
+
+let test_pascal_identity () =
+  for n = 1 to 20 do
+    for k = 1 to n - 1 do
+      Alcotest.(check int) "pascal"
+        (Hypercube_spectra.binomial (n - 1) (k - 1)
+        + Hypercube_spectra.binomial (n - 1) k)
+        (Hypercube_spectra.binomial n k)
+    done
+  done
+
+let test_hypercube_total () =
+  for l = 0 to 15 do
+    Alcotest.(check int) "2^l" (1 lsl l) (Multiset.total (Hypercube_spectra.spectrum l))
+  done
+
+let test_hypercube_vs_numeric () =
+  for l = 0 to 6 do
+    let g = Graphio_workloads.Bhk.build l in
+    let numeric = Tql.symmetric_eigenvalues (Graphio_graph.Laplacian.standard_dense g) in
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "Q_%d" l)
+      numeric
+      (Multiset.to_array (Hypercube_spectra.spectrum l))
+  done
+
+let test_hypercube_trace_identity () =
+  (* Eigenvalue sum = trace = sum of degrees = l * 2^l. *)
+  for l = 1 to 12 do
+    let s = Hypercube_spectra.spectrum l in
+    Alcotest.(check (float 1e-6)) "trace"
+      (float_of_int (l * (1 lsl l)))
+      (Multiset.smallest_sum s ~k:(Multiset.total s))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Butterfly spectra (Theorem 7)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_butterfly_total () =
+  for k = 0 to 14 do
+    Alcotest.(check int) "(k+1)2^k"
+      (Butterfly_spectra.n_vertices k)
+      (Multiset.total (Butterfly_spectra.spectrum k))
+  done
+
+let test_butterfly_vs_numeric () =
+  (* The central validation of Theorem 7: closed form equals the numeric
+     spectrum of the actually-built FFT graph. *)
+  for k = 0 to 5 do
+    let g = Graphio_workloads.Fft.build k in
+    let numeric = Tql.symmetric_eigenvalues (Graphio_graph.Laplacian.standard_dense g) in
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "B_%d" k)
+      numeric
+      (Multiset.to_array (Butterfly_spectra.spectrum k))
+  done
+
+let test_butterfly_single_zero () =
+  (* B_k is connected: eigenvalue 0 has multiplicity exactly 1. *)
+  for k = 1 to 10 do
+    let s = Multiset.smallest (Butterfly_spectra.spectrum k) ~h:2 in
+    Alcotest.(check (float 1e-12)) "zero" 0.0 s.(0);
+    Alcotest.(check bool) "gap" true (s.(1) > 1e-9)
+  done
+
+let test_butterfly_second_smallest () =
+  for k = 1 to 10 do
+    let s = Multiset.smallest (Butterfly_spectra.spectrum k) ~h:2 in
+    Alcotest.(check (float 1e-12)) "fiedler value"
+      (Butterfly_spectra.second_smallest k)
+      s.(1)
+  done
+
+let test_butterfly_trace_identity () =
+  (* Eigenvalue sum = trace = sum of degrees = 2 * #edges = 2 * l * 2^l *)
+  for k = 1 to 12 do
+    let s = Butterfly_spectra.spectrum k in
+    Alcotest.(check (float 1e-5)) "trace"
+      (float_of_int (2 * (k * (1 lsl k)) * 2))
+      (Multiset.smallest_sum s ~k:(Multiset.total s))
+  done
+
+let test_butterfly_bounded_by_8 () =
+  for k = 1 to 12 do
+    Alcotest.(check bool) "max < 8" true
+      (Multiset.max_value (Butterfly_spectra.spectrum k) < 8.0 +. 1e-9)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Basic spectra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let laplacian_of_edges n edges =
+  Graphio_graph.Laplacian.standard_dense (Graphio_graph.Dag.of_edges ~n edges)
+
+let test_basic_path_vs_numeric () =
+  for n = 1 to 12 do
+    let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+    Alcotest.check (float_array_approx 1e-9)
+      (Printf.sprintf "path %d" n)
+      (Tql.symmetric_eigenvalues (laplacian_of_edges n edges))
+      (Multiset.to_array (Basic_spectra.path n))
+  done
+
+let test_basic_cycle_vs_numeric () =
+  for n = 3 to 12 do
+    let edges = List.init (n - 1) (fun i -> (i, i + 1)) @ [ (0, n - 1) ] in
+    Alcotest.check (float_array_approx 1e-9)
+      (Printf.sprintf "cycle %d" n)
+      (Tql.symmetric_eigenvalues (laplacian_of_edges n edges))
+      (Multiset.to_array (Basic_spectra.cycle n))
+  done
+
+let test_basic_complete_vs_numeric () =
+  for n = 1 to 10 do
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        edges := (i, j) :: !edges
+      done
+    done;
+    Alcotest.check (float_array_approx 1e-8)
+      (Printf.sprintf "K%d" n)
+      (Tql.symmetric_eigenvalues (laplacian_of_edges n !edges))
+      (Multiset.to_array (Basic_spectra.complete n))
+  done
+
+let test_basic_bipartite_vs_numeric () =
+  List.iter
+    (fun (a, b) ->
+      let edges = ref [] in
+      for i = 0 to a - 1 do
+        for j = 0 to b - 1 do
+          edges := (i, a + j) :: !edges
+        done
+      done;
+      Alcotest.check (float_array_approx 1e-8)
+        (Printf.sprintf "K%d,%d" a b)
+        (Tql.symmetric_eigenvalues (laplacian_of_edges (a + b) !edges))
+        (Multiset.to_array (Basic_spectra.complete_bipartite a b)))
+    [ (1, 1); (1, 5); (2, 3); (4, 4); (3, 7) ]
+
+let test_star_is_bipartite () =
+  Alcotest.check (float_array_approx 0.0) "star = K_{1,b}"
+    (Multiset.to_array (Basic_spectra.complete_bipartite 1 6))
+    (Multiset.to_array (Basic_spectra.star 6))
+
+(* ------------------------------------------------------------------ *)
+(* Product spectra                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_product_hypercube_rederived () =
+  (* The l-fold product of K2 re-derives the hypercube spectrum. *)
+  for l = 0 to 12 do
+    Alcotest.check (float_array_approx 1e-9)
+      (Printf.sprintf "Q%d" l)
+      (Multiset.smallest (Hypercube_spectra.spectrum l) ~h:200)
+      (Multiset.smallest (Product_spectra.hypercube l) ~h:200)
+  done
+
+let test_product_grid_vs_numeric () =
+  List.iter
+    (fun (rows, cols) ->
+      let idx r c = (r * cols) + c in
+      let edges = ref [] in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+          if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+        done
+      done;
+      Alcotest.check (float_array_approx 1e-8)
+        (Printf.sprintf "grid %dx%d" rows cols)
+        (Tql.symmetric_eigenvalues (laplacian_of_edges (rows * cols) !edges))
+        (Multiset.to_array (Product_spectra.grid rows cols)))
+    [ (1, 1); (2, 2); (3, 4); (5, 5) ]
+
+let test_product_torus_vs_numeric () =
+  let rows = 4 and cols = 5 in
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let e a b = if not (List.mem (a, b) !edges || List.mem (b, a) !edges) then edges := (min a b, max a b) :: !edges in
+      e (idx r c) (idx r ((c + 1) mod cols));
+      e (idx r c) (idx ((r + 1) mod rows) c)
+    done
+  done;
+  Alcotest.check (float_array_approx 1e-8) "torus 4x5"
+    (Tql.symmetric_eigenvalues (laplacian_of_edges (rows * cols) !edges))
+    (Multiset.to_array (Product_spectra.torus rows cols))
+
+let test_product_total_multiplies () =
+  let a = Basic_spectra.path 5 and b = Basic_spectra.cycle 7 in
+  Alcotest.(check int) "total" 35 (Multiset.total (Product_spectra.cartesian_sum a b))
+
+let test_product_power_consistency () =
+  let s = Basic_spectra.path 3 in
+  let direct = Product_spectra.cartesian_sum (Product_spectra.cartesian_sum s s) s in
+  Alcotest.check (float_array_approx 1e-9) "power 3"
+    (Multiset.to_array direct)
+    (Multiset.to_array (Product_spectra.power s 3))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_multiset_smallest_sorted =
+  QCheck2.Test.make ~name:"multiset expansion is sorted" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (pair (float_range (-10.0) 10.0) (int_range 1 5)))
+    (fun pairs ->
+      let m = Multiset.of_list pairs in
+      let a = Multiset.to_array m in
+      let ok = ref true in
+      for i = 1 to Array.length a - 1 do
+        if a.(i) < a.(i - 1) then ok := false
+      done;
+      !ok && Array.length a = Multiset.total m)
+
+let prop_multiset_sum_prefix =
+  QCheck2.Test.make ~name:"smallest_sum equals prefix sum" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 15) (pair (float_range 0.0 10.0) (int_range 1 4)))
+        (int_range 0 20))
+    (fun (pairs, k) ->
+      let m = Multiset.of_list pairs in
+      let k = min k (Multiset.total m) in
+      let a = Multiset.to_array m in
+      let direct = Array.fold_left ( +. ) 0.0 (Array.sub a 0 k) in
+      Float.abs (Multiset.smallest_sum m ~k -. direct) < 1e-9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_multiset_smallest_sorted; prop_multiset_sum_prefix ]
+
+let () =
+  Alcotest.run "graphio_spectra"
+    [
+      ( "multiset",
+        [
+          Alcotest.test_case "basic" `Quick test_multiset_basic;
+          Alcotest.test_case "merging close values" `Quick test_multiset_merging_values;
+          Alcotest.test_case "drops zero multiplicity" `Quick test_multiset_drops_zero_mult;
+          Alcotest.test_case "rejects negative" `Quick test_multiset_rejects_negative;
+          Alcotest.test_case "of_array roundtrip" `Quick test_multiset_of_array_roundtrip;
+          Alcotest.test_case "merge and scale" `Quick test_multiset_merge_scale;
+          Alcotest.test_case "sum bounds" `Quick test_multiset_sum_exceeds;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "closed form vs numeric" `Quick test_paths_closed_form_vs_numeric;
+          Alcotest.test_case "P has zero eigenvalue" `Quick test_p_has_zero_eigenvalue;
+          Alcotest.test_case "P' strictly positive" `Quick test_p'_strictly_positive;
+          Alcotest.test_case "P'' is Toeplitz" `Quick test_p''_matches_toeplitz;
+          Alcotest.test_case "P' odd extraction" `Quick test_p'_interlaces_p2i1;
+        ] );
+      ( "hypercube",
+        [
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "pascal identity" `Quick test_pascal_identity;
+          Alcotest.test_case "total multiplicity" `Quick test_hypercube_total;
+          Alcotest.test_case "closed form vs numeric" `Quick test_hypercube_vs_numeric;
+          Alcotest.test_case "trace identity" `Quick test_hypercube_trace_identity;
+        ] );
+      ( "butterfly",
+        [
+          Alcotest.test_case "total multiplicity" `Quick test_butterfly_total;
+          Alcotest.test_case "closed form vs numeric (Thm 7)" `Quick test_butterfly_vs_numeric;
+          Alcotest.test_case "single zero eigenvalue" `Quick test_butterfly_single_zero;
+          Alcotest.test_case "second smallest" `Quick test_butterfly_second_smallest;
+          Alcotest.test_case "trace identity" `Quick test_butterfly_trace_identity;
+          Alcotest.test_case "bounded by 8" `Quick test_butterfly_bounded_by_8;
+        ] );
+      ( "basic",
+        [
+          Alcotest.test_case "path vs numeric" `Quick test_basic_path_vs_numeric;
+          Alcotest.test_case "cycle vs numeric" `Quick test_basic_cycle_vs_numeric;
+          Alcotest.test_case "complete vs numeric" `Quick test_basic_complete_vs_numeric;
+          Alcotest.test_case "bipartite vs numeric" `Quick test_basic_bipartite_vs_numeric;
+          Alcotest.test_case "star" `Quick test_star_is_bipartite;
+        ] );
+      ( "product",
+        [
+          Alcotest.test_case "hypercube re-derived" `Quick test_product_hypercube_rederived;
+          Alcotest.test_case "grid vs numeric" `Quick test_product_grid_vs_numeric;
+          Alcotest.test_case "torus vs numeric" `Quick test_product_torus_vs_numeric;
+          Alcotest.test_case "total multiplies" `Quick test_product_total_multiplies;
+          Alcotest.test_case "power consistency" `Quick test_product_power_consistency;
+        ] );
+      ("properties", props);
+    ]

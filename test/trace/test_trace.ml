@@ -1,0 +1,319 @@
+open Graphio_trace
+open Graphio_graph
+
+(* ------------------------------------------------------------------ *)
+(* Trace primitives                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_arithmetic_payloads () =
+  let ctx = Trace.create () in
+  let a = Trace.input ctx 3.0 and b = Trace.input ctx 4.0 in
+  Alcotest.(check (float 1e-12)) "add" 7.0 (Trace.payload (Trace.add a b));
+  Alcotest.(check (float 1e-12)) "sub" (-1.0) (Trace.payload (Trace.sub a b));
+  Alcotest.(check (float 1e-12)) "mul" 12.0 (Trace.payload (Trace.mul a b));
+  Alcotest.(check (float 1e-12)) "div" 0.75 (Trace.payload (Trace.div a b));
+  Alcotest.(check (float 1e-12)) "neg" (-3.0) (Trace.payload (Trace.neg a))
+
+let test_trace_infix () =
+  let ctx = Trace.create () in
+  let a = Trace.input ctx 2.0 and b = Trace.input ctx 5.0 in
+  let open Trace.Infix in
+  Alcotest.(check (float 1e-12)) "expr" 9.0 (Trace.payload ((a * b) - (a / a)))
+
+let test_trace_graph_structure () =
+  let ctx = Trace.create () in
+  let a = Trace.input ctx 1.0 and b = Trace.input ctx 2.0 in
+  let c = Trace.add a b in
+  let d = Trace.mul c c in
+  (* c*c: repeated operand, single dependency edge *)
+  let g = Trace.graph ctx in
+  Alcotest.(check int) "vertices" 4 (Dag.n_vertices g);
+  Alcotest.(check int) "edges" 3 (Dag.n_edges g);
+  Alcotest.(check int) "d in-degree 1 (dedup)" 1 (Dag.in_degree g (Trace.id d));
+  Alcotest.(check (float 1e-12)) "payload" 9.0 (Trace.payload d)
+
+let test_trace_custom () =
+  let ctx = Trace.create () in
+  let xs = List.init 5 (fun i -> Trace.input ctx (float_of_int i)) in
+  let s = Trace.custom ~label:"sum" ~f:(Array.fold_left ( +. ) 0.0) xs in
+  Alcotest.(check (float 1e-12)) "payload" 10.0 (Trace.payload s);
+  let g = Trace.graph ctx in
+  Alcotest.(check int) "arity" 5 (Dag.in_degree g (Trace.id s));
+  Alcotest.(check (option string)) "label" (Some "sum") (Dag.label g (Trace.id s))
+
+let test_trace_mixed_contexts_rejected () =
+  let c1 = Trace.create () and c2 = Trace.create () in
+  let a = Trace.input c1 1.0 and b = Trace.input c2 2.0 in
+  Alcotest.check_raises "mixed"
+    (Invalid_argument "Trace: operands belong to different contexts") (fun () ->
+      ignore (Trace.add a b))
+
+let test_trace_empty_custom_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Trace: operation with no operands")
+    (fun () -> ignore (Trace.custom ~label:"x" ~f:(fun _ -> 0.0) []))
+
+let test_trace_n_operations () =
+  let ctx = Trace.create () in
+  Alcotest.(check int) "empty" 0 (Trace.n_operations ctx);
+  let a = Trace.input ctx 1.0 in
+  let _ = Trace.neg a in
+  Alcotest.(check int) "two ops" 2 (Trace.n_operations ctx)
+
+let test_trace_incremental_graph () =
+  let ctx = Trace.create () in
+  let a = Trace.input ctx 1.0 in
+  let g1 = Trace.graph ctx in
+  let _ = Trace.neg a in
+  let g2 = Trace.graph ctx in
+  Alcotest.(check int) "first snapshot" 1 (Dag.n_vertices g1);
+  Alcotest.(check int) "second snapshot" 2 (Dag.n_vertices g2)
+
+(* ------------------------------------------------------------------ *)
+(* Traced programs vs reference results                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_inner_product_value () =
+  let ctx = Trace.create () in
+  let r = Programs.inner_product ctx [| 1.; 2.; 3. |] [| 4.; 5.; 6. |] in
+  Alcotest.(check (float 1e-12)) "value" 32.0 (Trace.payload r)
+
+let test_inner_product_graph_matches_builder () =
+  let ctx = Trace.create () in
+  let _ = Programs.inner_product ctx [| 1.; 2. |] [| 3.; 4. |] in
+  let traced = Trace.graph ctx in
+  let built = Graphio_workloads.Inner_product.build 2 in
+  Alcotest.(check int) "n" (Dag.n_vertices built) (Dag.n_vertices traced);
+  Alcotest.(check (list (pair int int))) "edges" (Dag.edges built) (Dag.edges traced)
+
+let test_walsh_hadamard_values () =
+  let rng = Graphio_la.Rng.create 77 in
+  List.iter
+    (fun l ->
+      let n = 1 lsl l in
+      let input = Array.init n (fun _ -> Graphio_la.Rng.gaussian rng) in
+      let ctx = Trace.create () in
+      let traced = Programs.walsh_hadamard ctx input in
+      let reference = Programs.reference_walsh_hadamard input in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "out %d" i)
+            reference.(i) (Trace.payload v))
+        traced)
+    [ 0; 1; 2; 3; 5 ]
+
+let test_walsh_hadamard_graph_is_butterfly () =
+  List.iter
+    (fun l ->
+      let n = 1 lsl l in
+      let ctx = Trace.create () in
+      let _ = Programs.walsh_hadamard ctx (Array.make n 1.0) in
+      let traced = Trace.graph ctx in
+      let butterfly = Graphio_workloads.Fft.build l in
+      Alcotest.(check int) "n" (Dag.n_vertices butterfly) (Dag.n_vertices traced);
+      Alcotest.(check (list (pair int int)))
+        "identical edges"
+        (Dag.edges butterfly) (Dag.edges traced))
+    [ 1; 2; 3; 4 ]
+
+let test_walsh_hadamard_parseval () =
+  (* The (unnormalized) WHT scales energy by 2^l. *)
+  let l = 4 in
+  let n = 1 lsl l in
+  let rng = Graphio_la.Rng.create 5 in
+  let input = Array.init n (fun _ -> Graphio_la.Rng.gaussian rng) in
+  let out = Programs.reference_walsh_hadamard input in
+  let energy v = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v in
+  Alcotest.(check (float 1e-6)) "parseval"
+    (float_of_int n *. energy input)
+    (energy out)
+
+let test_matmul_values () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let ctx = Trace.create () in
+  let c = Programs.matmul ctx a b in
+  let expected = [| [| 19.; 22. |]; [| 43.; 50. |] |] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "c%d%d" i j)
+            expected.(i).(j) (Trace.payload v))
+        row)
+    c
+
+let test_matmul_graph_matches_builder () =
+  List.iter
+    (fun n ->
+      let a = Array.make_matrix n n 1.0 in
+      let ctx = Trace.create () in
+      let _ = Programs.matmul ctx a a in
+      let traced = Trace.graph ctx in
+      let built = Graphio_workloads.Matmul.build n in
+      Alcotest.(check int) "n" (Dag.n_vertices built) (Dag.n_vertices traced);
+      Alcotest.(check (list (pair int int))) "edges" (Dag.edges built) (Dag.edges traced))
+    [ 1; 2; 3; 4 ]
+
+let test_strassen_values () =
+  let rng = Graphio_la.Rng.create 99 in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> Array.init n (fun _ -> Graphio_la.Rng.gaussian rng)) in
+      let b = Array.init n (fun _ -> Array.init n (fun _ -> Graphio_la.Rng.gaussian rng)) in
+      let ctx = Trace.create () in
+      let c = Programs.strassen ctx a b in
+      (* reference: plain triple loop *)
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let expected = ref 0.0 in
+          for k = 0 to n - 1 do
+            expected := !expected +. (a.(i).(k) *. b.(k).(j))
+          done;
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "c%d%d n=%d" i j n)
+            !expected
+            (Trace.payload c.(i).(j))
+        done
+      done)
+    [ 1; 2; 4; 8 ]
+
+let test_strassen_graph_matches_builder () =
+  List.iter
+    (fun n ->
+      let a = Array.make_matrix n n 1.5 in
+      let ctx = Trace.create () in
+      let _ = Programs.strassen ctx a a in
+      let traced = Trace.graph ctx in
+      let built = Graphio_workloads.Strassen.build n in
+      Alcotest.(check int) "n" (Dag.n_vertices built) (Dag.n_vertices traced);
+      Alcotest.(check (list (pair int int))) "edges" (Dag.edges built) (Dag.edges traced))
+    [ 1; 2; 4 ]
+
+let random_symmetric_distances rng l =
+  let d = Array.make_matrix l l 0.0 in
+  for i = 0 to l - 1 do
+    for j = i + 1 to l - 1 do
+      let v = 1.0 +. Graphio_la.Rng.float rng in
+      d.(i).(j) <- v;
+      d.(j).(i) <- v
+    done
+  done;
+  d
+
+let test_held_karp_vs_brute_force () =
+  let rng = Graphio_la.Rng.create 123 in
+  List.iter
+    (fun l ->
+      let dist = random_symmetric_distances rng l in
+      let ctx = Trace.create () in
+      let traced = Programs.held_karp ctx dist in
+      let brute = Programs.brute_force_shortest_path dist in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "l=%d" l) brute (Trace.payload traced);
+      Alcotest.(check (float 1e-9)) "reference agrees" brute
+        (Programs.reference_held_karp dist))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_held_karp_graph_is_hypercube () =
+  List.iter
+    (fun l ->
+      let rng = Graphio_la.Rng.create (l * 31) in
+      let dist = random_symmetric_distances rng l in
+      let ctx = Trace.create () in
+      let _ = Programs.held_karp ctx dist in
+      let traced = Trace.graph ctx in
+      let built = Graphio_workloads.Bhk.build l in
+      Alcotest.(check int) "n" (Dag.n_vertices built) (Dag.n_vertices traced);
+      Alcotest.(check (list (pair int int))) "edges" (Dag.edges built) (Dag.edges traced))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_program_input_validation () =
+  let ctx = Trace.create () in
+  Alcotest.(check_raises) "inner mismatch"
+    (Invalid_argument "Programs.inner_product: bad dimensions") (fun () ->
+      ignore (Programs.inner_product ctx [| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.(check_raises) "wht non power"
+    (Invalid_argument "Programs.walsh_hadamard: length must be a power of two")
+    (fun () -> ignore (Programs.walsh_hadamard ctx (Array.make 3 0.0)));
+  Alcotest.(check_raises) "matmul ragged"
+    (Invalid_argument "Programs.matmul: ragged input") (fun () ->
+      ignore (Programs.matmul ctx [| [| 1.0; 2.0 |]; [| 3.0 |] |] [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_traced_graphs_acyclic =
+  QCheck2.Test.make ~name:"traced graphs natural-order topological" ~count:30
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 0 1000))
+    (fun (depth, seed) ->
+      let rng = Graphio_la.Rng.create seed in
+      let ctx = Trace.create () in
+      (* random expression dag *)
+      let pool = ref [ Trace.input ctx 1.0; Trace.input ctx 2.0 ] in
+      for _ = 1 to depth * 4 do
+        let pick () = List.nth !pool (Graphio_la.Rng.int rng (List.length !pool)) in
+        let v =
+          match Graphio_la.Rng.int rng 3 with
+          | 0 -> Trace.add (pick ()) (pick ())
+          | 1 -> Trace.mul (pick ()) (pick ())
+          | _ -> Trace.neg (pick ())
+        in
+        pool := v :: !pool
+      done;
+      let g = Trace.graph ctx in
+      Topo.is_valid g (Topo.natural g))
+
+let prop_wht_linear =
+  QCheck2.Test.make ~name:"WHT is linear" ~count:30
+    QCheck2.Gen.(pair (int_range 0 4) (int_range 0 10000))
+    (fun (l, seed) ->
+      let n = 1 lsl l in
+      let rng = Graphio_la.Rng.create seed in
+      let x = Array.init n (fun _ -> Graphio_la.Rng.gaussian rng) in
+      let y = Array.init n (fun _ -> Graphio_la.Rng.gaussian rng) in
+      let xy = Array.init n (fun i -> x.(i) +. y.(i)) in
+      let wx = Programs.reference_walsh_hadamard x in
+      let wy = Programs.reference_walsh_hadamard y in
+      let wxy = Programs.reference_walsh_hadamard xy in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Float.abs (wxy.(i) -. (wx.(i) +. wy.(i))) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_traced_graphs_acyclic; prop_wht_linear ]
+
+let () =
+  Alcotest.run "graphio_trace"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "arithmetic payloads" `Quick test_trace_arithmetic_payloads;
+          Alcotest.test_case "infix" `Quick test_trace_infix;
+          Alcotest.test_case "graph structure" `Quick test_trace_graph_structure;
+          Alcotest.test_case "custom ops" `Quick test_trace_custom;
+          Alcotest.test_case "mixed contexts rejected" `Quick test_trace_mixed_contexts_rejected;
+          Alcotest.test_case "empty custom rejected" `Quick test_trace_empty_custom_rejected;
+          Alcotest.test_case "incremental snapshots" `Quick test_trace_incremental_graph;
+          Alcotest.test_case "operation count" `Quick test_trace_n_operations;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "inner product value" `Quick test_inner_product_value;
+          Alcotest.test_case "inner product graph" `Quick test_inner_product_graph_matches_builder;
+          Alcotest.test_case "WHT values" `Quick test_walsh_hadamard_values;
+          Alcotest.test_case "WHT graph = butterfly" `Quick test_walsh_hadamard_graph_is_butterfly;
+          Alcotest.test_case "WHT parseval" `Quick test_walsh_hadamard_parseval;
+          Alcotest.test_case "matmul values" `Quick test_matmul_values;
+          Alcotest.test_case "matmul graph" `Quick test_matmul_graph_matches_builder;
+          Alcotest.test_case "strassen values" `Quick test_strassen_values;
+          Alcotest.test_case "strassen graph" `Quick test_strassen_graph_matches_builder;
+          Alcotest.test_case "held-karp vs brute force" `Quick test_held_karp_vs_brute_force;
+          Alcotest.test_case "held-karp graph = hypercube" `Quick test_held_karp_graph_is_hypercube;
+          Alcotest.test_case "input validation" `Quick test_program_input_validation;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,492 @@
+open Graphio_workloads
+open Graphio_graph
+
+(* ------------------------------------------------------------------ *)
+(* FFT / butterfly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fft_sizes () =
+  List.iter
+    (fun l ->
+      let g = Fft.build l in
+      Alcotest.(check int) "vertices" ((l + 1) * (1 lsl l)) (Dag.n_vertices g);
+      Alcotest.(check int) "edges" (2 * l * (1 lsl l)) (Dag.n_edges g))
+    [ 0; 1; 2; 3; 4; 7 ]
+
+let test_fft_degrees () =
+  let l = 4 in
+  let g = Fft.build l in
+  Alcotest.(check int) "max in" 2 (Dag.max_in_degree g);
+  Alcotest.(check int) "max out" 2 (Dag.max_out_degree g);
+  (* column 0 vertices are sources, column l sinks *)
+  Alcotest.(check int) "sources" (1 lsl l) (Array.length (Dag.sources g));
+  Alcotest.(check int) "sinks" (1 lsl l) (Array.length (Dag.sinks g))
+
+let test_fft_wiring () =
+  let l = 3 in
+  let g = Fft.build l in
+  (* vertex (c, r) has parents (c-1, r) and (c-1, r xor 2^{c-1}) *)
+  for c = 1 to l do
+    for r = 0 to (1 lsl l) - 1 do
+      let v = Fft.vertex ~l ~col:c ~row:r in
+      let p1 = Fft.vertex ~l ~col:(c - 1) ~row:r in
+      let p2 = Fft.vertex ~l ~col:(c - 1) ~row:(r lxor (1 lsl (c - 1))) in
+      Alcotest.(check bool) "parent same row" true (Dag.has_edge g p1 v);
+      Alcotest.(check bool) "parent xor row" true (Dag.has_edge g p2 v)
+    done
+  done
+
+let test_fft_topological_creation () =
+  let g = Fft.build 5 in
+  Alcotest.(check bool) "natural order valid" true
+    (Topo.is_valid g (Topo.natural g))
+
+let test_fft_b1_is_c4 () =
+  (* B_1 is the 4-cycle. *)
+  let g = Fft.build 1 in
+  Alcotest.(check int) "n" 4 (Dag.n_vertices g);
+  Alcotest.(check int) "m" 4 (Dag.n_edges g);
+  for v = 0 to 3 do
+    Alcotest.(check int) "degree 2" 2 (Dag.degree g v)
+  done
+
+let test_fft_vertex_bounds () =
+  Alcotest.check_raises "bad col" (Invalid_argument "Fft.vertex: column out of range")
+    (fun () -> ignore (Fft.vertex ~l:3 ~col:4 ~row:0));
+  Alcotest.check_raises "bad row" (Invalid_argument "Fft.vertex: row out of range")
+    (fun () -> ignore (Fft.vertex ~l:3 ~col:0 ~row:8))
+
+let test_fft_connected () =
+  for l = 1 to 6 do
+    Alcotest.(check bool) "connected" true (Component.is_connected (Fft.build l))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* BHK / hypercube                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bhk_sizes () =
+  List.iter
+    (fun l ->
+      let g = Bhk.build l in
+      Alcotest.(check int) "vertices" (1 lsl l) (Dag.n_vertices g);
+      (* each vertex has out-degree l - popcount; total edges = l 2^{l-1} *)
+      Alcotest.(check int) "edges" (l * (1 lsl (max 0 (l - 1)))) (Dag.n_edges g))
+    [ 0; 1; 2; 3; 5; 8 ]
+
+let test_bhk_degrees () =
+  let l = 5 in
+  let g = Bhk.build l in
+  for mask = 0 to (1 lsl l) - 1 do
+    let pc = Bhk.popcount mask in
+    Alcotest.(check int) "out = l - popcount" (l - pc) (Dag.out_degree g mask);
+    Alcotest.(check int) "in = popcount" pc (Dag.in_degree g mask);
+    Alcotest.(check int) "total = l" l (Dag.degree g mask)
+  done
+
+let test_bhk_edge_semantics () =
+  let l = 4 in
+  let g = Bhk.build l in
+  Dag.iter_edges g (fun u v ->
+      let diff = u lxor v in
+      Alcotest.(check bool) "one bit set" true (diff land (diff - 1) = 0 && diff <> 0);
+      Alcotest.(check bool) "adds a bit" true (v = u lor diff))
+
+let test_bhk_source_sink () =
+  let g = Bhk.build 4 in
+  Alcotest.(check (array int)) "source = empty mask" [| 0 |] (Dag.sources g);
+  Alcotest.(check (array int)) "sink = full mask" [| 15 |] (Dag.sinks g)
+
+let test_bhk_popcount () =
+  Alcotest.(check int) "0" 0 (Bhk.popcount 0);
+  Alcotest.(check int) "255" 8 (Bhk.popcount 255);
+  Alcotest.(check int) "0b1010" 2 (Bhk.popcount 0b1010)
+
+let test_bhk_natural_topological () =
+  let g = Bhk.build 6 in
+  Alcotest.(check bool) "natural valid" true (Topo.is_valid g (Topo.natural g))
+
+let test_bhk_figure4 () =
+  (* Figure 4: 3-city graph is the 3-cube with 8 vertices and 12 edges. *)
+  let g = Bhk.build 3 in
+  Alcotest.(check int) "n" 8 (Dag.n_vertices g);
+  Alcotest.(check int) "m" 12 (Dag.n_edges g)
+
+(* ------------------------------------------------------------------ *)
+(* Naive matmul                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_matmul_sizes () =
+  List.iter
+    (fun n ->
+      let g = Matmul.build n in
+      Alcotest.(check int) "vertices" (Matmul.n_vertices n) (Dag.n_vertices g);
+      (* products have 2 in-edges, sums n *)
+      Alcotest.(check int) "edges" ((2 * n * n * n) + (n * n * n)) (Dag.n_edges g))
+    [ 1; 2; 3; 4; 6 ]
+
+let test_matmul_degrees () =
+  let n = 4 in
+  let g = Matmul.build n in
+  Alcotest.(check int) "max in = n (the n-ary sums)" n (Dag.max_in_degree g);
+  (* every A entry feeds n products *)
+  Alcotest.(check int) "max out = n" n (Dag.max_out_degree g);
+  Alcotest.(check int) "inputs" (2 * n * n) (Array.length (Dag.sources g));
+  Alcotest.(check int) "outputs" (n * n) (Array.length (Dag.sinks g))
+
+let test_matmul_binary_sums () =
+  let n = 4 in
+  let g = Matmul.build_binary_sums n in
+  Alcotest.(check int) "vertices" ((2 * n * n) + (n * n * n) + (n * n * (n - 1)))
+    (Dag.n_vertices g);
+  Alcotest.(check int) "max in 2" 2 (Dag.max_in_degree g);
+  Alcotest.(check int) "outputs" (n * n) (Array.length (Dag.sinks g))
+
+let test_matmul_n1 () =
+  let g = Matmul.build 1 in
+  (* 2 inputs, 1 product, 1 unary sum *)
+  Alcotest.(check int) "n=1 vertices" 4 (Dag.n_vertices g);
+  let g2 = Matmul.build_binary_sums 1 in
+  Alcotest.(check int) "n=1 binary vertices" 4 (Dag.n_vertices g2)
+
+let test_matmul_natural_topological () =
+  Alcotest.(check bool) "natural valid" true
+    (Topo.is_valid (Matmul.build 5) (Topo.natural (Matmul.build 5)))
+
+let test_matmul_structure () =
+  (* Every sink is an n-ary sum over products of matching row/col. *)
+  let n = 3 in
+  let g = Matmul.build n in
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "sum arity" n (Dag.in_degree g s);
+      Array.iter
+        (fun p ->
+          Alcotest.(check int) "product arity" 2 (Dag.in_degree g p);
+          Array.iter
+            (fun input ->
+              Alcotest.(check int) "input is source" 0 (Dag.in_degree g input))
+            (Dag.pred g p))
+        (Dag.pred g s))
+    (Dag.sinks g)
+
+(* ------------------------------------------------------------------ *)
+(* Strassen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_strassen_sizes () =
+  List.iter
+    (fun n ->
+      let g = Strassen.build n in
+      Alcotest.(check int)
+        (Printf.sprintf "vertices n=%d" n)
+        (Strassen.n_vertices n) (Dag.n_vertices g))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_strassen_rejects_non_power () =
+  List.iter
+    (fun n ->
+      Alcotest.check_raises
+        (Printf.sprintf "n=%d" n)
+        (Invalid_argument "Strassen.build: n must be a positive power of two")
+        (fun () -> ignore (Strassen.build n)))
+    [ 0; 3; 5; 6; 7; 12 ]
+
+let test_strassen_degrees () =
+  let g = Strassen.build 4 in
+  Alcotest.(check int) "max in = 4 (C11/C22 combines)" 4 (Dag.max_in_degree g);
+  Alcotest.(check int) "inputs" 32 (Array.length (Dag.sources g))
+
+let test_strassen_n1 () =
+  let g = Strassen.build 1 in
+  (* two inputs and one multiply *)
+  Alcotest.(check int) "n" 3 (Dag.n_vertices g);
+  Alcotest.(check int) "sinks" 1 (Array.length (Dag.sinks g))
+
+let test_strassen_seven_multiplies () =
+  (* n=2: exactly 7 scalar multiplies (vertices labelled "*"). *)
+  let g = Strassen.build 2 in
+  let mults = ref 0 in
+  for v = 0 to Dag.n_vertices g - 1 do
+    if Dag.label g v = Some "*" then incr mults
+  done;
+  Alcotest.(check int) "7 multiplies" 7 !mults;
+  (* and 4 output quadrant entries: C11, C12, C21, C22 *)
+  Alcotest.(check int) "4 outputs" 4 (Array.length (Dag.sinks g))
+
+let test_strassen_mult_count_recursive () =
+  (* n=4: 49 multiplies. *)
+  let g = Strassen.build 4 in
+  let mults = ref 0 in
+  for v = 0 to Dag.n_vertices g - 1 do
+    if Dag.label g v = Some "*" then incr mults
+  done;
+  Alcotest.(check int) "49 multiplies" 49 !mults
+
+let test_strassen_natural_topological () =
+  let g = Strassen.build 8 in
+  Alcotest.(check bool) "natural valid" true (Topo.is_valid g (Topo.natural g))
+
+let test_strassen_connected () =
+  Alcotest.(check bool) "connected" true (Component.is_connected (Strassen.build 4))
+
+(* ------------------------------------------------------------------ *)
+(* Inner product                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_inner_product_figure1 () =
+  let g = Inner_product.build 2 in
+  Alcotest.(check int) "7 vertices" 7 (Dag.n_vertices g);
+  Alcotest.(check int) "6 edges" 6 (Dag.n_edges g);
+  Alcotest.(check int) "4 inputs" 4 (Array.length (Dag.sources g));
+  Alcotest.(check int) "1 output" 1 (Array.length (Dag.sinks g))
+
+let test_inner_product_general () =
+  List.iter
+    (fun d ->
+      let g = Inner_product.build d in
+      Alcotest.(check int) "vertices" ((3 * d) + (d - 1)) (Dag.n_vertices g);
+      Alcotest.(check int) "max in" 2 (Dag.max_in_degree g))
+    [ 1; 2; 3; 8 ]
+
+let test_figure2 () =
+  let g, partition = Inner_product.figure2 () in
+  Alcotest.(check int) "7 vertices" 7 (Dag.n_vertices g);
+  Alcotest.(check int) "3 segments" 3 (Array.fold_left max 0 partition + 1);
+  Alcotest.(check bool) "natural topological" true (Topo.is_valid g (Topo.natural g));
+  (* segments are contiguous in the natural order *)
+  let ok = ref true in
+  for v = 1 to 6 do
+    if partition.(v) < partition.(v - 1) then ok := false
+  done;
+  Alcotest.(check bool) "contiguous" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Reduction                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduction_binary () =
+  List.iter
+    (fun n ->
+      let g = Reduction.build n in
+      Alcotest.(check int) "vertices" (Reduction.n_vertices n) (Dag.n_vertices g);
+      Alcotest.(check int) "one output" 1 (Array.length (Dag.sinks g));
+      Alcotest.(check int) "n inputs" n (Array.length (Dag.sources g));
+      Alcotest.(check bool) "max in <= 2" true (Dag.max_in_degree g <= 2);
+      Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g)))
+    [ 1; 2; 3; 7; 8; 17 ]
+
+let test_reduction_power_of_two_count () =
+  (* binary reduction of 2^k leaves has 2^{k+1} - 1 vertices *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d" k)
+        ((1 lsl (k + 1)) - 1)
+        (Reduction.n_vertices (1 lsl k)))
+    [ 0; 1; 2; 3; 6 ]
+
+let test_reduction_arity () =
+  let g = Reduction.build ~arity:4 16 in
+  (* 16 -> 4 -> 1: 21 vertices *)
+  Alcotest.(check int) "vertices" 21 (Dag.n_vertices g);
+  Alcotest.(check int) "max in" 4 (Dag.max_in_degree g);
+  Alcotest.check_raises "arity 1" (Invalid_argument "Reduction.build: arity must be >= 2")
+    (fun () -> ignore (Reduction.build ~arity:1 4))
+
+(* ------------------------------------------------------------------ *)
+(* Stencil                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stencil_shape () =
+  let width = 10 and steps = 4 in
+  let g = Stencil.build ~width ~steps () in
+  Alcotest.(check int) "vertices" ((steps + 1) * width) (Dag.n_vertices g);
+  Alcotest.(check int) "inputs" width (Array.length (Dag.sources g));
+  Alcotest.(check int) "outputs" width (Array.length (Dag.sinks g));
+  Alcotest.(check int) "interior in-degree 3" 3 (Dag.max_in_degree g);
+  Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g));
+  (* border cells have in-degree 2 *)
+  Alcotest.(check int) "border" 2
+    (Dag.in_degree g (Stencil.vertex ~width ~step:1 ~cell:0))
+
+let test_stencil_radius () =
+  let g0 = Stencil.build ~radius:0 ~width:5 ~steps:3 () in
+  (* radius 0: disjoint chains *)
+  Alcotest.(check int) "radius 0 edges" (5 * 3) (Dag.n_edges g0);
+  Alcotest.(check int) "components" 5 (Component.count g0);
+  let g2 = Stencil.build ~radius:2 ~width:7 ~steps:1 () in
+  Alcotest.(check int) "radius 2 in-degree" 5 (Dag.max_in_degree g2)
+
+let test_pyramid () =
+  List.iter
+    (fun base ->
+      let g = Stencil.pyramid base in
+      Alcotest.(check int) "vertices" (base * (base + 1) / 2) (Dag.n_vertices g);
+      Alcotest.(check int) "inputs" base (Array.length (Dag.sources g));
+      Alcotest.(check int) "apex" 1 (Array.length (Dag.sinks g));
+      if base > 1 then Alcotest.(check int) "in-degree 2" 2 (Dag.max_in_degree g);
+      Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g)))
+    [ 1; 2; 3; 8; 20 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bitonic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitonic_shape () =
+  List.iter
+    (fun l ->
+      let g = Bitonic.build l in
+      Alcotest.(check int) "stages" (l * (l + 1) / 2) (Bitonic.n_stages l);
+      Alcotest.(check int) "vertices" (Bitonic.n_vertices l) (Dag.n_vertices g);
+      Alcotest.(check int) "inputs" (1 lsl l) (Array.length (Dag.sources g));
+      Alcotest.(check int) "outputs" (1 lsl l) (Array.length (Dag.sinks g));
+      if l >= 1 then begin
+        Alcotest.(check int) "in-degree 2" 2 (Dag.max_in_degree g);
+        Alcotest.(check int) "out-degree 2" 2 (Dag.max_out_degree g)
+      end;
+      Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_bitonic_l1_is_fft_l1 () =
+  (* One stage on two wires: same shape as B_1. *)
+  let b = Bitonic.build 1 and f = Fft.build 1 in
+  Alcotest.(check int) "n" (Dag.n_vertices f) (Dag.n_vertices b);
+  Alcotest.(check (list (pair int int))) "edges" (Dag.edges f) (Dag.edges b)
+
+let test_bitonic_deeper_than_fft () =
+  (* l(l+1)/2 columns vs l columns: strictly more vertices for l >= 2. *)
+  for l = 2 to 6 do
+    Alcotest.(check bool) "bigger" true
+      (Dag.n_vertices (Bitonic.build l) > Dag.n_vertices (Fft.build l))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sequences                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_horner () =
+  let d = 5 in
+  let g = Sequences.horner d in
+  Alcotest.(check int) "vertices" ((3 * d) + 2) (Dag.n_vertices g);
+  (* x feeds every multiply *)
+  Alcotest.(check int) "x out-degree" d (Dag.out_degree g 0);
+  Alcotest.(check int) "one output" 1 (Array.length (Dag.sinks g));
+  Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g))
+
+let test_prefix_sum () =
+  let n = 8 in
+  let g = Sequences.prefix_sum n in
+  Alcotest.(check int) "vertices" ((2 * n) - 1) (Dag.n_vertices g);
+  Alcotest.(check int) "inputs" n (Array.length (Dag.sources g));
+  Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g))
+
+let test_independent_chains () =
+  let g = Sequences.independent_chains ~count:4 ~length:6 in
+  Alcotest.(check int) "vertices" 24 (Dag.n_vertices g);
+  Alcotest.(check int) "components" 4 (Component.count g);
+  Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_fft_acyclic_and_layered =
+  QCheck2.Test.make ~name:"fft natural order topological" ~count:8
+    QCheck2.Gen.(int_range 0 7)
+    (fun l ->
+      let g = Fft.build l in
+      Topo.is_valid g (Topo.natural g))
+
+let prop_bhk_monotone_masks =
+  QCheck2.Test.make ~name:"bhk edges increase popcount by 1" ~count:8
+    QCheck2.Gen.(int_range 1 9)
+    (fun l ->
+      let g = Bhk.build l in
+      Dag.fold_edges g ~init:true ~f:(fun acc u v ->
+          acc && Bhk.popcount v = Bhk.popcount u + 1))
+
+let prop_matmul_vertex_count =
+  QCheck2.Test.make ~name:"matmul vertex count formula" ~count:6
+    QCheck2.Gen.(int_range 1 6)
+    (fun n -> Dag.n_vertices (Matmul.build n) = (2 * n * n) + (n * n * n) + (n * n))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_fft_acyclic_and_layered; prop_bhk_monotone_masks; prop_matmul_vertex_count ]
+
+let () =
+  Alcotest.run "graphio_workloads"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "sizes" `Quick test_fft_sizes;
+          Alcotest.test_case "degrees" `Quick test_fft_degrees;
+          Alcotest.test_case "wiring" `Quick test_fft_wiring;
+          Alcotest.test_case "topological creation" `Quick test_fft_topological_creation;
+          Alcotest.test_case "B1 is C4" `Quick test_fft_b1_is_c4;
+          Alcotest.test_case "vertex bounds" `Quick test_fft_vertex_bounds;
+          Alcotest.test_case "connected" `Quick test_fft_connected;
+        ] );
+      ( "bhk",
+        [
+          Alcotest.test_case "sizes" `Quick test_bhk_sizes;
+          Alcotest.test_case "degrees" `Quick test_bhk_degrees;
+          Alcotest.test_case "edge semantics" `Quick test_bhk_edge_semantics;
+          Alcotest.test_case "source and sink" `Quick test_bhk_source_sink;
+          Alcotest.test_case "popcount" `Quick test_bhk_popcount;
+          Alcotest.test_case "natural topological" `Quick test_bhk_natural_topological;
+          Alcotest.test_case "figure 4" `Quick test_bhk_figure4;
+        ] );
+      ( "matmul",
+        [
+          Alcotest.test_case "sizes" `Quick test_matmul_sizes;
+          Alcotest.test_case "degrees" `Quick test_matmul_degrees;
+          Alcotest.test_case "binary sums variant" `Quick test_matmul_binary_sums;
+          Alcotest.test_case "n=1" `Quick test_matmul_n1;
+          Alcotest.test_case "natural topological" `Quick test_matmul_natural_topological;
+          Alcotest.test_case "structure" `Quick test_matmul_structure;
+        ] );
+      ( "strassen",
+        [
+          Alcotest.test_case "sizes" `Quick test_strassen_sizes;
+          Alcotest.test_case "rejects non-powers" `Quick test_strassen_rejects_non_power;
+          Alcotest.test_case "degrees" `Quick test_strassen_degrees;
+          Alcotest.test_case "n=1" `Quick test_strassen_n1;
+          Alcotest.test_case "seven multiplies" `Quick test_strassen_seven_multiplies;
+          Alcotest.test_case "49 multiplies at n=4" `Quick test_strassen_mult_count_recursive;
+          Alcotest.test_case "natural topological" `Quick test_strassen_natural_topological;
+          Alcotest.test_case "connected" `Quick test_strassen_connected;
+        ] );
+      ( "inner-product",
+        [
+          Alcotest.test_case "figure 1" `Quick test_inner_product_figure1;
+          Alcotest.test_case "general d" `Quick test_inner_product_general;
+          Alcotest.test_case "figure 2" `Quick test_figure2;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "binary" `Quick test_reduction_binary;
+          Alcotest.test_case "power-of-two counts" `Quick test_reduction_power_of_two_count;
+          Alcotest.test_case "arity" `Quick test_reduction_arity;
+        ] );
+      ( "stencil",
+        [
+          Alcotest.test_case "shape" `Quick test_stencil_shape;
+          Alcotest.test_case "radius" `Quick test_stencil_radius;
+          Alcotest.test_case "pyramid" `Quick test_pyramid;
+        ] );
+      ( "bitonic",
+        [
+          Alcotest.test_case "shape" `Quick test_bitonic_shape;
+          Alcotest.test_case "l=1 equals fft l=1" `Quick test_bitonic_l1_is_fft_l1;
+          Alcotest.test_case "deeper than fft" `Quick test_bitonic_deeper_than_fft;
+        ] );
+      ( "sequences",
+        [
+          Alcotest.test_case "horner" `Quick test_horner;
+          Alcotest.test_case "prefix sum" `Quick test_prefix_sum;
+          Alcotest.test_case "independent chains" `Quick test_independent_chains;
+        ] );
+      ("properties", props);
+    ]
