@@ -21,16 +21,16 @@ open Graphio_core
 
 let csv_mode = ref false
 let quick = ref false
+let json_path = ref None
 
 let emit report =
   Report.print report;
   if !csv_mode then print_string (Report.to_csv report);
   print_newline ()
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* Monotonic clock: wall-clock adjustments (NTP slews, suspend) must not
+   corrupt benchmark timings. *)
+let time f = Graphio_obs.Clock.time f
 
 (* Eigensolve once per (graph, method), reuse across M values. *)
 let spectral_bounds g ~ms =
@@ -780,21 +780,29 @@ let sections =
     ("bechamel", bechamel);
   ]
 
+let counter_of snapshot name =
+  match Graphio_obs.Metrics.find snapshot name with
+  | Some (Graphio_obs.Metrics.Counter v) -> v
+  | _ -> 0
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        match a with
-        | "--csv" ->
-            csv_mode := true;
-            false
-        | "--quick" ->
-            quick := true;
-            false
-        | _ -> true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--csv" :: rest ->
+        csv_mode := true;
+        parse acc rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires an output path";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     match args with
     | [] -> sections
@@ -809,9 +817,41 @@ let () =
                 exit 2)
           names
   in
+  let records = ref [] in
   List.iter
     (fun (name, f) ->
+      let before = Graphio_obs.Metrics.snapshot () in
       let (), dt = time f in
+      let after = Graphio_obs.Metrics.snapshot () in
+      let delta c = counter_of after c - counter_of before c in
+      let dense = delta "la.eigen.dense_solves"
+      and sparse = delta "la.eigen.sparse_solves" in
+      let backend =
+        match (dense > 0, sparse > 0) with
+        | true, true -> "dense+sparse"
+        | true, false -> "dense"
+        | false, true -> "sparse"
+        | false, false -> "-"
+      in
+      records :=
+        Graphio_obs.Jsonx.Obj
+          [
+            ("section", Graphio_obs.Jsonx.String name);
+            ("wall_s", Graphio_obs.Jsonx.Float dt);
+            ("matvecs", Graphio_obs.Jsonx.Int (delta "la.eigen.matvecs"));
+            ("backend", Graphio_obs.Jsonx.String backend);
+          ]
+        :: !records;
       Printf.printf "[section %s completed in %.1fs]\n\n" name dt;
       flush stdout)
-    selected
+    selected;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Graphio_obs.Jsonx.to_file path
+        (Graphio_obs.Jsonx.Obj
+           [
+             ("quick", Graphio_obs.Jsonx.Bool !quick);
+             ("sections", Graphio_obs.Jsonx.List (List.rev !records));
+           ]);
+      Printf.printf "wrote per-section bench records to %s\n" path

@@ -20,19 +20,37 @@ open Graphio_core
 (* ------------------------------------------------------------------ *)
 
 let parse_spec spec =
+  let int_param name s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "graph spec %S: %s %S is not an integer" spec name s))
+  in
+  let float_param name s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "graph spec %S: %s %S is not a number" spec name s))
+  in
   match String.split_on_char ':' spec with
-  | [ "fft"; l ] -> Ok (Graphio_workloads.Fft.build (int_of_string l))
-  | [ "bhk"; l ] -> Ok (Graphio_workloads.Bhk.build (int_of_string l))
-  | [ "matmul"; n ] -> Ok (Graphio_workloads.Matmul.build (int_of_string n))
+  | [ "fft"; l ] -> Ok (Graphio_workloads.Fft.build (int_param "level count" l))
+  | [ "bhk"; l ] -> Ok (Graphio_workloads.Bhk.build (int_param "level count" l))
+  | [ "matmul"; n ] -> Ok (Graphio_workloads.Matmul.build (int_param "size" n))
   | [ "matmul-binary"; n ] ->
-      Ok (Graphio_workloads.Matmul.build_binary_sums (int_of_string n))
-  | [ "strassen"; n ] -> Ok (Graphio_workloads.Strassen.build (int_of_string n))
-  | [ "inner"; d ] -> Ok (Graphio_workloads.Inner_product.build (int_of_string d))
-  | [ "er"; n; p ] -> Ok (Er.gnp ~n:(int_of_string n) ~p:(float_of_string p) ~seed:1)
+      Ok (Graphio_workloads.Matmul.build_binary_sums (int_param "size" n))
+  | [ "strassen"; n ] -> Ok (Graphio_workloads.Strassen.build (int_param "size" n))
+  | [ "inner"; d ] -> Ok (Graphio_workloads.Inner_product.build (int_param "dimension" d))
+  | [ "er"; n; p ] ->
+      Ok (Er.gnp ~n:(int_param "size" n) ~p:(float_param "edge probability" p) ~seed:1)
   | [ "er"; n; p; seed ] ->
       Ok
-        (Er.gnp ~n:(int_of_string n) ~p:(float_of_string p)
-           ~seed:(int_of_string seed))
+        (Er.gnp ~n:(int_param "size" n)
+           ~p:(float_param "edge probability" p)
+           ~seed:(int_param "seed" seed))
   | _ ->
       Error
         (Printf.sprintf
@@ -61,15 +79,43 @@ let m_arg =
   Arg.(value & opt int 8 & info [ "m"; "memory" ] ~docv:"M"
          ~doc:"Fast-memory size in elements.")
 
-let handle f = try `Ok (f ()) with
-  | Invalid_argument msg | Failure msg -> `Error (false, msg)
+(* Observability flags, shared by every subcommand: [--metrics] prints the
+   process-wide counter/histogram table to stderr on success (stderr so
+   the primary stdout output stays scriptable), [--trace FILE] enables
+   span collection and writes a Chrome trace-event JSON on exit. *)
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the metrics summary table to stderr on exit.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record hierarchical spans and write Chrome trace-event JSON \
+               (load in chrome://tracing or Perfetto).")
+
+(* All expected failures (bad specs, unreadable/malformed graph files,
+   infeasible parameters) surface as one clean line on stderr and exit
+   code 1; cmdliner's `Error path is reserved for CLI syntax problems. *)
+let handle ~metrics ~trace f =
+  if trace <> None then Graphio_obs.Span.set_enabled true;
+  match
+    f ();
+    (match trace with
+    | Some path -> Graphio_obs.Span.write_chrome_trace path
+    | None -> ());
+    if metrics then
+      prerr_string (Graphio_obs.Metrics.render_text (Graphio_obs.Metrics.snapshot ()))
+  with
+  | () -> `Ok ()
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+      Printf.eprintf "graphio: %s\n" msg;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let generate spec output =
-  handle @@ fun () ->
+let generate spec output metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   match parse_spec spec with
   | Error msg -> raise (Invalid_argument msg)
   | Ok g -> (
@@ -91,14 +137,14 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Build a workload computation graph")
-    Term.(ret (const generate $ spec $ output))
+    Term.(ret (const generate $ spec $ output $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name =
-  handle @@ fun () ->
+let bound spec file m h p method_name metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   let method_ =
     match method_name with
@@ -138,14 +184,17 @@ let bound_cmd =
   in
   Cmd.v
     (Cmd.info "bound" ~doc:"Spectral I/O lower bound")
-    Term.(ret (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name))
+    Term.(
+      ret
+        (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
+        $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let baseline spec file m partitioned =
-  handle @@ fun () ->
+let baseline spec file m partitioned metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   if partitioned then begin
     let b = Graphio_flow.Convex_mincut.bound_partitioned g ~m ~part_size:(2 * m) in
@@ -165,14 +214,17 @@ let baseline_cmd =
   in
   Cmd.v
     (Cmd.info "baseline" ~doc:"Convex min-cut lower bound (Elango et al.)")
-    Term.(ret (const baseline $ spec_arg $ file_arg $ m_arg $ partitioned))
+    Term.(
+      ret
+        (const baseline $ spec_arg $ file_arg $ m_arg $ partitioned $ metrics_arg
+        $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate spec file m order_name policy_name =
-  handle @@ fun () ->
+let simulate spec file m order_name policy_name metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   let order =
     match order_name with
@@ -205,14 +257,17 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a schedule in the two-level memory model")
-    Term.(ret (const simulate $ spec_arg $ file_arg $ m_arg $ order $ policy))
+    Term.(
+      ret
+        (const simulate $ spec_arg $ file_arg $ m_arg $ order $ policy
+        $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* spectrum                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let spectrum spec file h normalized =
-  handle @@ fun () ->
+let spectrum spec file h normalized metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   let lap = if normalized then Laplacian.normalized g else Laplacian.standard g in
   let s = Graphio_la.Eigen.smallest ~h lap in
@@ -235,14 +290,17 @@ let spectrum_cmd =
   in
   Cmd.v
     (Cmd.info "spectrum" ~doc:"Smallest Laplacian eigenvalues of a graph")
-    Term.(ret (const spectrum $ spec_arg $ file_arg $ h $ normalized))
+    Term.(
+      ret
+        (const spectrum $ spec_arg $ file_arg $ h $ normalized $ metrics_arg
+        $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let export spec file output =
-  handle @@ fun () ->
+let export spec file output metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   let dot = Dot.to_string g in
   match output with
@@ -259,14 +317,14 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export a graph as Graphviz DOT")
-    Term.(ret (const export $ spec_arg $ file_arg $ output))
+    Term.(ret (const export $ spec_arg $ file_arg $ output $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze spec file m with_mincut search_budget =
-  handle @@ fun () ->
+let analyze spec file m with_mincut search_budget metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   let m = max m (Graphio_pebble.Simulator.min_feasible_m g) in
   let r =
@@ -323,14 +381,17 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Combined lower/upper-bound analysis of one graph")
-    Term.(ret (const analyze $ spec_arg $ file_arg $ m_arg $ with_mincut $ budget))
+    Term.(
+      ret
+        (const analyze $ spec_arg $ file_arg $ m_arg $ with_mincut $ budget
+        $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let sweep spec file m_from m_to =
-  handle @@ fun () ->
+let sweep spec file m_from m_to metrics trace =
+  handle ~metrics ~trace @@ fun () ->
   let g = load_graph ~spec ~file in
   if m_from < 0 || m_to < m_from then
     raise (Invalid_argument "sweep: need 0 <= from <= to");
@@ -357,7 +418,10 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"CSV of the spectral bounds across fast-memory sizes (doubling steps)")
-    Term.(ret (const sweep $ spec_arg $ file_arg $ m_from $ m_to))
+    Term.(
+      ret
+        (const sweep $ spec_arg $ file_arg $ m_from $ m_to $ metrics_arg
+        $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 

@@ -8,15 +8,24 @@ type outcome = {
   method_ : method_;
   backend : Eigen.backend;
   eigenvalues : float array;
+  solve_stats : Eigen.stats option;
 }
 
-let spectrum ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed g =
+let c_bounds = Graphio_obs.Metrics.counter "core.solver.bounds"
+let h_bound_seconds = Graphio_obs.Metrics.histogram "core.solver.bound_seconds"
+
+let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
+    ?on_iteration g =
   let laplacian =
-    match method_ with
-    | Normalized -> Laplacian.normalized g
-    | Standard -> Laplacian.standard g
+    Graphio_obs.Span.with_ "solver.laplacian" (fun () ->
+        match method_ with
+        | Normalized -> Laplacian.normalized g
+        | Standard -> Laplacian.standard g)
   in
-  let spec = Eigen.smallest ~h ?dense_threshold ?tol ?seed laplacian in
+  let spec =
+    Graphio_obs.Span.with_ "solver.eigensolve" (fun () ->
+        Eigen.smallest ~h ?dense_threshold ?tol ?seed ?on_iteration laplacian)
+  in
   let scale =
     match method_ with
     | Normalized -> 1.0
@@ -25,26 +34,37 @@ let spectrum ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed g =
         if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax
   in
   ( Array.map (fun l -> scale *. Float.max l 0.0) spec.Eigen.values,
-    spec.Eigen.backend )
+    spec.Eigen.backend,
+    spec.Eigen.stats )
 
-let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed g ~m =
-  let n = Dag.n_vertices g in
-  if n = 0 then
-    {
-      result = Spectral_bound.compute ~n:0 ~m ~eigenvalues:[||] ();
-      method_;
-      backend = Eigen.Dense;
-      eigenvalues = [||];
-    }
-  else begin
-    let eigenvalues, backend = spectrum ~method_ ~h ?dense_threshold ?tol ?seed g in
-    {
-      result = Spectral_bound.compute ~n ~m ?p ~eigenvalues ();
-      method_;
-      backend;
-      eigenvalues;
-    }
-  end
+let spectrum ?method_ ?h ?dense_threshold ?tol ?seed g =
+  let eigenvalues, backend, _ = spectrum_full ?method_ ?h ?dense_threshold ?tol ?seed g in
+  (eigenvalues, backend)
+
+let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
+    ?on_iteration g ~m =
+  Graphio_obs.Metrics.time h_bound_seconds (fun () ->
+      Graphio_obs.Span.with_ "solver.bound" (fun () ->
+          Graphio_obs.Metrics.incr c_bounds;
+          let n = Dag.n_vertices g in
+          if n = 0 then
+            {
+              result = Spectral_bound.compute ~n:0 ~m ~eigenvalues:[||] ();
+              method_;
+              backend = Eigen.Dense;
+              eigenvalues = [||];
+              solve_stats = None;
+            }
+          else begin
+            let eigenvalues, backend, solve_stats =
+              spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration g
+            in
+            let result =
+              Graphio_obs.Span.with_ "solver.maximize" (fun () ->
+                  Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
+            in
+            { result; method_; backend; eigenvalues; solve_stats }
+          end))
 
 let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
   if scale < 0.0 then invalid_arg "Solver.bound_of_spectrum: negative scale";
@@ -53,6 +73,12 @@ let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
     |> Array.map (fun l -> scale *. Float.max l 0.0)
   in
   Spectral_bound.compute ~n ~m ?p ~eigenvalues ()
+
+(* Above this many floor segments per run we fall back to the O(1)-per-run
+   heuristic: ⌊n/(kp)⌋ takes ~2√(n/p) distinct values, so the cutoff keeps
+   the exact path under a few thousand evaluations per run while the
+   closed-form giants (butterfly l = 32 has n ≈ 1.4e11) stay cheap. *)
+let exact_segment_limit = 1_000_000
 
 let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
   if scale < 0.0 then invalid_arg "Solver.bound_of_spectrum_all_k: negative scale";
@@ -77,25 +103,55 @@ let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
       end
     end
   in
+  let exact = n / p <= exact_segment_limit in
   let base_sum = ref 0.0 and base_count = ref 0 in
   Array.iter
     (fun (raw_lambda, mult) ->
       let lambda = scale *. Float.max raw_lambda 0.0 in
       let run_end = !base_count + mult in
-      (* run boundaries *)
-      consider ~base_sum:!base_sum ~base_count:!base_count ~lambda (!base_count + 1);
-      consider ~base_sum:!base_sum ~base_count:!base_count ~lambda (min run_end k_max);
-      (* interior stationary point of the continuous relaxation
-         f(k) = (n/(kp)) (S0 + (k - K0) L) - 2kM, maximised at
-         k* = sqrt(n (K0 L - S0) / (2 M p)) when that quantity is
-         positive *)
-      let num = float_of_int n *. ((float_of_int !base_count *. lambda) -. !base_sum) in
-      if num > 0.0 && m > 0 then begin
-        let k_star = sqrt (num /. (2.0 *. float_of_int (m * p))) in
-        let k0 = int_of_float k_star in
-        for k = max (!base_count + 1) (k0 - 2) to min run_end (k0 + 2) do
-          consider ~base_sum:!base_sum ~base_count:!base_count ~lambda k
+      let lo = max 2 (!base_count + 1) in
+      let hi = min run_end k_max in
+      let consider = consider ~base_sum:!base_sum ~base_count:!base_count ~lambda in
+      if exact then begin
+        (* Within a floor segment ⌊n/(kp)⌋ = q the objective is linear in
+           k, so its maximum over the run sits at a segment endpoint;
+           walking the segments intersecting [lo, hi] makes this run's
+           maximization exact.  The floor function has O(√(n/p)) segments
+           total, so the whole scan is cheap under the gate above. *)
+        let k = ref lo in
+        while !k <= hi do
+          consider !k;
+          let q = n / (!k * p) in
+          if q = 0 then begin
+            (* beyond n/p the objective is just -2kM, decreasing in k *)
+            k := hi + 1
+          end
+          else begin
+            let seg_end = min hi (n / (p * q)) in
+            consider seg_end;
+            k := seg_end + 1
+          end
         done
+      end
+      else if lo <= hi then begin
+        (* run boundaries (k = 2 may land mid-run when the first run is a
+           multiplicity cluster, hence the clamp in [lo]) *)
+        consider lo;
+        consider hi;
+        (* interior stationary point of the continuous relaxation
+           f(k) = (n/(kp)) (S0 + (k - K0) L) - 2kM, maximised at
+           k* = sqrt(n (K0 L - S0) / (2 M p)) when that quantity is
+           positive *)
+        let num =
+          float_of_int n *. ((float_of_int !base_count *. lambda) -. !base_sum)
+        in
+        if num > 0.0 && m > 0 then begin
+          let k_star = sqrt (num /. (2.0 *. float_of_int (m * p))) in
+          let k0 = int_of_float k_star in
+          for k = max lo (k0 - 2) to min hi (k0 + 2) do
+            consider k
+          done
+        end
       end;
       base_sum := !base_sum +. (float_of_int mult *. lambda);
       base_count := run_end)

@@ -19,6 +19,9 @@ type outcome = {
   method_ : method_;
   backend : Graphio_la.Eigen.backend;
   eigenvalues : float array;  (** the (scaled) eigenvalues fed to the maximization *)
+  solve_stats : Graphio_la.Eigen.stats option;
+      (** iterative-eigensolver work summary (matvecs, sweeps, locked and
+          padded counts); [None] when the dense path ran *)
 }
 
 val bound :
@@ -28,12 +31,19 @@ val bound :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?on_iteration:Graphio_la.Convergence.callback ->
   Graphio_graph.Dag.t ->
   m:int ->
   outcome
 (** [bound g ~m] — the spectral lower bound on non-trivial I/O.  Default
     method is [Normalized] (the paper's main Theorem 4 instrument).
-    Graphs with no edges yield a 0 bound. *)
+    Graphs with no edges yield a 0 bound.
+
+    The whole pipeline runs inside nested {!Graphio_obs.Span} spans
+    ([solver.bound] over [solver.laplacian], [solver.eigensolve],
+    [solver.maximize]) and is timed into the [core.solver.bound_seconds]
+    histogram; [on_iteration] streams eigensolver convergence progress
+    when the sparse path is taken. *)
 
 val spectrum :
   ?method_:method_ ->
@@ -73,11 +83,17 @@ val bound_of_spectrum_all_k :
   m:int ->
   unit ->
   Spectral_bound.t
-(** Like {!bound_of_spectrum} but maximizes over {e all} [k <= n] in
-    [O(distinct values)] instead of capping at [h]: within a run of equal
-    eigenvalues the objective [⌊n/(kp)⌋ Σλ − 2kM] is explicitly
-    optimizable (the closed-form hypercube/butterfly analyses of Section 5
-    pick [k] in the thousands or millions, far past any sensible [h]).
-    The search evaluates run boundaries and the per-run stationary point;
-    every evaluated [k] is exact, so the result is always a valid lower
-    bound, within floor-rounding of the true maximum. *)
+(** Like {!bound_of_spectrum} but maximizes over {e all} [k <= n] instead
+    of capping at [h]: within a run of equal eigenvalues the objective
+    [⌊n/(kp)⌋ Σλ − 2kM] is explicitly optimizable (the closed-form
+    hypercube/butterfly analyses of Section 5 pick [k] in the thousands or
+    millions, far past any sensible [h]).
+
+    When [n/p <= 1_000_000] the maximization is {e exact}: the objective
+    is linear in [k] on every floor segment [⌊n/(kp)⌋ = q], so evaluating
+    the [O(√(n/p))] segment endpoints inside each run provably hits the
+    discrete maximum.  Beyond that size (closed-form giant spectra) the
+    search falls back to run boundaries plus the per-run stationary point
+    of the continuous relaxation, in [O(distinct values)].  Every
+    evaluated [k] uses the exact objective, so the result is always a
+    valid lower bound. *)

@@ -48,14 +48,24 @@ let min_wavefront g v =
     Dinic.max_flow net ~s ~sink:t
   end
 
+let c_wavefronts = Graphio_obs.Metrics.counter "flow.mincut.wavefronts"
+
+let h_wavefront_seconds =
+  Graphio_obs.Metrics.histogram "flow.mincut.wavefront_seconds"
+
 let max_wavefront g =
-  let best = ref { vertex = -1; wavefront = 0 } in
-  for v = 0 to Dag.n_vertices g - 1 do
-    let c = min_wavefront g v in
-    if c > !best.wavefront || !best.vertex < 0 then
-      best := { vertex = v; wavefront = c }
-  done;
-  !best
+  Graphio_obs.Span.with_ "mincut.max_wavefront" (fun () ->
+      let best = ref { vertex = -1; wavefront = 0 } in
+      for v = 0 to Dag.n_vertices g - 1 do
+        let c =
+          Graphio_obs.Metrics.time h_wavefront_seconds (fun () ->
+              min_wavefront g v)
+        in
+        Graphio_obs.Metrics.incr c_wavefronts;
+        if c > !best.wavefront || !best.vertex < 0 then
+          best := { vertex = v; wavefront = c }
+      done;
+      !best)
 
 let bound_of_wavefront best ~m =
   if m < 0 then invalid_arg "Convex_mincut.bound_of_wavefront: negative memory size";

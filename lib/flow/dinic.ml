@@ -57,10 +57,15 @@ let freeze t =
       t.adj <- Some adj;
       adj
 
+let c_max_flows = Graphio_obs.Metrics.counter "flow.dinic.max_flows"
+let c_bfs_phases = Graphio_obs.Metrics.counter "flow.dinic.bfs_phases"
+let c_aug_paths = Graphio_obs.Metrics.counter "flow.dinic.augmenting_paths"
+
 let max_flow t ~s ~sink =
   if s = sink then invalid_arg "Dinic.max_flow: source equals sink";
   if s < 0 || s >= t.n || sink < 0 || sink >= t.n then
     invalid_arg "Dinic.max_flow: node out of range";
+  Graphio_obs.Metrics.incr c_max_flows;
   let adj = freeze t in
   let level = Array.make t.n (-1) in
   let iter = Array.make t.n 0 in
@@ -105,11 +110,16 @@ let max_flow t ~s ~sink =
   in
   let flow = ref 0 in
   while bfs () do
+    Graphio_obs.Metrics.incr c_bfs_phases;
     Array.fill iter 0 t.n 0;
     let continue_ = ref true in
     while !continue_ do
       let f = dfs s inf_cap in
-      if f = 0 then continue_ := false else flow := !flow + f
+      if f = 0 then continue_ := false
+      else begin
+        Graphio_obs.Metrics.incr c_aug_paths;
+        flow := !flow + f
+      end
     done
   done;
   !flow

@@ -1,13 +1,20 @@
 open Graphio_la
 
+let c_builds = Graphio_obs.Metrics.counter "graph.laplacian.builds"
+let c_nnz = Graphio_obs.Metrics.counter "graph.laplacian.nnz"
+
 let build_laplacian g weight_of_edge =
-  let n = Dag.n_vertices g in
-  let triplets = ref [] in
-  Dag.iter_edges g (fun u v ->
-      let w = weight_of_edge u v in
-      triplets :=
-        (u, u, w) :: (v, v, w) :: (u, v, -.w) :: (v, u, -.w) :: !triplets);
-  Csr.of_triplets ~rows:n ~cols:n !triplets
+  Graphio_obs.Span.with_ "laplacian.assemble" (fun () ->
+      let n = Dag.n_vertices g in
+      let triplets = ref [] in
+      Dag.iter_edges g (fun u v ->
+          let w = weight_of_edge u v in
+          triplets :=
+            (u, u, w) :: (v, v, w) :: (u, v, -.w) :: (v, u, -.w) :: !triplets);
+      let m = Csr.of_triplets ~rows:n ~cols:n !triplets in
+      Graphio_obs.Metrics.incr c_builds;
+      Graphio_obs.Metrics.add c_nnz (Csr.nnz m);
+      m)
 
 let normalized g =
   build_laplacian g (fun u _ -> 1.0 /. float_of_int (Dag.out_degree g u))

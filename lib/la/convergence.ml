@@ -1,0 +1,8 @@
+type progress = {
+  iteration : int;
+  matvecs : int;
+  locked : int;
+  residual : float;
+}
+
+type callback = progress -> unit

@@ -1,0 +1,21 @@
+(** Per-iteration convergence telemetry shared by the iterative
+    eigensolvers ({!Lanczos} restart cycles, {!Filtered} filter
+    iterations).
+
+    Solvers accept an optional [?on_iteration] callback and invoke it once
+    per outer iteration with a {!progress} snapshot, so callers can watch a
+    long eigensolve converge (CLI progress, adaptive tolerance policies,
+    test assertions on solver behavior) without the solver committing to
+    any output format. *)
+
+type progress = {
+  iteration : int;  (** outer iteration: Lanczos restart cycle / filter sweep *)
+  matvecs : int;  (** cumulative operator applications so far *)
+  locked : int;  (** converged-and-locked eigenpairs (Lanczos) / converged
+                     Ritz prefix (Filtered) *)
+  residual : float;
+      (** exact residual norm of the first unconverged pair at this
+          iteration; [0.] when everything inspected so far converged *)
+}
+
+type callback = progress -> unit

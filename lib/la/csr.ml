@@ -108,9 +108,17 @@ let get m i j =
   done;
   !result
 
+(* Hot-path instrumentation is counters only (one unboxed increment per
+   call): the matvec is the inner loop of every sparse eigensolve, so no
+   span, no clock read, no allocation may happen here. *)
+let c_matvecs = Graphio_obs.Metrics.counter "la.csr.matvecs"
+let c_flops = Graphio_obs.Metrics.counter "la.csr.fma_flops"
+
 let matvec_into m x y =
   if Array.length x <> m.cols || Array.length y <> m.rows then
     invalid_arg "Csr.matvec: dimension mismatch";
+  Graphio_obs.Metrics.incr c_matvecs;
+  Graphio_obs.Metrics.add c_flops (Array.length m.values);
   for i = 0 to m.rows - 1 do
     let acc = ref 0.0 in
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do

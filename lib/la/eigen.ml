@@ -1,33 +1,61 @@
 type backend = Dense | Sparse_filtered
 
+type stats = {
+  matvecs : int;
+  iterations : int;
+  locked : int;
+  padded : int;
+}
+
 type spectrum = {
   values : float array;
   backend : backend;
   exact : bool;
+  stats : stats option;
 }
 
 let default_dense_threshold = 1024
 
+let c_dense = Graphio_obs.Metrics.counter "la.eigen.dense_solves"
+let c_sparse = Graphio_obs.Metrics.counter "la.eigen.sparse_solves"
+
 let smallest_dense ?(h = 100) a =
   let rows, cols = Mat.dims a in
   if rows <> cols then invalid_arg "Eigen.smallest_dense: matrix not square";
-  let values = Tql.symmetric_eigenvalues a in
-  let take = min h rows in
-  { values = Array.sub values 0 take; backend = Dense; exact = true }
+  Graphio_obs.Span.with_ "eigen.dense" (fun () ->
+      let values = Tql.symmetric_eigenvalues a in
+      Graphio_obs.Metrics.incr c_dense;
+      let take = min h rows in
+      { values = Array.sub values 0 take; backend = Dense; exact = true; stats = None })
 
-let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed m =
+let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
+    ?on_iteration m =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Eigen.smallest: matrix not square";
-  if rows = 0 then { values = [||]; backend = Dense; exact = true }
+  if rows = 0 then { values = [||]; backend = Dense; exact = true; stats = None }
   else if rows <= dense_threshold then smallest_dense ~h (Csr.to_dense m)
-  else begin
-    (* Chebyshev-filtered block subspace iteration: the block captures
-       whole eigenspace clusters at once, which graph-Laplacian
-       multiplicities demand (see Filtered).  [tol] stays relative; the
-       default 1e-5 keeps eigenvalue errors far below anything visible in
-       an I/O bound while shortening the convergence tail on clustered
-       spectra. *)
-    let tol = match tol with Some t -> t | None -> 1e-5 in
-    let result = Filtered.smallest_csr ?seed ~tol m ~h in
-    { values = result.Filtered.values; backend = Sparse_filtered; exact = false }
-  end
+  else
+    Graphio_obs.Span.with_ "eigen.filtered" (fun () ->
+        (* Chebyshev-filtered block subspace iteration: the block captures
+           whole eigenspace clusters at once, which graph-Laplacian
+           multiplicities demand (see Filtered).  [tol] stays relative; the
+           default 1e-5 keeps eigenvalue errors far below anything visible in
+           an I/O bound while shortening the convergence tail on clustered
+           spectra. *)
+        let tol = match tol with Some t -> t | None -> 1e-5 in
+        let result = Filtered.smallest_csr ?seed ?on_iteration ~tol m ~h in
+        Graphio_obs.Metrics.incr c_sparse;
+        {
+          values = result.Filtered.values;
+          backend = Sparse_filtered;
+          exact = false;
+          stats =
+            Some
+              {
+                matvecs = result.Filtered.matvecs;
+                iterations = result.Filtered.iterations;
+                locked =
+                  Array.length result.Filtered.values - result.Filtered.padded;
+                padded = result.Filtered.padded;
+              };
+        })

@@ -11,14 +11,33 @@
       heavy multiplicities ({!Lanczos} remains available as a reference
       single-vector iterative solver).
 
-    The crossover is overridable for testing both paths on the same input. *)
+    The crossover is overridable for testing both paths on the same input.
+
+    Observability: both paths run inside {!Graphio_obs.Span} spans
+    ([eigen.dense] / [eigen.filtered]) and bump the
+    [la.eigen.dense_solves] / [la.eigen.sparse_solves] counters; the
+    iterative path additionally reports its work in {!type:stats} rather
+    than dropping it. *)
 
 type backend = Dense | Sparse_filtered
+
+type stats = {
+  matvecs : int;  (** operator applications spent by the iterative solver *)
+  iterations : int;  (** outer filter sweeps / restart cycles *)
+  locked : int;  (** eigenvalues that genuinely converged *)
+  padded : int;
+      (** trailing entries replaced by the last converged value when the
+          solver stalled on a flat multiplicity cluster (see
+          {!Filtered.result}) *)
+}
 
 type spectrum = {
   values : float array;  (** ascending, [min h n] entries *)
   backend : backend;  (** which path computed them *)
   exact : bool;  (** dense full decomposition (true) vs iterative (false) *)
+  stats : stats option;
+      (** iterative-solver work summary; [None] on the dense path, which
+          has no iteration structure to report *)
 }
 
 val default_dense_threshold : int
@@ -29,13 +48,16 @@ val smallest :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?on_iteration:Convergence.callback ->
   Csr.t ->
   spectrum
 (** [smallest ?h m] returns the [h] (default 100, the paper's §6.1 choice)
     smallest eigenvalues of symmetric [m], clamping tiny negative numerical
     noise up to [0.] for positive semi-definite inputs is left to callers —
-    values are reported as computed.  Raises [Invalid_argument] if [m] is
-    not square. *)
+    values are reported as computed.  [on_iteration] receives a
+    {!Convergence.progress} snapshot per sweep when the sparse path is
+    taken (the dense path never calls it).  Raises [Invalid_argument] if
+    [m] is not square. *)
 
 val smallest_dense : ?h:int -> Mat.t -> spectrum
 (** Force the dense path on a dense symmetric matrix. *)

@@ -72,8 +72,14 @@ let orthonormalize_block rng block =
     block.(j) <- fix 3 block.(j)
   done
 
+let c_matvecs = Graphio_obs.Metrics.counter "la.eigen.matvecs"
+let c_restarts = Graphio_obs.Metrics.counter "la.eigen.restarts"
+let c_locked = Graphio_obs.Metrics.counter "la.eigen.locked"
+let c_padded = Graphio_obs.Metrics.counter "la.eigen.padded"
+
 let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
-    ?(seed = 0x5eed) ?(want_vectors = false) ~matvec ~upper_bound ~n ~h () =
+    ?(seed = 0x5eed) ?(want_vectors = false) ?on_iteration ~matvec ~upper_bound
+    ~n ~h () =
   if n <= 0 then invalid_arg "Filtered.smallest: n must be positive";
   if h <= 0 then invalid_arg "Filtered.smallest: h must be positive";
   if not (Float.is_finite upper_bound) then
@@ -159,6 +165,16 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
       end
     done;
     converged_prefix := !prefix;
+    (match on_iteration with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            Convergence.iteration = !iterations;
+            matvecs = !matvec_count;
+            locked = !prefix;
+            residual = !blocking_res;
+          });
     if !iterations mod stall_window = 0 then begin
       if !prefix <= !checkpoint_prefix && !blocking_res > 0.5 *. !checkpoint_res
       then stalled := true
@@ -225,19 +241,18 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
     end
     else None
   in
-  {
-    values;
-    vectors;
-    iterations = !iterations;
-    matvecs = !matvec_count;
-    converged;
-    padded = (if !converged_prefix = 0 then take else padded);
-  }
+  let padded = if !converged_prefix = 0 then take else padded in
+  Graphio_obs.Metrics.add c_matvecs !matvec_count;
+  Graphio_obs.Metrics.add c_restarts !iterations;
+  Graphio_obs.Metrics.add c_locked !converged_prefix;
+  Graphio_obs.Metrics.add c_padded padded;
+  { values; vectors; iterations = !iterations; matvecs = !matvec_count; converged; padded }
 
-let smallest_csr ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors m ~h =
+let smallest_csr ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors
+    ?on_iteration m ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Filtered.smallest_csr: matrix not square";
-  smallest ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors
+  smallest ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors ?on_iteration
     ~matvec:(fun x y -> Csr.matvec_into m x y)
     ~upper_bound:(Csr.gershgorin_upper m)
     ~n:rows ~h ()

@@ -47,6 +47,7 @@ val smallest :
   ?guard:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?on_iteration:Convergence.callback ->
   matvec:(float array -> float array -> unit) ->
   upper_bound:float ->
   n:int ->
@@ -63,7 +64,10 @@ val smallest :
       (default [1e-6]);
     - [degree] is the Chebyshev filter degree per iteration (default 20);
     - [guard] extra block vectors beyond [h] (default [max 16 (h/3)]);
-    - [max_iterations] defaults to 300.
+    - [max_iterations] defaults to 300;
+    - [on_iteration] is invoked once per filter sweep with a
+      {!Convergence.progress} snapshot (sweep index, cumulative matvecs,
+      converged Ritz prefix, first blocking residual).
 
     Raises [Invalid_argument] on non-positive [n]/[h] or a non-finite
     [upper_bound]. *)
@@ -75,6 +79,7 @@ val smallest_csr :
   ?guard:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?on_iteration:Convergence.callback ->
   Csr.t ->
   h:int ->
   result

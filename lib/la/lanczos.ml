@@ -39,8 +39,12 @@ type result = {
      iteration converges to the next copy rather than rediscovering the
      old one. *)
 
+let c_matvecs = Graphio_obs.Metrics.counter "la.eigen.matvecs"
+let c_restarts = Graphio_obs.Metrics.counter "la.eigen.restarts"
+let c_locked = Graphio_obs.Metrics.counter "la.eigen.locked"
+
 let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
-    ?(want_vectors = false) ~matvec ~n ~h () =
+    ?(want_vectors = false) ?on_iteration ~matvec ~n ~h () =
   if n <= 0 then invalid_arg "Lanczos.smallest: n must be positive";
   if h <= 0 then invalid_arg "Lanczos.smallest: h must be positive";
   let h = min h n in
@@ -56,6 +60,9 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
   let locked_array = ref [||] in
   let refresh_locked_array () = locked_array := Array.of_list !locked_vecs in
   let matvec_count = ref 0 and cycle_count = ref 0 in
+  (* exact residual of the first Ritz pair that failed its lock check this
+     cycle; 0 when every inspected pair locked *)
+  let blocking_residual = ref 0.0 in
   let breakdown_tol = 1e-10 in
   let basis = Array.make m_cap [||] in
   let hmat = Array.init m_cap (fun _ -> Array.make m_cap 0.0) in
@@ -114,6 +121,7 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
   in
   while (not (finished ())) && (not !space_exhausted) && !cycle_count < max_restarts do
     incr cycle_count;
+    blocking_residual := 0.0;
     (* Inject fresh random directions: they open up the next copies of
        multiple eigenvalues (see module comment).  The first cycle starts
        from scratch this way too. *)
@@ -186,7 +194,10 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
               refresh_locked_array ();
               incr prefix
             end
-            else stop := true
+            else begin
+              blocking_residual := res;
+              stop := true
+            end
       done;
       if not (finished ()) then begin
         (* Thick restart: keep the best unconverged Ritz vectors plus the
@@ -240,7 +251,17 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
         end
         else if q = 0 then residual_norm := 0.0
       end
-    end
+    end;
+    match on_iteration with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            Convergence.iteration = !cycle_count;
+            matvecs = !matvec_count;
+            locked = !locked_count;
+            residual = !blocking_residual;
+          }
   done;
   let pairs =
     List.combine !locked_vals !locked_vecs
@@ -252,6 +273,9 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
   let vectors =
     if want_vectors then Some (Array.init take (fun i -> snd pairs.(i))) else None
   in
+  Graphio_obs.Metrics.add c_matvecs !matvec_count;
+  Graphio_obs.Metrics.add c_restarts !cycle_count;
+  Graphio_obs.Metrics.add c_locked (Array.length pairs);
   {
     values;
     vectors;
@@ -260,9 +284,10 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
     converged = take >= h;
   }
 
-let smallest_csr ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors m ~h =
+let smallest_csr ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration m
+    ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Lanczos.smallest_csr: matrix not square";
-  smallest ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors
+  smallest ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration
     ~matvec:(fun x y -> Csr.matvec_into m x y)
     ~n:rows ~h ()

@@ -34,6 +34,7 @@ val smallest :
   ?krylov_dim:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?on_iteration:Convergence.callback ->
   matvec:(float array -> float array -> unit) ->
   n:int ->
   h:int ->
@@ -48,7 +49,10 @@ val smallest :
     - [krylov_dim] caps the Krylov dimension per restart (default
       [min n (max 60 (2h + 20))]);
     - [max_restarts] defaults to [200];
-    - [seed] makes the starting vectors deterministic (default [0x5eed]).
+    - [seed] makes the starting vectors deterministic (default [0x5eed]);
+    - [on_iteration] is invoked once per restart cycle with a
+      {!Convergence.progress} snapshot (cycle index, cumulative matvecs,
+      locked pairs, residual of the first pair that failed to lock).
 
     For tiny problems ([n <= 3]) or when [h >= n] the routine still works:
     it simply locks all [n] eigenpairs.  Raises [Invalid_argument] for
@@ -60,6 +64,7 @@ val smallest_csr :
   ?krylov_dim:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?on_iteration:Convergence.callback ->
   Csr.t ->
   h:int ->
   result

@@ -1,0 +1,10 @@
+external now_ns : unit -> int = "graphio_obs_clock_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+
+let elapsed_s t0 = float_of_int (now_ns () - t0) *. 1e-9
+
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_s t0)

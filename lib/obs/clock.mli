@@ -1,0 +1,21 @@
+(** Monotonic wall clock.
+
+    Wall-clock sources ([Unix.gettimeofday]) are not monotonic — NTP slews
+    and steps move them backwards, silently corrupting benchmark numbers
+    and span durations.  Everything in graphio that measures elapsed time
+    goes through this module instead: [clock_gettime(CLOCK_MONOTONIC)]
+    exposed as an allocation-free nanosecond counter. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary (boot-time) epoch.  Monotone
+    non-decreasing; allocation-free (the C stub returns a tagged int). *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds.  Only differences are meaningful. *)
+
+val elapsed_s : int -> float
+(** [elapsed_s t0] — seconds elapsed since the tick [t0 = now_ns ()]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result paired with the elapsed
+    monotonic seconds. *)

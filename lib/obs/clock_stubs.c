@@ -1,0 +1,21 @@
+/* Monotonic clock for graphio_obs.
+
+   Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+   (63-bit on every supported platform: wraps after ~146 years), so the
+   call allocates nothing — safe on hot paths and inside [@@noalloc]
+   externals. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value graphio_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,256 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  end
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let to_file path v =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  text : string;
+  mutable pos : int;
+}
+
+let fail st msg = failwith (Printf.sprintf "Jsonx: at offset %d: %s" st.pos msg)
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.text
+    && String.sub st.text st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; advance st
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st
+        | Some '/' -> Buffer.add_char buf '/'; advance st
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st
+        | Some 't' -> Buffer.add_char buf '\t'; advance st
+        | Some 'b' -> Buffer.add_char buf '\b'; advance st
+        | Some 'f' -> Buffer.add_char buf '\012'; advance st
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.text then fail st "truncated \\u escape";
+            let hex = String.sub st.text st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            (* encode the code point as UTF-8 (basic plane only) *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail st "bad escape");
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.text start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elems () =
+          items := parse_value st :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elems ()
+          | Some ']' -> advance st
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elems ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          fields := (k, v) :: !fields;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ()
+          | Some '}' -> advance st
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some ('0' .. '9' | '-') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length text then fail st "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON values: just enough for metrics snapshots, Chrome
+    trace-event export, and the bench perf trajectory — no external
+    dependency.
+
+    The printer emits canonical compact JSON; the parser accepts any
+    RFC 8259 document (it is used by the test suite to round-trip what the
+    printer emits, and by consumers of [bench --json] output). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Non-finite floats (which JSON cannot represent)
+    render as [null]. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document.  Numbers without [.], [e] or [E]
+    become [Int]; everything else [Float].  Raises [Failure] with a
+    position-annotated message on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on absent field or non-object. *)
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline. *)

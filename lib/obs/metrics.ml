@@ -1,0 +1,253 @@
+type counter = {
+  c_name : string;
+  mutable c_count : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_buckets : float array;  (* ascending upper bounds *)
+  h_counts : int array;  (* length = buckets + 1; last is overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* help strings are kept out of the hot structs; they only matter for
+   rendering *)
+let helps : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let register_help name help =
+  match help with
+  | Some h when not (Hashtbl.mem helps name) -> Hashtbl.add helps name h
+  | _ -> ()
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different metric" name)
+
+let counter ?help name =
+  register_help name help;
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> kind_clash name
+  | None ->
+      let c = { c_name = name; c_count = 0 } in
+      Hashtbl.add registry name (C c);
+      c
+
+let gauge ?help name =
+  register_help name help;
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> kind_clash name
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.add registry name (G g);
+      g
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+let histogram ?help ?(buckets = default_buckets) name =
+  register_help name help;
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  for i = 1 to Array.length buckets - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly ascending"
+  done;
+  match Hashtbl.find_opt registry name with
+  | Some (H h) ->
+      if h.h_buckets <> buckets && buckets != default_buckets then
+        invalid_arg
+          (Printf.sprintf "Metrics: histogram %S already registered with other buckets"
+             name);
+      h
+  | Some _ -> kind_clash name
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_buckets = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        }
+      in
+      Hashtbl.add registry name (H h);
+      h
+
+let incr c = c.c_count <- c.c_count + 1
+
+let add c n =
+  if n < 0 then invalid_arg (Printf.sprintf "Metrics.add: negative delta on %S" c.c_name);
+  c.c_count <- c.c_count + n
+
+let counter_value c = c.c_count
+
+let set g v = g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let observe h v =
+  let nb = Array.length h.h_buckets in
+  let i = ref 0 in
+  while !i < nb && v > h.h_buckets.(!i) do
+    i := !i + 1
+  done;
+  h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let time h f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  observe h (Clock.elapsed_s t0);
+  r
+
+(* --------------------------- snapshots ---------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | C c -> Counter c.c_count
+        | G g -> Gauge g.g_value
+        | H h ->
+            Histogram
+              {
+                buckets = Array.copy h.h_buckets;
+                counts = Array.copy h.h_counts;
+                sum = h.h_sum;
+                count = h.h_count;
+              }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_count <- 0
+      | G g -> g.g_value <- 0.0
+      | H h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry
+
+let find snap name = List.assoc_opt name snap
+
+let render_text snap =
+  let buf = Buffer.create 1024 in
+  let width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 24 snap
+  in
+  Buffer.add_string buf "== metrics ==\n";
+  List.iter
+    (fun (name, v) ->
+      let pad = String.make (width - String.length name + 2) ' ' in
+      match v with
+      | Counter n -> Buffer.add_string buf (Printf.sprintf "%s%s%d\n" name pad n)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s%s%g\n" name pad g)
+      | Histogram { buckets; counts; sum; count } ->
+          let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%scount=%d sum=%g mean=%g\n" name pad count sum mean);
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                Buffer.add_string buf
+                  (if i < Array.length buckets then
+                     Printf.sprintf "%s  le %g: %d\n" (String.make width ' ')
+                       buckets.(i) c
+                   else
+                     Printf.sprintf "%s  overflow: %d\n" (String.make width ' ') c))
+            counts)
+    snap;
+  Buffer.contents buf
+
+let to_json snap =
+  Jsonx.Obj
+    (List.map
+       (fun (name, v) ->
+         let body =
+           match v with
+           | Counter n -> Jsonx.Obj [ ("type", Jsonx.String "counter"); ("value", Jsonx.Int n) ]
+           | Gauge g -> Jsonx.Obj [ ("type", Jsonx.String "gauge"); ("value", Jsonx.Float g) ]
+           | Histogram { buckets; counts; sum; count } ->
+               Jsonx.Obj
+                 [
+                   ("type", Jsonx.String "histogram");
+                   ("buckets", Jsonx.List (Array.to_list (Array.map (fun b -> Jsonx.Float b) buckets)));
+                   ("counts", Jsonx.List (Array.to_list (Array.map (fun c -> Jsonx.Int c) counts)));
+                   ("sum", Jsonx.Float sum);
+                   ("count", Jsonx.Int count);
+                 ]
+         in
+         (name, body))
+       snap)
+
+let of_json json =
+  let fail msg = failwith ("Metrics.of_json: " ^ msg) in
+  let as_int = function
+    | Jsonx.Int i -> i
+    | Jsonx.Float f when Float.is_integer f -> int_of_float f
+    | _ -> fail "expected integer"
+  in
+  let as_float = function
+    | Jsonx.Float f -> f
+    | Jsonx.Int i -> float_of_int i
+    | _ -> fail "expected number"
+  in
+  let get obj k = match Jsonx.member k obj with Some v -> v | None -> fail ("missing " ^ k) in
+  match json with
+  | Jsonx.Obj fields ->
+      List.map
+        (fun (name, body) ->
+          let v =
+            match Jsonx.member "type" body with
+            | Some (Jsonx.String "counter") -> Counter (as_int (get body "value"))
+            | Some (Jsonx.String "gauge") -> Gauge (as_float (get body "value"))
+            | Some (Jsonx.String "histogram") ->
+                let arr f = function
+                  | Jsonx.List xs -> Array.of_list (List.map f xs)
+                  | _ -> fail "expected array"
+                in
+                Histogram
+                  {
+                    buckets = arr as_float (get body "buckets");
+                    counts = arr as_int (get body "counts");
+                    sum = as_float (get body "sum");
+                    count = as_int (get body "count");
+                  }
+            | _ -> fail ("bad metric type for " ^ name)
+          in
+          (name, v))
+        fields
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  | _ -> fail "expected object"
+
+let equal (a : snapshot) (b : snapshot) = a = b

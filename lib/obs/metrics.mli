@@ -1,0 +1,86 @@
+(** Process-global metrics registry: counters, gauges and fixed-bucket
+    histograms with typed handles.
+
+    Instrumented modules obtain a handle once at module-initialization
+    time ([let c = Metrics.counter "la.eigen.matvecs"]) and update it on
+    the hot path with a single unboxed field mutation — no hashing, no
+    allocation.  Handles registered under the same name are shared, so
+    independent modules may safely instrument the same logical metric.
+
+    Snapshots are immutable, renderable as an aligned text table (the
+    CLI's [--metrics]) and as JSON (round-trippable through {!Jsonx} —
+    the bench perf trajectory). *)
+
+type counter
+type gauge
+type histogram
+
+(* -------------------------- registration -------------------------- *)
+
+val counter : ?help:string -> string -> counter
+(** Register (or look up) a monotone counter.  Raises [Invalid_argument]
+    if the name is already registered as a different metric kind. *)
+
+val gauge : ?help:string -> string -> gauge
+(** Register (or look up) a last-value-wins gauge. *)
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** Register (or look up) a histogram.  [buckets] are ascending inclusive
+    upper bounds; observations above the last bound land in an implicit
+    overflow bucket.  The default buckets are geometric in seconds
+    ([1e-6 .. 100]), suited to timing observations.  Raises
+    [Invalid_argument] on unsorted or empty bucket arrays, or if the name
+    clashes with an existing metric of a different kind or different
+    buckets. *)
+
+(* ---------------------------- updates ----------------------------- *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Negative deltas are rejected with [Invalid_argument] (counters are
+    monotone; use a gauge for values that go down). *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] and observes its monotonic duration in seconds. *)
+
+(* --------------------------- snapshots ---------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      buckets : float array;  (** ascending upper bounds *)
+      counts : int array;  (** per-bucket counts; length [buckets + 1], last = overflow *)
+      sum : float;
+      count : int;
+    }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid).  Used by the bench
+    harness to attribute counts to sections, and by tests. *)
+
+val find : snapshot -> string -> value option
+
+val render_text : snapshot -> string
+(** Aligned table, one metric per line; histograms render as
+    [count/sum/mean] plus their non-empty buckets. *)
+
+val to_json : snapshot -> Jsonx.t
+
+val of_json : Jsonx.t -> snapshot
+(** Inverse of {!to_json}; raises [Failure] on malformed input.  Used to
+    round-trip snapshots in tests and to consume dumped metrics. *)
+
+val equal : snapshot -> snapshot -> bool

@@ -1,0 +1,65 @@
+type record = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  depth : int;
+}
+
+let enabled_flag = ref false
+let epoch = ref 0
+let completed : record list ref = ref []
+let completed_count = ref 0
+let current_depth = ref 0
+
+let set_enabled b =
+  if b && not !enabled_flag && !epoch = 0 then epoch := Clock.now_ns ();
+  enabled_flag := b
+
+let enabled () = !enabled_flag
+
+let clear () =
+  completed := [];
+  completed_count := 0;
+  current_depth := 0;
+  epoch := Clock.now_ns ()
+
+let with_ name f =
+  if not !enabled_flag then f ()
+  else begin
+    let d = !current_depth in
+    current_depth := d + 1;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        current_depth := d;
+        completed :=
+          { name; start_ns = t0 - !epoch; dur_ns = t1 - t0; depth = d } :: !completed;
+        incr completed_count)
+      f
+  end
+
+let records () = List.rev !completed
+
+let record_count () = !completed_count
+
+let to_trace_json () =
+  let events =
+    records ()
+    |> List.map (fun r ->
+           Jsonx.Obj
+             [
+               ("name", Jsonx.String r.name);
+               ("cat", Jsonx.String "graphio");
+               ("ph", Jsonx.String "X");
+               ("ts", Jsonx.Float (float_of_int r.start_ns /. 1e3));
+               ("dur", Jsonx.Float (float_of_int r.dur_ns /. 1e3));
+               ("pid", Jsonx.Int 1);
+               ("tid", Jsonx.Int 1);
+               ("args", Jsonx.Obj [ ("depth", Jsonx.Int r.depth) ]);
+             ])
+  in
+  Jsonx.Obj
+    [ ("traceEvents", Jsonx.List events); ("displayTimeUnit", Jsonx.String "ms") ]
+
+let write_chrome_trace path = Jsonx.to_file path (to_trace_json ())

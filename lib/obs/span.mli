@@ -1,0 +1,41 @@
+(** Hierarchical span tracing over the monotonic clock.
+
+    Tracing is {e off by default}: when disabled, {!with_} is one branch
+    plus a tail call — no clock reads, no record allocation — so
+    instrumentation can stay permanently in hot paths.  When enabled
+    (CLI [--trace FILE]), each [with_ name f] produces one completed-span
+    record (name, start, duration, nesting depth), and the accumulated
+    records export to Chrome [trace_event] JSON that opens directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type record = {
+  name : string;
+  start_ns : int;  (** relative to the trace epoch (first enable / last clear) *)
+  dur_ns : int;
+  depth : int;  (** nesting depth at entry; 0 = top-level *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f ()] inside a span.  The record is emitted even
+    when [f] raises (the exception is re-raised).  When tracing is
+    disabled this is just [f ()]. *)
+
+val records : unit -> record list
+(** Completed spans in completion order (children before parents). *)
+
+val record_count : unit -> int
+(** Number of completed span records — the smoke-test hook asserting that
+    disabled tracing records nothing on hot paths. *)
+
+val clear : unit -> unit
+(** Drop accumulated records and re-anchor the trace epoch. *)
+
+val to_trace_json : unit -> Jsonx.t
+(** Chrome [trace_event] document: [{"traceEvents": [...]}] with complete
+    ("ph":"X") events, timestamps and durations in microseconds. *)
+
+val write_chrome_trace : string -> unit
+(** [to_trace_json] to a file. *)

@@ -11,7 +11,12 @@ type result = {
 
 let min_feasible_m g = max 2 (Dag.max_in_degree g + 1)
 
-let simulate ?(policy = Belady) g ~order ~m =
+let c_runs = Graphio_obs.Metrics.counter "pebble.sim.runs"
+let c_reads = Graphio_obs.Metrics.counter "pebble.sim.reads"
+let c_writes = Graphio_obs.Metrics.counter "pebble.sim.writes"
+let c_evictions = Graphio_obs.Metrics.counter "pebble.sim.evictions"
+
+let simulate_impl ~policy g ~order ~m =
   if m < 2 then invalid_arg "Simulator.simulate: m must be >= 2";
   if not (Topo.is_valid g order) then
     invalid_arg "Simulator.simulate: order is not a valid topological order";
@@ -86,6 +91,7 @@ let simulate ?(policy = Belady) g ~order ~m =
       incr writes;
       in_slow.(v) <- true
     end;
+    Graphio_obs.Metrics.incr c_evictions;
     remove_resident v
   in
   let ensure_one_free () = if !resident_count >= m then evict_one () in
@@ -122,7 +128,13 @@ let simulate ?(policy = Belady) g ~order ~m =
          never occupies memory or triggers spills. *)
       if Array.length uses.(v) = 0 then remove_resident v)
     order;
+  Graphio_obs.Metrics.add c_reads !reads;
+  Graphio_obs.Metrics.add c_writes !writes;
   { reads = !reads; writes = !writes; io = !reads + !writes; peak_resident = !peak }
+
+let simulate ?(policy = Belady) g ~order ~m =
+  Graphio_obs.Metrics.incr c_runs;
+  Graphio_obs.Span.with_ "pebble.simulate" (fun () -> simulate_impl ~policy g ~order ~m)
 
 let best_upper_bound ?(seed = 42) ?(extra_orders = 3) g ~m =
   let orders =

@@ -41,13 +41,38 @@ Generation round-trips through files:
   $ ../../bin/graphio.exe bound -f g.txt -m 3 | tail -1
   lower bound on non-trivial I/O: 0 (best k = 2, raw = -11.1962)
 
-Errors are reported cleanly:
+Errors are reported cleanly, with exit code 1:
 
   $ ../../bin/graphio.exe bound -g nope:3 -m 4 2>&1 | head -2
   graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
 
   $ ../../bin/graphio.exe simulate -g matmul:8 -m 4 2>&1 | head -1
   graphio: Simulator.simulate: fast memory 4 too small for max in-degree 8
+
+  $ ../../bin/graphio.exe bound -f does-not-exist.txt -m 4
+  graphio: does-not-exist.txt: No such file or directory
+  [1]
+
+  $ ../../bin/graphio.exe bound -g fft:x -m 4
+  graphio: graph spec "fft:x": level count "x" is not an integer
+  [1]
+
+  $ printf 'not an edge list\n' > bad.txt
+  $ ../../bin/graphio.exe bound -f bad.txt -m 4
+  graphio: Edgelist: line 1: expected header 'graphio 1'
+  [1]
+
+Observability: --metrics prints the counter table to stderr (stdout stays
+byte-identical), and --trace writes Chrome trace-event JSON:
+
+  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics --trace trace.json 2>&1 >/dev/null | grep -c "la.eigen"
+  6
+  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics 2>&1 >/dev/null | head -1
+  == metrics ==
+  $ head -c 15 trace.json
+  {"traceEvents":
+  $ grep -c "solver.eigensolve" trace.json
+  1
 
 DOT export:
 

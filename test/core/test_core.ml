@@ -507,6 +507,48 @@ let prop_parallel_monotone =
       let b = Spectral_bound.compute ~n ~m:4 ~p:(p + 1) ~eigenvalues () in
       a.Spectral_bound.bound >= b.Spectral_bound.bound -. 1e-9)
 
+(* Multiplicity-heavy random spectra (few distinct values, large runs):
+   the regime where the segment-endpoint search in
+   [bound_of_spectrum_all_k] has to be exact, and where the old
+   boundary-only heuristic missed interior maxima (including k = 2 inside
+   a first run of multiplicity >= 2). *)
+let multiset_gen =
+  QCheck2.Gen.(
+    let* n_runs = int_range 1 8 in
+    list_size (return n_runs) (pair (float_range 0.0 3.0) (int_range 1 40)))
+
+let prop_all_k_matches_brute_force =
+  QCheck2.Test.make
+    ~name:"all-k search equals brute force over every k in [2, k_max]" ~count:200
+    QCheck2.Gen.(
+      quad multiset_gen (int_range 0 20) (int_range 1 4) (float_range 0.0 2.0))
+    (fun (pairs, m, p, scale) ->
+      let spectrum = Multiset.of_list pairs in
+      let total = Multiset.total spectrum in
+      let n = total + ((m * 7) mod 31) in
+      let eigs =
+        Multiset.smallest spectrum ~h:total
+        |> Array.map (fun l -> scale *. Float.max l 0.0)
+      in
+      let prefix = Array.make (total + 1) 0.0 in
+      for i = 0 to total - 1 do
+        prefix.(i + 1) <- prefix.(i) +. eigs.(i)
+      done;
+      let k_max = min n total in
+      let best = ref neg_infinity in
+      for k = 2 to k_max do
+        let v =
+          (float_of_int (n / (k * p)) *. prefix.(k))
+          -. (2.0 *. float_of_int (k * m))
+        in
+        if v > !best then best := v
+      done;
+      let r = Solver.bound_of_spectrum_all_k ~p ~spectrum ~scale ~n ~m () in
+      if k_max < 2 then r.Spectral_bound.best_k = 0
+      else
+        Float.abs (r.Spectral_bound.best_raw -. !best)
+        <= 1e-6 *. (1.0 +. Float.abs !best))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -514,6 +556,7 @@ let props =
       prop_bound_monotone_m;
       prop_bound_monotone_in_eigs;
       prop_parallel_monotone;
+      prop_all_k_matches_brute_force;
     ]
 
 let () =

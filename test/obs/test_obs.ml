@@ -1,0 +1,226 @@
+open Graphio_obs
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "plausible magnitude" true (a > 0);
+  let x, dt = Clock.time (fun () -> Sys.opaque_identity 42) in
+  Alcotest.(check int) "value passed through" 42 x;
+  Alcotest.(check bool) "duration non-negative" true (dt >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_jsonx_round_trip () =
+  let doc =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.String "a \"quoted\"\nline");
+        ("i", Jsonx.Int (-42));
+        ("f", Jsonx.Float 0.125);
+        ("b", Jsonx.Bool true);
+        ("null", Jsonx.Null);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Float 2.5; Jsonx.String "x" ]);
+        ("o", Jsonx.Obj [ ("nested", Jsonx.Bool false) ]);
+      ]
+  in
+  let reparsed = Jsonx.of_string (Jsonx.to_string doc) in
+  Alcotest.(check bool) "round-trips" true (reparsed = doc);
+  Alcotest.(check bool) "member" true
+    (Jsonx.member "i" doc = Some (Jsonx.Int (-42)));
+  Alcotest.(check bool) "absent member" true (Jsonx.member "zzz" doc = None)
+
+let test_jsonx_malformed () =
+  List.iter
+    (fun s ->
+      match Jsonx.of_string s with
+      | exception Failure _ -> ()
+      | v -> Alcotest.failf "parsed %S as %s" s (Jsonx.to_string v))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_jsonx_non_finite () =
+  Alcotest.(check string) "nan is null" "null" (Jsonx.to_string (Jsonx.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Jsonx.to_string (Jsonx.Float Float.infinity))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "accumulates" 42 (Metrics.counter_value c);
+  (* handles registered under the same name share state *)
+  let c' = Metrics.counter "test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "shared handle" 43 (Metrics.counter_value c);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: negative delta on \"test.counter\"")
+    (fun () -> Metrics.add c (-1));
+  (match Metrics.gauge "test.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash not rejected");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c)
+
+let test_histograms () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "test.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 5.0; 50.0; 5000.0 ];
+  (match Metrics.find (Metrics.snapshot ()) "test.hist" with
+  | Some (Metrics.Histogram { buckets; counts; sum; count }) ->
+      Alcotest.(check (array (float 0.0))) "bucket bounds" [| 1.0; 10.0; 100.0 |] buckets;
+      Alcotest.(check (array int)) "bucket counts" [| 1; 2; 1; 1 |] counts;
+      Alcotest.(check (float 1e-9)) "sum" 5060.5 sum;
+      Alcotest.(check int) "count" 5 count
+  | _ -> Alcotest.fail "histogram missing from snapshot");
+  (match Metrics.histogram ~buckets:[| 3.0; 2.0 |] "test.hist.bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsorted buckets not rejected");
+  let timed = Metrics.time h (fun () -> "done") in
+  Alcotest.(check string) "time passes value" "done" timed
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_metrics_json_round_trip () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.rt.counter" in
+  Metrics.add c 7;
+  Metrics.set (Metrics.gauge "test.rt.gauge") 2.5;
+  Metrics.observe (Metrics.histogram "test.rt.hist") 0.003;
+  let snap = Metrics.snapshot () in
+  let reparsed =
+    Metrics.of_json (Jsonx.of_string (Jsonx.to_string (Metrics.to_json snap)))
+  in
+  Alcotest.(check bool) "snapshot round-trips through JSON text" true
+    (Metrics.equal snap reparsed);
+  let rendered = Metrics.render_text snap in
+  Alcotest.(check bool) "render mentions the counter" true
+    (contains rendered "test.rt.counter");
+  Alcotest.(check bool) "render mentions its value" true (contains rendered "7")
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans_disabled_hot_path () =
+  Span.set_enabled false;
+  Span.clear ();
+  let m =
+    Graphio_la.Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 2.0); (1, 1, 3.0) ]
+  in
+  let matvec_counter = Metrics.counter "la.csr.matvecs" in
+  let before = Metrics.counter_value matvec_counter in
+  for _ = 1 to 100 do
+    ignore (Graphio_la.Csr.matvec m [| 1.0; 1.0 |])
+  done;
+  (* the span-instrumented dense eigenpath, still with tracing disabled *)
+  ignore (Graphio_la.Eigen.smallest ~h:2 m);
+  Alcotest.(check int) "no span records while disabled" 0 (Span.record_count ());
+  Alcotest.(check bool) "counters still count" true
+    (Metrics.counter_value matvec_counter - before >= 100)
+
+let test_spans_nested () =
+  Span.set_enabled true;
+  Span.clear ();
+  let r =
+    Span.with_ "outer" (fun () ->
+        Span.with_ "inner" (fun () -> Sys.opaque_identity 7))
+  in
+  Span.set_enabled false;
+  Alcotest.(check int) "value through spans" 7 r;
+  match Span.records () with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner completes first" "inner" inner.Span.name;
+      Alcotest.(check string) "outer completes last" "outer" outer.Span.name;
+      Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+      Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+      Alcotest.(check bool) "inner starts within outer" true
+        (inner.Span.start_ns >= outer.Span.start_ns);
+      Alcotest.(check bool) "inner ends within outer" true
+        (inner.Span.start_ns + inner.Span.dur_ns
+        <= outer.Span.start_ns + outer.Span.dur_ns)
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let test_spans_exception_safe () =
+  Span.set_enabled true;
+  Span.clear ();
+  (match Span.with_ "boom" (fun () -> failwith "expected") with
+  | exception Failure msg -> Alcotest.(check string) "re-raised" "expected" msg
+  | _ -> Alcotest.fail "exception swallowed");
+  Span.set_enabled false;
+  Alcotest.(check int) "span recorded despite raise" 1 (Span.record_count ());
+  Span.clear ()
+
+let test_trace_event_export () =
+  Span.set_enabled true;
+  Span.clear ();
+  Span.with_ "parent" (fun () ->
+      Span.with_ "child" (fun () -> ignore (Sys.opaque_identity 1)));
+  Span.set_enabled false;
+  let doc = Span.to_trace_json () in
+  (* must survive its own printer/parser: what we write to disk is valid *)
+  let reparsed = Jsonx.of_string (Jsonx.to_string doc) in
+  (match Jsonx.member "traceEvents" reparsed with
+  | Some (Jsonx.List events) ->
+      Alcotest.(check int) "two events" 2 (List.length events);
+      List.iter
+        (fun ev ->
+          Alcotest.(check bool) "complete-event phase" true
+            (Jsonx.member "ph" ev = Some (Jsonx.String "X"));
+          (match Jsonx.member "name" ev with
+          | Some (Jsonx.String ("parent" | "child")) -> ()
+          | other ->
+              Alcotest.failf "unexpected name field: %s"
+                (match other with Some v -> Jsonx.to_string v | None -> "absent"));
+          (match Jsonx.member "ts" ev with
+          | Some (Jsonx.Float ts) ->
+              Alcotest.(check bool) "ts non-negative" true (ts >= 0.0)
+          | Some (Jsonx.Int ts) ->
+              Alcotest.(check bool) "ts non-negative" true (ts >= 0)
+          | _ -> Alcotest.fail "missing ts");
+          match Jsonx.member "dur" ev with
+          | Some (Jsonx.Float _ | Jsonx.Int _) -> ()
+          | _ -> Alcotest.fail "missing dur")
+        events
+  | _ -> Alcotest.fail "no traceEvents array");
+  Span.clear ()
+
+let () =
+  Alcotest.run "graphio_obs"
+    [
+      ("clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ]);
+      ( "jsonx",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonx_round_trip;
+          Alcotest.test_case "malformed rejected" `Quick test_jsonx_malformed;
+          Alcotest.test_case "non-finite floats" `Quick test_jsonx_non_finite;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "snapshot JSON round trip" `Quick
+            test_metrics_json_round_trip;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled: zero records on hot path" `Quick
+            test_spans_disabled_hot_path;
+          Alcotest.test_case "nested spans" `Quick test_spans_nested;
+          Alcotest.test_case "exception safety" `Quick test_spans_exception_safe;
+          Alcotest.test_case "chrome trace export" `Quick test_trace_event_export;
+        ] );
+    ]
