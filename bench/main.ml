@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig7 fig11   -- selected sections
      dune exec bench/main.exe -- --csv fig8   -- also dump CSV
      dune exec bench/main.exe -- --quick      -- reduced sweeps (CI-sized)
+     dune exec bench/main.exe -- -j 4 batch   -- batch driver on a 4-domain pool
      dune exec bench/main.exe -- bechamel     -- micro-benchmarks only
 
    Absolute numbers differ from the paper's (different machine, different
@@ -22,6 +23,11 @@ open Graphio_core
 let csv_mode = ref false
 let quick = ref false
 let json_path = ref None
+let njobs = ref 1
+
+(* Sections may publish extra per-section fields into the --json record
+   (the batch section records its speedup here); cleared between sections. *)
+let extra_json : (string * Graphio_obs.Jsonx.t) list ref = ref []
 
 let emit report =
   Report.print report;
@@ -701,6 +707,63 @@ let tightness () =
   emit r
 
 (* ------------------------------------------------------------------ *)
+(* Batch bound driver: Solver.bound_batch sequential vs domain pool    *)
+(* ------------------------------------------------------------------ *)
+
+let batch () =
+  let ms = [ 8; 16 ] in
+  let ls_fft = if !quick then [ 5; 6; 7 ] else [ 6; 7; 8; 9 ] in
+  let ls_bhk = if !quick then [ 6; 7; 8 ] else [ 7; 8; 9; 10 ] in
+  let jobs_of build ls =
+    List.concat_map
+      (fun l ->
+        let g = build l in
+        List.concat_map
+          (fun m ->
+            [ Solver.job g ~m; Solver.job ~method_:Solver.Standard g ~m ])
+          ms)
+      ls
+  in
+  let jobs = Array.of_list (jobs_of Fft.build ls_fft @ jobs_of Bhk.build ls_bhk) in
+  let _, seq_s = time (fun () -> ignore (Solver.bound_batch jobs)) in
+  let j = max 1 !njobs in
+  let results, par_s =
+    time (fun () ->
+        if j = 1 then Solver.bound_batch jobs
+        else
+          Graphio_par.Pool.with_pool ~size:j (fun pool ->
+              Solver.bound_batch ~pool jobs))
+  in
+  let hits = Array.fold_left (fun a r -> if r.Solver.cache_hit then a + 1 else a) 0 results in
+  let ncores = Domain.recommended_domain_count () in
+  let speedup = seq_s /. par_s in
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "batch: bound_batch FFT/BHK sweep, sequential vs %d-domain pool (%d cores)"
+           j ncores)
+      ~columns:[ "quantity"; "value" ]
+  in
+  Report.add_row r [ "jobs"; Report.cell_int (Array.length jobs) ];
+  Report.add_row r [ "spectrum cache hits"; Report.cell_int hits ];
+  Report.add_row r [ "sequential (s)"; Report.cell_float seq_s ];
+  Report.add_row r [ Printf.sprintf "pool j=%d (s)" j; Report.cell_float par_s ];
+  Report.add_row r [ "speedup"; Report.cell_float speedup ];
+  Report.note r
+    "same bounds either way (bitwise-deterministic parallel matvec); speedup tracks physical cores";
+  emit r;
+  extra_json :=
+    [
+      ("jobs", Graphio_obs.Jsonx.Int (Array.length jobs));
+      ("j", Graphio_obs.Jsonx.Int j);
+      ("ncores", Graphio_obs.Jsonx.Int ncores);
+      ("seq_s", Graphio_obs.Jsonx.Float seq_s);
+      ("par_s", Graphio_obs.Jsonx.Float par_s);
+      ("speedup", Graphio_obs.Jsonx.Float speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -777,6 +840,7 @@ let sections =
     ("ablations", ablations);
     ("tightness", tightness);
     ("sandwich", sandwich);
+    ("batch", batch);
     ("bechamel", bechamel);
   ]
 
@@ -800,6 +864,17 @@ let () =
     | [ "--json" ] ->
         prerr_endline "bench: --json requires an output path";
         exit 2
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            njobs := v;
+            parse acc rest
+        | _ ->
+            prerr_endline "bench: -j requires a positive integer";
+            exit 2)
+    | [ "-j" ] ->
+        prerr_endline "bench: -j requires a positive integer";
+        exit 2
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
@@ -820,6 +895,7 @@ let () =
   let records = ref [] in
   List.iter
     (fun (name, f) ->
+      extra_json := [];
       let before = Graphio_obs.Metrics.snapshot () in
       let (), dt = time f in
       let after = Graphio_obs.Metrics.snapshot () in
@@ -835,12 +911,13 @@ let () =
       in
       records :=
         Graphio_obs.Jsonx.Obj
-          [
-            ("section", Graphio_obs.Jsonx.String name);
-            ("wall_s", Graphio_obs.Jsonx.Float dt);
-            ("matvecs", Graphio_obs.Jsonx.Int (delta "la.eigen.matvecs"));
-            ("backend", Graphio_obs.Jsonx.String backend);
-          ]
+          ([
+             ("section", Graphio_obs.Jsonx.String name);
+             ("wall_s", Graphio_obs.Jsonx.Float dt);
+             ("matvecs", Graphio_obs.Jsonx.Int (delta "la.eigen.matvecs"));
+             ("backend", Graphio_obs.Jsonx.String backend);
+           ]
+          @ !extra_json)
         :: !records;
       Printf.printf "[section %s completed in %.1fs]\n\n" name dt;
       flush stdout)

@@ -7,6 +7,7 @@
      simulate   play a schedule in the two-level memory model
      spectrum   smallest Laplacian eigenvalues
      export     Graphviz DOT output
+     batch      many bounds concurrently from a jobs file (JSON lines)
 
    Graphs are supplied either with --graph SPEC (generated on the fly) or
    --file PATH (edge-list format, see Graphio_graph.Edgelist). *)
@@ -424,6 +425,144 @@ let sweep_cmd =
         $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Jobs file: one job per line, [SPEC m=M [p=P] [method=normalized|standard]];
+   blank lines and [#] comments are skipped.  SPEC is a generator spec
+   (fft:6, er:200:0.05, ...) or [file:PATH] for an edge-list file. *)
+let parse_job_line ~path ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let fail msg =
+      raise (Invalid_argument (Printf.sprintf "%s:%d: %s" path lineno msg))
+    in
+    match
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    with
+    | [] -> None
+    | spec :: params ->
+        let m = ref None and p = ref None and method_ = ref Solver.Normalized in
+        List.iter
+          (fun param ->
+            match String.index_opt param '=' with
+            | None -> fail (Printf.sprintf "expected KEY=VALUE, got %S" param)
+            | Some i -> (
+                let key = String.sub param 0 i in
+                let v = String.sub param (i + 1) (String.length param - i - 1) in
+                let pos_int name =
+                  match int_of_string_opt v with
+                  | Some x when x >= 1 -> x
+                  | _ -> fail (Printf.sprintf "%s=%S: expected a positive integer" name v)
+                in
+                match key with
+                | "m" -> m := Some (pos_int "m")
+                | "p" -> p := Some (pos_int "p")
+                | "method" -> (
+                    match v with
+                    | "normalized" -> method_ := Solver.Normalized
+                    | "standard" -> method_ := Solver.Standard
+                    | _ ->
+                        fail
+                          (Printf.sprintf
+                             "method=%S: expected normalized or standard" v))
+                | _ -> fail (Printf.sprintf "unknown key %S" key)))
+          params;
+        let m = match !m with Some m -> m | None -> fail "missing m=M" in
+        let g =
+          match String.index_opt spec ':' with
+          | Some i when String.sub spec 0 i = "file" ->
+              Edgelist.of_file
+                (String.sub spec (i + 1) (String.length spec - i - 1))
+          | _ -> (
+              match parse_spec spec with
+              | Ok g -> g
+              | Error msg -> fail msg)
+        in
+        Some (spec, Solver.job ~method_:!method_ ?p:!p g ~m)
+  end
+
+let method_name = function
+  | Solver.Normalized -> "normalized"
+  | Solver.Standard -> "standard"
+
+let backend_name = function
+  | Graphio_la.Eigen.Dense -> "dense"
+  | Graphio_la.Eigen.Sparse_filtered -> "filtered"
+
+let batch path njobs h dense_threshold metrics trace =
+  handle ~metrics ~trace @@ fun () ->
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let entries =
+    List.mapi (fun i line -> parse_job_line ~path ~lineno:(i + 1) line) lines
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  if Array.length entries = 0 then
+    raise (Invalid_argument (Printf.sprintf "%s: no jobs" path));
+  let specs = Array.map fst entries and jobs = Array.map snd entries in
+  let njobs = if njobs = 0 then Graphio_par.Pool.default_size () else njobs in
+  if njobs < 1 then raise (Invalid_argument "-j: need at least 1");
+  let run pool = Solver.bound_batch ?pool ~h ?dense_threshold jobs in
+  let results =
+    if njobs = 1 then run None
+    else
+      Graphio_par.Pool.with_pool ~size:njobs (fun pool -> run (Some pool))
+  in
+  Array.iteri
+    (fun i r ->
+      let j = r.Solver.job and o = r.Solver.outcome in
+      let b = o.Solver.result in
+      let open Graphio_obs.Jsonx in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("spec", String specs.(i));
+                ("n", Int (Dag.n_vertices j.Solver.dag));
+                ("edges", Int (Dag.n_edges j.Solver.dag));
+                ("m", Int j.Solver.m);
+                ("p", Int (Option.value j.Solver.p ~default:1));
+                ("method", String (method_name j.Solver.method_));
+                ("h", Int (Array.length o.Solver.eigenvalues));
+                ("bound", Float b.Spectral_bound.bound);
+                ("best_k", Int b.Spectral_bound.best_k);
+                ("best_raw", Float b.Spectral_bound.best_raw);
+                ("backend", String (backend_name o.Solver.backend));
+                ("cache_hit", Bool r.Solver.cache_hit);
+                ("wall_s", Float r.Solver.wall_s);
+              ])))
+    results
+
+let batch_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBS"
+           ~doc:"Jobs file: one $(b,SPEC m=M [p=P] [method=METHOD]) per line; \
+                 blank lines and # comments ignored.")
+  in
+  let njobs =
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domain-pool size (1 = sequential).  Defaults to \
+                 $(b,GRAPHIO_POOL) or the core count.")
+  in
+  let h =
+    Arg.(value & opt int 100 & info [ "eigenvalues" ] ~docv:"H"
+           ~doc:"Number of smallest eigenvalues per spectrum.")
+  in
+  let dense_threshold =
+    Arg.(value & opt (some int) None & info [ "dense-threshold" ] ~docv:"N"
+           ~doc:"Largest n solved by the dense eigensolver.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Evaluate many spectral bounds concurrently (JSON lines on stdout)")
+    Term.(
+      ret
+        (const batch $ path $ njobs $ h $ dense_threshold $ metrics_arg
+        $ trace_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -435,5 +574,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; bound_cmd; baseline_cmd; simulate_cmd; spectrum_cmd;
-            export_cmd; analyze_cmd; sweep_cmd;
+            export_cmd; analyze_cmd; sweep_cmd; batch_cmd;
           ]))

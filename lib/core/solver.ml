@@ -15,7 +15,7 @@ let c_bounds = Graphio_obs.Metrics.counter "core.solver.bounds"
 let h_bound_seconds = Graphio_obs.Metrics.histogram "core.solver.bound_seconds"
 
 let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
-    ?on_iteration g =
+    ?on_iteration ?pool g =
   let laplacian =
     Graphio_obs.Span.with_ "solver.laplacian" (fun () ->
         match method_ with
@@ -24,7 +24,7 @@ let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
   in
   let spec =
     Graphio_obs.Span.with_ "solver.eigensolve" (fun () ->
-        Eigen.smallest ~h ?dense_threshold ?tol ?seed ?on_iteration laplacian)
+        Eigen.smallest ~h ?dense_threshold ?tol ?seed ?on_iteration ?pool laplacian)
   in
   let scale =
     match method_ with
@@ -37,12 +37,14 @@ let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
     spec.Eigen.backend,
     spec.Eigen.stats )
 
-let spectrum ?method_ ?h ?dense_threshold ?tol ?seed g =
-  let eigenvalues, backend, _ = spectrum_full ?method_ ?h ?dense_threshold ?tol ?seed g in
+let spectrum ?method_ ?h ?dense_threshold ?tol ?seed ?pool g =
+  let eigenvalues, backend, _ =
+    spectrum_full ?method_ ?h ?dense_threshold ?tol ?seed ?pool g
+  in
   (eigenvalues, backend)
 
 let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?on_iteration g ~m =
+    ?on_iteration ?pool g ~m =
   Graphio_obs.Metrics.time h_bound_seconds (fun () ->
       Graphio_obs.Span.with_ "solver.bound" (fun () ->
           Graphio_obs.Metrics.incr c_bounds;
@@ -57,7 +59,8 @@ let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
             }
           else begin
             let eigenvalues, backend, solve_stats =
-              spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration g
+              spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration
+                ?pool g
             in
             let result =
               Graphio_obs.Span.with_ "solver.maximize" (fun () ->
@@ -166,3 +169,116 @@ let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
     p;
     h = k_max;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+
+type batch_job = {
+  dag : Dag.t;
+  m : int;
+  p : int option;
+  method_ : method_;
+}
+
+let job ?(method_ = Normalized) ?p dag ~m = { dag; m; p; method_ }
+
+type batch_result = {
+  job : batch_job;
+  outcome : outcome;
+  cache_hit : bool;
+  wall_s : float;
+}
+
+let c_batch_jobs = Graphio_obs.Metrics.counter "core.solver.batch_jobs"
+let c_batch_hits = Graphio_obs.Metrics.counter "core.solver.batch_cache_hits"
+let c_batch_misses = Graphio_obs.Metrics.counter "core.solver.batch_cache_misses"
+let h_batch_job_seconds =
+  Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
+
+let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
+  Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
+      let nj = Array.length jobs in
+      (* Spectrum cache: jobs that share (graph, method, h) — the typical
+         M- or p-sweep — pay for the eigensolve once.  The key hashes the
+         graph structure ({!Dag.fingerprint}), so structurally equal graphs
+         built independently still share. *)
+      let key_of j = (Dag.fingerprint j.dag, j.method_, h) in
+      let keys = Array.map key_of jobs in
+      let rep_of_key = Hashtbl.create (max nj 16) in
+      let reps = ref [] in
+      Array.iteri
+        (fun i k ->
+          if not (Hashtbl.mem rep_of_key k) then begin
+            Hashtbl.add rep_of_key k i;
+            reps := i :: !reps
+          end)
+        keys;
+      let reps = Array.of_list (List.rev !reps) in
+      let n_reps = Array.length reps in
+      Graphio_obs.Metrics.add c_batch_jobs nj;
+      Graphio_obs.Metrics.add c_batch_misses n_reps;
+      Graphio_obs.Metrics.add c_batch_hits (nj - n_reps);
+      (* One eigensolve per distinct key.  With a pool and several keys we
+         parallelize across keys (each solve sequential inside); with a
+         single key the pool instead accelerates that solve's matvecs.
+         Either way the eigenvalues are bitwise-identical to the
+         sequential run (see Csr.matvec_into), so results don't depend on
+         pool size.  [spectra.(r)] also records the eigensolve wall time,
+         attributed to the representative job. *)
+      let spectra = Array.make n_reps ([||], Eigen.Dense, None, 0.0) in
+      let solve ?pool r =
+        let j = jobs.(reps.(r)) in
+        let t0 = Graphio_obs.Clock.now_ns () in
+        let eigenvalues, backend, stats =
+          if Dag.n_vertices j.dag = 0 then ([||], Eigen.Dense, None)
+          else
+            spectrum_full ~method_:j.method_ ~h ?dense_threshold ?tol ?seed
+              ?pool j.dag
+        in
+        spectra.(r) <-
+          (eigenvalues, backend, stats, Graphio_obs.Clock.elapsed_s t0)
+      in
+      (match pool with
+      | Some pool when n_reps > 1 ->
+          Graphio_par.Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n_reps
+            (fun r -> solve r)
+      | Some pool ->
+          for r = 0 to n_reps - 1 do
+            solve ~pool r
+          done
+      | None ->
+          for r = 0 to n_reps - 1 do
+            solve r
+          done);
+      let slot_of_rep = Hashtbl.create (max n_reps 16) in
+      Array.iteri (fun slot r -> Hashtbl.add slot_of_rep r slot) reps;
+      (* Finalize every job in input order: the cheap k-maximization runs
+         per job against the (physically shared) cached spectrum. *)
+      let results =
+        Array.mapi
+          (fun i j ->
+            let t0 = Graphio_obs.Clock.now_ns () in
+            let rep = Hashtbl.find rep_of_key keys.(i) in
+            let eigenvalues, backend, solve_stats, solve_s =
+              spectra.(Hashtbl.find slot_of_rep rep)
+            in
+            let n = Dag.n_vertices j.dag in
+            let result =
+              Spectral_bound.compute ~n ~m:j.m ?p:j.p ~eigenvalues ()
+            in
+            let cache_hit = rep <> i in
+            let wall_s =
+              Graphio_obs.Clock.elapsed_s t0 +. if cache_hit then 0.0 else solve_s
+            in
+            {
+              job = j;
+              outcome = { result; method_ = j.method_; backend; eigenvalues; solve_stats };
+              cache_hit;
+              wall_s;
+            })
+          jobs
+      in
+      Array.iter
+        (fun r -> Graphio_obs.Metrics.observe h_batch_job_seconds r.wall_s)
+        results;
+      results)

@@ -32,6 +32,7 @@ val bound :
   ?tol:float ->
   ?seed:int ->
   ?on_iteration:Graphio_la.Convergence.callback ->
+  ?pool:Graphio_par.Pool.t ->
   Graphio_graph.Dag.t ->
   m:int ->
   outcome
@@ -43,7 +44,9 @@ val bound :
     ([solver.bound] over [solver.laplacian], [solver.eigensolve],
     [solver.maximize]) and is timed into the [core.solver.bound_seconds]
     histogram; [on_iteration] streams eigensolver convergence progress
-    when the sparse path is taken. *)
+    when the sparse path is taken.  [pool] parallelizes the sparse
+    eigensolve's matvecs across domains; the result is bitwise-identical
+    with or without it (see {!Graphio_la.Csr.matvec_into}). *)
 
 val spectrum :
   ?method_:method_ ->
@@ -51,6 +54,7 @@ val spectrum :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?pool:Graphio_par.Pool.t ->
   Graphio_graph.Dag.t ->
   float array * Graphio_la.Eigen.backend
 (** The (clamped, Theorem-5-scaled when [Standard]) smallest eigenvalues
@@ -97,3 +101,60 @@ val bound_of_spectrum_all_k :
     of the continuous relaxation, in [O(distinct values)].  Every
     evaluated [k] uses the exact objective, so the result is always a
     valid lower bound. *)
+
+(** {1 Batch evaluation}
+
+    Many bound evaluations — an M-sweep over one graph, a benchmark over a
+    graph family — share eigensolves.  {!bound_batch} deduplicates them
+    through a spectrum cache and runs distinct eigensolves concurrently on
+    a {!Graphio_par.Pool}. *)
+
+type batch_job = private {
+  dag : Graphio_graph.Dag.t;
+  m : int;  (** fast-memory size *)
+  p : int option;  (** processors (Theorem 6); [None] means sequential *)
+  method_ : method_;
+}
+
+val job :
+  ?method_:method_ -> ?p:int -> Graphio_graph.Dag.t -> m:int -> batch_job
+(** Construct one batch entry (defaults mirror {!bound}: [Normalized],
+    sequential). *)
+
+type batch_result = {
+  job : batch_job;
+  outcome : outcome;
+  cache_hit : bool;
+      (** this job reused a spectrum computed for an earlier job in the
+          batch (its [outcome.eigenvalues] is the {e same physical array}
+          as the representative's) *)
+  wall_s : float;
+      (** per-job latency: k-maximization time, plus the eigensolve time
+          for the job that actually computed the spectrum *)
+}
+
+val bound_batch :
+  ?pool:Graphio_par.Pool.t ->
+  ?h:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  batch_job array ->
+  batch_result array
+(** [bound_batch jobs] evaluates every job and returns results in input
+    order.  Jobs whose [(graph, method_)] coincide — keyed by
+    {!Graphio_graph.Dag.fingerprint}, so structurally equal graphs built
+    independently also match — share one eigensolve; with [pool], distinct
+    eigensolves run concurrently across domains (a single distinct
+    spectrum instead parallelizes its matvecs).
+
+    Output is deterministic: bounds and eigenvalues are identical
+    regardless of job order, pool presence, or pool size (fixed [seed],
+    bitwise-reproducible parallel matvec).  Only [cache_hit] / [wall_s]
+    attribution moves with the ordering (the first job of each spectrum
+    class pays the solve).
+
+    Observability: runs inside a [solver.bound_batch] span and maintains
+    [core.solver.batch_jobs], [core.solver.batch_cache_hits],
+    [core.solver.batch_cache_misses] and the per-job latency histogram
+    [core.solver.batch_job_seconds]. *)

@@ -143,6 +143,22 @@ let fold_edges g ~init ~f =
   iter_edges g (fun u v -> acc := f !acc u v);
   !acc
 
+(* FNV-1a over (n, m, sorted edge sequence).  The adjacency arrays are a
+   canonical representation (buckets sorted at build time), so structurally
+   equal graphs — however they were constructed — hash identically.  Used
+   as the spectrum-cache key in Solver.bound_batch. *)
+let fingerprint g =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+  in
+  mix (Int64.of_int g.n);
+  mix (Int64.of_int g.m);
+  iter_edges g (fun u v ->
+      mix (Int64.of_int u);
+      mix (Int64.of_int v));
+  !h
+
 let out_degree g v =
   check_vertex "out_degree" g v;
   g.succ_ptr.(v + 1) - g.succ_ptr.(v)

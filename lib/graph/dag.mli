@@ -85,6 +85,13 @@ val of_edges : ?labels:string array -> n:int -> (int * int) list -> t
 val edges : t -> (int * int) list
 (** All edges, ordered by source then target. *)
 
+val fingerprint : t -> int64
+(** FNV-1a hash of [(n, m, edges)] over the canonical (sorted) adjacency
+    representation: structurally equal graphs hash identically regardless
+    of construction order.  Collision-resistant enough to key caches
+    (e.g. {!Graphio_core.Solver.bound_batch}'s spectrum cache), not
+    cryptographic. *)
+
 val reverse : t -> t
 (** The graph with every edge flipped (labels preserved). *)
 

@@ -114,12 +114,12 @@ let get m i j =
 let c_matvecs = Graphio_obs.Metrics.counter "la.csr.matvecs"
 let c_flops = Graphio_obs.Metrics.counter "la.csr.fma_flops"
 
-let matvec_into m x y =
-  if Array.length x <> m.cols || Array.length y <> m.rows then
-    invalid_arg "Csr.matvec: dimension mismatch";
-  Graphio_obs.Metrics.incr c_matvecs;
-  Graphio_obs.Metrics.add c_flops (Array.length m.values);
-  for i = 0 to m.rows - 1 do
+(* One row is always accumulated left-to-right by a single participant, so
+   the parallel path is bitwise identical to the sequential one: chunking
+   decides only which domain owns a row, never the FP summation order
+   within it (docs/PARALLELISM.md). *)
+let row_range m x y lo hi =
+  for i = lo to hi - 1 do
     let acc = ref 0.0 in
     for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
       acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
@@ -127,9 +127,21 @@ let matvec_into m x y =
     y.(i) <- !acc
   done
 
-let matvec m x =
+let matvec_into ?pool m x y =
+  if Array.length x <> m.cols || Array.length y <> m.rows then
+    invalid_arg "Csr.matvec: dimension mismatch";
+  Graphio_obs.Metrics.incr c_matvecs;
+  Graphio_obs.Metrics.add c_flops (Array.length m.values);
+  match pool with
+  | None -> row_range m x y 0 m.rows
+  | Some pool ->
+      (* chunk by rows; the per-index body is one whole row *)
+      Graphio_par.Pool.parallel_for pool ~lo:0 ~hi:m.rows (fun i ->
+          row_range m x y i (i + 1))
+
+let matvec ?pool m x =
   let y = Array.make m.rows 0.0 in
-  matvec_into m x y;
+  matvec_into ?pool m x y;
   y
 
 let scale c m = { m with values = Array.map (fun v -> c *. v) m.values }

@@ -36,10 +36,13 @@ val dims : t -> int * int
 val get : t -> int -> int -> float
 (** [get m i j] — binary search within row [i]; absent entries are [0.]. *)
 
-val matvec : t -> float array -> float array
+val matvec : ?pool:Graphio_par.Pool.t -> t -> float array -> float array
 
-val matvec_into : t -> float array -> float array -> unit
-(** [matvec_into m x y] writes [m x] into pre-allocated [y]. *)
+val matvec_into : ?pool:Graphio_par.Pool.t -> t -> float array -> float array -> unit
+(** [matvec_into m x y] writes [m x] into pre-allocated [y].  With [pool]
+    the rows are computed in parallel, row-chunked across the pool's
+    domains; each row keeps its sequential left-to-right accumulation
+    order, so the result is bitwise identical to the pool-less path. *)
 
 val scale : float -> t -> t
 

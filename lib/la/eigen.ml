@@ -29,7 +29,7 @@ let smallest_dense ?(h = 100) a =
       { values = Array.sub values 0 take; backend = Dense; exact = true; stats = None })
 
 let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
-    ?on_iteration m =
+    ?on_iteration ?pool m =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Eigen.smallest: matrix not square";
   if rows = 0 then { values = [||]; backend = Dense; exact = true; stats = None }
@@ -43,7 +43,7 @@ let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
            an I/O bound while shortening the convergence tail on clustered
            spectra. *)
         let tol = match tol with Some t -> t | None -> 1e-5 in
-        let result = Filtered.smallest_csr ?seed ?on_iteration ~tol m ~h in
+        let result = Filtered.smallest_csr ?seed ?on_iteration ?pool ~tol m ~h in
         Graphio_obs.Metrics.incr c_sparse;
         {
           values = result.Filtered.values;

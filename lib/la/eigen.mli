@@ -49,6 +49,7 @@ val smallest :
   ?tol:float ->
   ?seed:int ->
   ?on_iteration:Convergence.callback ->
+  ?pool:Graphio_par.Pool.t ->
   Csr.t ->
   spectrum
 (** [smallest ?h m] returns the [h] (default 100, the paper's §6.1 choice)
@@ -56,8 +57,10 @@ val smallest :
     noise up to [0.] for positive semi-definite inputs is left to callers —
     values are reported as computed.  [on_iteration] receives a
     {!Convergence.progress} snapshot per sweep when the sparse path is
-    taken (the dense path never calls it).  Raises [Invalid_argument] if
-    [m] is not square. *)
+    taken (the dense path never calls it).  [pool] parallelizes the sparse
+    path's matvecs across domains — bitwise-identical values either way;
+    the dense path ignores it.  Raises [Invalid_argument] if [m] is not
+    square. *)
 
 val smallest_dense : ?h:int -> Mat.t -> spectrum
 (** Force the dense path on a dense symmetric matrix. *)

@@ -249,10 +249,10 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
   { values; vectors; iterations = !iterations; matvecs = !matvec_count; converged; padded }
 
 let smallest_csr ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors
-    ?on_iteration m ~h =
+    ?on_iteration ?pool m ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Filtered.smallest_csr: matrix not square";
   smallest ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors ?on_iteration
-    ~matvec:(fun x y -> Csr.matvec_into m x y)
+    ~matvec:(fun x y -> Csr.matvec_into ?pool m x y)
     ~upper_bound:(Csr.gershgorin_upper m)
     ~n:rows ~h ()

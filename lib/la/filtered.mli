@@ -80,7 +80,10 @@ val smallest_csr :
   ?seed:int ->
   ?want_vectors:bool ->
   ?on_iteration:Convergence.callback ->
+  ?pool:Graphio_par.Pool.t ->
   Csr.t ->
   h:int ->
   result
-(** Wrapper over a symmetric CSR matrix (upper bound via Gershgorin). *)
+(** Wrapper over a symmetric CSR matrix (upper bound via Gershgorin).
+    [pool] parallelizes the matvecs row-chunked across domains without
+    changing any result bitwise ({!Csr.matvec_into}). *)

@@ -284,10 +284,10 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
     converged = take >= h;
   }
 
-let smallest_csr ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration m
-    ~h =
+let smallest_csr ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration
+    ?pool m ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Lanczos.smallest_csr: matrix not square";
   smallest ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration
-    ~matvec:(fun x y -> Csr.matvec_into m x y)
+    ~matvec:(fun x y -> Csr.matvec_into ?pool m x y)
     ~n:rows ~h ()

@@ -65,8 +65,10 @@ val smallest_csr :
   ?seed:int ->
   ?want_vectors:bool ->
   ?on_iteration:Convergence.callback ->
+  ?pool:Graphio_par.Pool.t ->
   Csr.t ->
   h:int ->
   result
 (** Convenience wrapper over a symmetric CSR matrix; the tolerance is scaled
-    by the Gershgorin norm bound of the matrix. *)
+    by the Gershgorin norm bound of the matrix.  [pool] parallelizes the
+    matvecs (bitwise-identical results, see {!Csr.matvec_into}). *)

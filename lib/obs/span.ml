@@ -9,7 +9,12 @@ let enabled_flag = ref false
 let epoch = ref 0
 let completed : record list ref = ref []
 let completed_count = ref 0
-let current_depth = ref 0
+
+(* Nesting depth is per-domain (each domain has its own span stack); the
+   completed-record list is shared, so appends take [record_mutex].  The
+   disabled path touches neither. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let record_mutex = Mutex.create ()
 
 let set_enabled b =
   if b && not !enabled_flag && !epoch = 0 then epoch := Clock.now_ns ();
@@ -18,14 +23,17 @@ let set_enabled b =
 let enabled () = !enabled_flag
 
 let clear () =
+  Mutex.lock record_mutex;
   completed := [];
   completed_count := 0;
-  current_depth := 0;
-  epoch := Clock.now_ns ()
+  Domain.DLS.get depth_key := 0;
+  epoch := Clock.now_ns ();
+  Mutex.unlock record_mutex
 
 let with_ name f =
   if not !enabled_flag then f ()
   else begin
+    let current_depth = Domain.DLS.get depth_key in
     let d = !current_depth in
     current_depth := d + 1;
     let t0 = Clock.now_ns () in
@@ -33,9 +41,11 @@ let with_ name f =
       ~finally:(fun () ->
         let t1 = Clock.now_ns () in
         current_depth := d;
+        Mutex.lock record_mutex;
         completed :=
           { name; start_ns = t0 - !epoch; dur_ns = t1 - t0; depth = d } :: !completed;
-        incr completed_count)
+        incr completed_count;
+        Mutex.unlock record_mutex)
       f
   end
 

@@ -1,0 +1,225 @@
+let c_loops = Graphio_obs.Metrics.counter "par.pool.loops"
+let c_chunks = Graphio_obs.Metrics.counter "par.pool.chunks"
+let c_steals = Graphio_obs.Metrics.counter "par.pool.steals"
+let c_helped = Graphio_obs.Metrics.counter "par.pool.helped_tasks"
+let c_created = Graphio_obs.Metrics.counter "par.pool.created"
+let g_size = Graphio_obs.Metrics.gauge "par.pool.size"
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+      (* one condition for every event: task pushed, loop finished,
+         shutdown — waiters re-check their own predicate *)
+  queue : (unit -> unit) Queue.t;  (* tasks never raise (wrapped) *)
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let default_size () =
+  match Sys.getenv_opt "GRAPHIO_POOL" with
+  | Some "ncores" | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+
+let size pool = pool.size
+
+let worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec go () =
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      Mutex.lock pool.mutex;
+      go ()
+    end
+    else if pool.live then begin
+      Condition.wait pool.cond pool.mutex;
+      go ()
+    end
+    else Mutex.unlock pool.mutex
+  in
+  go ()
+
+let create ?size () =
+  let size = match size with Some s -> s | None -> default_size () in
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [];
+      size;
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Graphio_obs.Metrics.incr c_created;
+  Graphio_obs.Metrics.set g_size (float_of_int size);
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.live <- false;
+  pool.workers <- [];
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let check_live pool =
+  if not pool.live then invalid_arg "Pool: used after shutdown"
+
+(* Run [run_chunk c] for each [c < nchunks], each exactly once, across the
+   pool.  [run_chunk] must not raise.  The caller participates; while
+   waiting for helper tasks to finish it drains the shared queue instead of
+   sleeping, which is what makes nested/concurrent loops deadlock-free. *)
+let exec_loop pool nchunks run_chunk =
+  check_live pool;
+  Graphio_obs.Metrics.incr c_loops;
+  Graphio_obs.Metrics.add c_chunks nchunks;
+  if pool.size <= 1 || nchunks <= 1 then
+    for c = 0 to nchunks - 1 do
+      run_chunk c
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let drain ~helper =
+      let mine = ref 0 in
+      let rec go () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          run_chunk c;
+          incr mine;
+          go ()
+        end
+      in
+      go ();
+      if helper && !mine > 0 then Graphio_obs.Metrics.add c_steals !mine
+    in
+    let helpers = min (pool.size - 1) (nchunks - 1) in
+    let remaining = ref helpers in
+    Mutex.lock pool.mutex;
+    for _ = 1 to helpers do
+      Queue.push
+        (fun () ->
+          drain ~helper:true;
+          Mutex.lock pool.mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast pool.cond;
+          Mutex.unlock pool.mutex)
+        pool.queue
+    done;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    drain ~helper:false;
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if !remaining > 0 then
+        if not (Queue.is_empty pool.queue) then begin
+          let task = Queue.pop pool.queue in
+          Mutex.unlock pool.mutex;
+          Graphio_obs.Metrics.incr c_helped;
+          task ();
+          Mutex.lock pool.mutex;
+          wait ()
+        end
+        else begin
+          Condition.wait pool.cond pool.mutex;
+          wait ()
+        end
+    in
+    wait ();
+    Mutex.unlock pool.mutex
+  end
+
+(* Chunk geometry depends on the iteration count only — never on pool size
+   — so chunk-indexed results (map_reduce partials, FP summation order) are
+   reproducible across pool sizes.  At most [max_chunks] chunks keeps the
+   per-chunk atomic overhead negligible while leaving enough slack for
+   dynamic load balancing. *)
+let max_chunks = 256
+
+let chunk_size ?chunk count =
+  match chunk with
+  | Some c ->
+      if c < 1 then invalid_arg "Pool: chunk must be >= 1";
+      c
+  | None -> max 1 ((count + max_chunks - 1) / max_chunks)
+
+let parallel_for ?chunk pool ~lo ~hi body =
+  let count = hi - lo in
+  if count > 0 then begin
+    let chunk = chunk_size ?chunk count in
+    let nchunks = (count + chunk - 1) / chunk in
+    if pool.size <= 1 || nchunks <= 1 then begin
+      check_live pool;
+      for i = lo to hi - 1 do
+        body i
+      done
+    end
+    else begin
+      let failure = Atomic.make None in
+      let run_chunk c =
+        match Atomic.get failure with
+        | Some _ -> () (* a chunk failed: abandon the remaining work *)
+        | None -> (
+            let start = lo + (c * chunk) in
+            let stop = min hi (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                body i
+              done
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt))))
+      in
+      exec_loop pool nchunks run_chunk;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let map_reduce ?chunk pool ~lo ~hi ~map ~reduce ~init =
+  let count = hi - lo in
+  if count <= 0 then init
+  else begin
+    let chunk = chunk_size ?chunk count in
+    let nchunks = (count + chunk - 1) / chunk in
+    let partials = Array.make nchunks None in
+    let partial c =
+      let start = lo + (c * chunk) in
+      let stop = min hi (start + chunk) in
+      let acc = ref (map start) in
+      for i = start + 1 to stop - 1 do
+        acc := reduce !acc (map i)
+      done;
+      partials.(c) <- Some !acc
+    in
+    (* one loop item per chunk: parallel_for re-chunking is the identity *)
+    parallel_for ~chunk:1 pool ~lo:0 ~hi:nchunks partial;
+    let acc = ref init in
+    for c = 0 to nchunks - 1 do
+      match partials.(c) with
+      | Some p -> acc := reduce !acc p
+      | None -> assert false
+    done;
+    !acc
+  end
+
+let run_all pool jobs =
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun j ->
+      results.(j) <- Some (jobs.(j) ()));
+  Array.map (function Some r -> r | None -> assert false) results

@@ -1,0 +1,80 @@
+(** Fixed-size OCaml 5 domain pool with chunked self-scheduling loops.
+
+    The pool is the parallelism substrate of the bound pipeline: row-chunked
+    CSR matvecs ({!Graphio_la.Csr.matvec_into}), and the batch bound driver
+    ({!Graphio_core.Solver.bound_batch}).  Design points:
+
+    - a pool of [size] {e participants}: [size - 1] worker domains plus the
+      calling domain, which always takes part in its own loops (a pool of
+      size 1 spawns nothing and runs everything sequentially — the exact
+      fallback path);
+    - loops are {e chunked and self-scheduled}: the iteration range is cut
+      into fixed chunks and participants grab the next chunk through one
+      atomic fetch-and-add — cheap dynamic load balancing without per-item
+      queues ("work-stealing-ish");
+    - a participant blocked waiting for a loop to finish {e helps}: it
+      drains queued tasks instead of sleeping, so nested or concurrent
+      pool use cannot deadlock;
+    - determinism: chunk geometry depends only on the iteration count
+      (never on [size] or on which domain runs a chunk), each index is
+      executed exactly once, and {!map_reduce} combines chunk partials in
+      ascending chunk order — so results are reproducible across pool
+      sizes, and bitwise so when per-index work is itself deterministic
+      (see docs/PARALLELISM.md).
+
+    Observability: the pool bumps [par.pool.*] counters (loops, chunks,
+    chunks executed by helper domains = "steals") and sets the
+    [par.pool.size] gauge; counter updates from worker domains are
+    lossy-but-safe under contention (plain stores, no tearing). *)
+
+type t
+
+val default_size : unit -> int
+(** Pool size selected by the [GRAPHIO_POOL] environment variable:
+    a positive integer, or ["ncores"] for
+    [Domain.recommended_domain_count ()] (also the default when the
+    variable is unset or unparsable). *)
+
+val create : ?size:int -> unit -> t
+(** [create ()] — a pool of {!default_size} participants ([size] when
+    given; [Invalid_argument] if [size < 1]).  [size - 1] domains are
+    spawned immediately and live until {!shutdown}. *)
+
+val size : t -> int
+(** Number of participants (worker domains + the caller). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Outstanding tasks are drained
+    first; using the pool after shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],
+    each index exactly once, in parallel across the pool.  Within a chunk,
+    indices run in ascending order on one domain.  [chunk] overrides the
+    default chunk size (a function of [hi - lo] only).  The first
+    exception raised by [f] is re-raised in the caller after the loop
+    quiesces (remaining chunks are abandoned). *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  map:(int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [map_reduce pool ~lo ~hi ~map ~reduce ~init] computes
+    [reduce (... (reduce init p_0) ...) p_{c-1}] where chunk partial
+    [p_j] folds [map] left-to-right over chunk [j]'s indices.  Reduction
+    order is fixed by chunk index, so for a given [chunk] the result is
+    {e independent of pool size} — floating-point sums included.  An empty
+    range returns [init]. *)
+
+val run_all : t -> (unit -> 'a) array -> 'a array
+(** [run_all pool jobs] executes the jobs concurrently (one chunk each)
+    and returns their results in job order.  First exception re-raised
+    after the batch quiesces. *)

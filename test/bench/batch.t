@@ -1,0 +1,26 @@
+The bench batch section runs the same job sweep through Solver.bound_batch
+twice — sequentially and on a -j N domain pool — and records the speedup in
+the --json trajectory.  Wall-clock values are machine-dependent, so only
+the deterministic lines and JSON fields are checked.
+
+  $ ../../bench/main.exe --quick -j 2 --json bench.json batch | grep -E "^(jobs|spectrum)" | sed -E 's/ +$//'
+  jobs                 24
+  spectrum cache hits  12
+
+  $ grep -o '"section":"batch"' bench.json
+  "section":"batch"
+  $ grep -o '"jobs":24' bench.json
+  "jobs":24
+  $ grep -o '"j":2' bench.json
+  "j":2
+  $ grep -oE '"(ncores|seq_s|par_s|speedup)":' bench.json | sort
+  "ncores":
+  "par_s":
+  "seq_s":
+  "speedup":
+
+-j rejects garbage:
+
+  $ ../../bench/main.exe -j nope batch
+  bench: -j requires a positive integer
+  [2]

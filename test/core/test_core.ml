@@ -161,6 +161,27 @@ let test_solver_parallel_weaker () =
   let b4 = (Solver.bound ~p:4 g ~m:4).Solver.result.Spectral_bound.bound in
   Alcotest.(check bool) "parallel bound weaker" true (b4 <= b1 +. 1e-9)
 
+let test_solver_sparse_path_agrees_with_dense () =
+  (* low dense_threshold routes the whole pipeline through the
+     Chebyshev-filtered solver: the bound must match the dense default *)
+  let g = Fft.build 6 in
+  let dense = Solver.bound ~h:16 g ~m:8 in
+  let sparse = Solver.bound ~h:16 ~dense_threshold:0 g ~m:8 in
+  Alcotest.(check bool) "dense backend default" true
+    (dense.Solver.backend = Graphio_la.Eigen.Dense);
+  Alcotest.(check bool) "sparse backend forced" true
+    (sparse.Solver.backend = Graphio_la.Eigen.Sparse_filtered);
+  Alcotest.(check (float 1e-4))
+    "bounds agree" dense.Solver.result.Spectral_bound.bound
+    sparse.Solver.result.Spectral_bound.bound;
+  (* and through a domain pool, bitwise against the sequential sparse run *)
+  Graphio_par.Pool.with_pool ~size:2 (fun pool ->
+      let pooled = Solver.bound ~h:16 ~dense_threshold:0 ~pool g ~m:8 in
+      Alcotest.(check bool) "pooled bitwise equal" true
+        (Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           sparse.Solver.eigenvalues pooled.Solver.eigenvalues))
+
 (* ------------------------------------------------------------------ *)
 (* Analytic (Section 5)                                                *)
 (* ------------------------------------------------------------------ *)
@@ -584,6 +605,8 @@ let () =
           Alcotest.test_case "empty graph" `Quick test_solver_empty_graph;
           Alcotest.test_case "edgeless graph" `Quick test_solver_edgeless_graph;
           Alcotest.test_case "parallel weaker" `Quick test_solver_parallel_weaker;
+          Alcotest.test_case "sparse path agrees with dense" `Quick
+            test_solver_sparse_path_agrees_with_dense;
         ] );
       ( "analytic",
         [

@@ -511,6 +511,20 @@ let test_eigen_paths_agree () =
   let sparse = Eigen.smallest ~h:10 ~dense_threshold:10 m in
   Alcotest.check (float_array_approx 1e-6) "agree" dense.Eigen.values sparse.Eigen.values
 
+let test_eigen_pooled_path_bitwise () =
+  (* low dense_threshold forces the filtered backend; the pooled matvec
+     must leave its eigenvalues bitwise unchanged *)
+  let m = laplacian_path 300 in
+  let seq = Eigen.smallest ~h:8 ~dense_threshold:0 ~seed:3 m in
+  Alcotest.(check bool) "sparse backend" true
+    (seq.Eigen.backend = Eigen.Sparse_filtered);
+  Graphio_par.Pool.with_pool ~size:2 (fun pool ->
+      let par = Eigen.smallest ~h:8 ~dense_threshold:0 ~seed:3 ~pool m in
+      Alcotest.(check bool) "bitwise equal" true
+        (Array.for_all2
+           (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+           seq.Eigen.values par.Eigen.values))
+
 (* ------------------------------------------------------------------ *)
 (* Toeplitz                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -684,6 +698,8 @@ let () =
         [
           Alcotest.test_case "backend selection" `Quick test_eigen_backend_selection;
           Alcotest.test_case "paths agree" `Quick test_eigen_paths_agree;
+          Alcotest.test_case "pooled path bitwise" `Quick
+            test_eigen_pooled_path_bitwise;
         ] );
       ( "toeplitz",
         [
