@@ -764,6 +764,115 @@ let batch () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Serve: cold vs warm request latency through the bound service       *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let serve () =
+  let open Graphio_server in
+  let tmp base suffix =
+    let p = Filename.temp_file base suffix in
+    Sys.remove p;
+    p
+  in
+  let sock = tmp "graphio_bench_serve" ".sock" in
+  let dir = tmp "graphio_bench_spectra" "" in
+  Unix.mkdir dir 0o700;
+  let transport = Server.Unix_socket sock in
+  let cfg =
+    {
+      (Server.default_config transport) with
+      Server.pool_size = max 1 !njobs;
+      cache = Graphio_cache.Spectrum.create ~dir ();
+    }
+  in
+  let listening = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~ready:(fun () -> Atomic.set listening true) cfg)
+  in
+  while not (Atomic.get listening) do
+    Unix.sleepf 0.001
+  done;
+  (* both Laplacians per graph: every query in a pass is a distinct
+     spectrum, so the cold pass pays one eigensolve per query and the
+     warm pass pays none *)
+  let queries =
+    let specs =
+      if !quick then [ ("fft:6", 8); ("fft:7", 8); ("bhk:7", 16); ("bhk:8", 16) ]
+      else
+        [ ("fft:8", 8); ("fft:9", 8); ("bhk:9", 16); ("bhk:10", 16);
+          ("matmul:6", 32) ]
+    in
+    List.concat_map
+      (fun (spec, m) ->
+        [ Printf.sprintf {|{"spec":%S,"m":%d}|} spec m;
+          Printf.sprintf {|{"spec":%S,"m":%d,"method":"standard"}|} spec m ])
+      specs
+  in
+  let pass () =
+    let c = Client.connect transport in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        List.map
+          (fun q ->
+            let reply, dt = time (fun () -> Client.rpc c q) in
+            let hit =
+              match
+                Graphio_obs.Jsonx.(member "cache_hit" (of_string reply))
+              with
+              | Some (Graphio_obs.Jsonx.Bool b) -> b
+              | _ -> false
+            in
+            (hit, dt))
+          queries)
+  in
+  let cold = pass () in
+  let warm = pass () in
+  (let c = Client.connect transport in
+   ignore (Client.rpc c {|{"op":"shutdown"}|});
+   Client.close c);
+  Domain.join server;
+  if Sys.file_exists sock then Sys.remove sock;
+  rm_rf dir;
+  let total l = List.fold_left (fun a (_, dt) -> a +. dt) 0.0 l in
+  let hits l = List.length (List.filter fst l) in
+  let nq = List.length queries in
+  let cold_s = total cold and warm_s = total warm in
+  let speedup = cold_s /. warm_s in
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "serve: cold vs warm latency through the bound service (%d queries, pool j=%d)"
+           nq (max 1 !njobs))
+      ~columns:[ "quantity"; "value" ]
+  in
+  Report.add_row r [ "queries"; Report.cell_int nq ];
+  Report.add_row r [ "cold pass (s)"; Report.cell_float cold_s ];
+  Report.add_row r [ "warm pass (s)"; Report.cell_float warm_s ];
+  Report.add_row r [ "warm cache hits"; Report.cell_int (hits warm) ];
+  Report.add_row r [ "speedup (cold/warm)"; Report.cell_float speedup ];
+  Report.note r
+    "warm answers come from the two-tier spectrum cache; the residue is protocol + socket cost";
+  emit r;
+  extra_json :=
+    [
+      ("queries", Graphio_obs.Jsonx.Int nq);
+      ("cold_s", Graphio_obs.Jsonx.Float cold_s);
+      ("warm_s", Graphio_obs.Jsonx.Float warm_s);
+      ("warm_hits", Graphio_obs.Jsonx.Int (hits warm));
+      ("speedup", Graphio_obs.Jsonx.Float speedup);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -841,6 +950,7 @@ let sections =
     ("tightness", tightness);
     ("sandwich", sandwich);
     ("batch", batch);
+    ("serve", serve);
     ("bechamel", bechamel);
   ]
 

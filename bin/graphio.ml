@@ -8,6 +8,8 @@
      spectrum   smallest Laplacian eigenvalues
      export     Graphviz DOT output
      batch      many bounds concurrently from a jobs file (JSON lines)
+     serve      long-lived bound service over a socket (JSON lines)
+     client     line-oriented client for a running serve
 
    Graphs are supplied either with --graph SPEC (generated on the fly) or
    --file PATH (edge-list format, see Graphio_graph.Edgelist). *)
@@ -20,44 +22,7 @@ open Graphio_core
 (* Graph specs                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_spec spec =
-  let int_param name s =
-    match int_of_string_opt s with
-    | Some v -> v
-    | None ->
-        raise
-          (Invalid_argument
-             (Printf.sprintf "graph spec %S: %s %S is not an integer" spec name s))
-  in
-  let float_param name s =
-    match float_of_string_opt s with
-    | Some v -> v
-    | None ->
-        raise
-          (Invalid_argument
-             (Printf.sprintf "graph spec %S: %s %S is not a number" spec name s))
-  in
-  match String.split_on_char ':' spec with
-  | [ "fft"; l ] -> Ok (Graphio_workloads.Fft.build (int_param "level count" l))
-  | [ "bhk"; l ] -> Ok (Graphio_workloads.Bhk.build (int_param "level count" l))
-  | [ "matmul"; n ] -> Ok (Graphio_workloads.Matmul.build (int_param "size" n))
-  | [ "matmul-binary"; n ] ->
-      Ok (Graphio_workloads.Matmul.build_binary_sums (int_param "size" n))
-  | [ "strassen"; n ] -> Ok (Graphio_workloads.Strassen.build (int_param "size" n))
-  | [ "inner"; d ] -> Ok (Graphio_workloads.Inner_product.build (int_param "dimension" d))
-  | [ "er"; n; p ] ->
-      Ok (Er.gnp ~n:(int_param "size" n) ~p:(float_param "edge probability" p) ~seed:1)
-  | [ "er"; n; p; seed ] ->
-      Ok
-        (Er.gnp ~n:(int_param "size" n)
-           ~p:(float_param "edge probability" p)
-           ~seed:(int_param "seed" seed))
-  | _ ->
-      Error
-        (Printf.sprintf
-           "unknown graph spec %S (expected fft:L, bhk:L, matmul:N, \
-            matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"
-           spec)
+let parse_spec = Graphio_workloads.Spec.parse
 
 let load_graph ~spec ~file =
   match (spec, file) with
@@ -491,7 +456,7 @@ let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
   | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
-let batch path njobs h dense_threshold metrics trace =
+let batch path njobs h dense_threshold cache_dir metrics trace =
   handle ~metrics ~trace @@ fun () ->
   let lines = In_channel.with_open_text path In_channel.input_lines in
   let entries =
@@ -504,7 +469,10 @@ let batch path njobs h dense_threshold metrics trace =
   let specs = Array.map fst entries and jobs = Array.map snd entries in
   let njobs = if njobs = 0 then Graphio_par.Pool.default_size () else njobs in
   if njobs < 1 then raise (Invalid_argument "-j: need at least 1");
-  let run pool = Solver.bound_batch ?pool ~h ?dense_threshold jobs in
+  let cache =
+    Option.map (fun dir -> Graphio_cache.Spectrum.create ~dir ()) cache_dir
+  in
+  let run pool = Solver.bound_batch ?cache ?pool ~h ?dense_threshold jobs in
   let results =
     if njobs = 1 then run None
     else
@@ -554,13 +522,157 @@ let batch_cmd =
     Arg.(value & opt (some int) None & info [ "dense-threshold" ] ~docv:"N"
            ~doc:"Largest n solved by the dense eigensolver.")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist computed spectra to a disk cache in $(docv) (also \
+                 read from it).  Defaults to $(b,GRAPHIO_CACHE_DIR) when set; \
+                 caching is off otherwise.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Evaluate many spectral bounds concurrently (JSON lines on stdout)")
     Term.(
       ret
-        (const batch $ path $ njobs $ h $ dense_threshold $ metrics_arg
-        $ trace_arg))
+        (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
+        $ metrics_arg $ trace_arg))
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let transport_of_args ~socket ~tcp =
+  match tcp with
+  | None -> Graphio_server.Server.Unix_socket socket
+  | Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | None ->
+          raise
+            (Invalid_argument
+               (Printf.sprintf "--tcp %S: expected HOST:PORT" hostport))
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 -> Graphio_server.Server.Tcp (host, p)
+          | _ ->
+              raise
+                (Invalid_argument
+                   (Printf.sprintf "--tcp %S: %S is not a port" hostport port))))
+
+let socket_arg =
+  Arg.(value & opt string "graphio.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the server.")
+
+let tcp_arg =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Use TCP instead of the Unix socket.")
+
+let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap metrics
+    trace =
+  handle ~metrics ~trace @@ fun () ->
+  let transport = transport_of_args ~socket ~tcp in
+  let cache =
+    match cache_dir with
+    | Some dir -> Graphio_cache.Spectrum.create ?capacity:cache_cap ~dir ()
+    | None -> (
+        match Graphio_cache.Spectrum.ambient () with
+        | Some c -> c
+        | None -> Graphio_cache.Spectrum.create ?capacity:cache_cap ())
+  in
+  let njobs = if njobs = 0 then Graphio_par.Pool.default_size () else njobs in
+  if njobs < 1 then raise (Invalid_argument "-j: need at least 1");
+  let cfg =
+    {
+      Graphio_server.Server.transport;
+      pool_size = njobs;
+      cache;
+      timeout_s = timeout;
+      h;
+      dense_threshold;
+    }
+  in
+  let ready () =
+    Printf.eprintf "graphio: listening on %s\n%!"
+      (match transport with
+      | Graphio_server.Server.Unix_socket p -> p
+      | Graphio_server.Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port)
+  in
+  Graphio_server.Server.run ~ready cfg
+
+let serve_cmd =
+  let njobs =
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domain-pool size for concurrent requests (1 = sequential). \
+                 Defaults to $(b,GRAPHIO_POOL) or the core count.")
+  in
+  let h =
+    Arg.(value & opt int 100 & info [ "eigenvalues" ] ~docv:"H"
+           ~doc:"Default number of smallest eigenvalues per spectrum \
+                 (requests may override with \"h\").")
+  in
+  let dense_threshold =
+    Arg.(value & opt (some int) None & info [ "dense-threshold" ] ~docv:"N"
+           ~doc:"Largest n solved by the dense eigensolver.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Default per-request deadline; overrun requests get a \
+                 structured timeout reply.  Requests may override with \
+                 \"timeout_s\".")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Back the in-memory spectrum cache with a disk tier in \
+                 $(docv) (shared with $(b,graphio batch --cache-dir)).  \
+                 Defaults to $(b,GRAPHIO_CACHE_DIR) when set; memory-only \
+                 otherwise.")
+  in
+  let cache_cap =
+    Arg.(value & opt (some int) None & info [ "cache-entries" ] ~docv:"N"
+           ~doc:"In-memory cache entry bound (LRU eviction beyond it).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve spectral bounds over a socket (newline-delimited JSON)")
+    Term.(
+      ret
+        (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
+        $ timeout $ cache_dir $ cache_cap $ metrics_arg $ trace_arg))
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let client socket tcp metrics trace =
+  handle ~metrics ~trace @@ fun () ->
+  let transport = transport_of_args ~socket ~tcp in
+  let c =
+    try Graphio_server.Client.connect transport
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "cannot connect to the server: %s"
+              (Unix.error_message e)))
+  in
+  Fun.protect
+    ~finally:(fun () -> Graphio_server.Client.close c)
+    (fun () ->
+      try
+        while true do
+          let line = input_line stdin in
+          if String.trim line <> "" then begin
+            print_endline (Graphio_server.Client.rpc c line);
+            flush stdout
+          end
+        done
+      with End_of_file -> ())
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send request lines from stdin to a running graphio serve; print \
+             one reply line each")
+    Term.(ret (const client $ socket_arg $ tcp_arg $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -574,5 +686,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; bound_cmd; baseline_cmd; simulate_cmd; spectrum_cmd;
-            export_cmd; analyze_cmd; sweep_cmd; batch_cmd;
+            export_cmd; analyze_cmd; sweep_cmd; batch_cmd; serve_cmd; client_cmd;
           ]))

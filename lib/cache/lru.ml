@@ -1,0 +1,106 @@
+(* Hash table + intrusive doubly-linked recency list.  [head] is the
+   most-recently-used end, [tail] the eviction end.  Nodes are never
+   shared between lists, so unlinking is local pointer surgery. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable evictions : int;
+  on_evict : ('k -> 'v -> unit) option;
+}
+
+let create ?on_evict ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    evictions = 0;
+    on_evict;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      promote t node;
+      Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let drop_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1;
+      (match t.on_evict with Some f -> f node.key node.value | None -> ())
+
+let add t k v =
+  if t.capacity > 0 then
+    match Hashtbl.find_opt t.table k with
+    | Some node ->
+        node.value <- v;
+        promote t node
+    | None ->
+        if length t >= t.capacity then drop_lru t;
+        let node = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.table k node;
+        push_front t node
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+  in
+  walk [] t.head

@@ -1,0 +1,43 @@
+(** Bounded in-memory LRU map.
+
+    The memory tier of the spectrum cache ({!Spectrum}): a hash table plus
+    an intrusive doubly-linked recency list, so [find]/[add] are O(1) and
+    the entry count never exceeds the configured capacity.  [find] promotes
+    the entry to most-recently-used; inserting into a full cache evicts the
+    least-recently-used entry (reported through [on_evict], which the
+    spectrum cache does {e not} use to write back — the disk tier is
+    written on [add], so an evicted entry is already persistent).
+
+    Not thread-safe on its own; {!Spectrum} serializes access under one
+    mutex.  A capacity of [0] is legal and makes the cache a no-op. *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+(** Current entry count; always [<= capacity]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup and promote to most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Lookup without promoting. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace (replacement promotes).  Evicts the LRU entry when
+    the cache is full; with [capacity = 0] this is a no-op. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val evictions : ('k, 'v) t -> int
+(** Capacity evictions so far ([remove] and replacement don't count). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (not counted as evictions). *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries most-recently-used first (test hook). *)

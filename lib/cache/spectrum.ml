@@ -1,0 +1,274 @@
+type key = {
+  fingerprint : int64;
+  method_tag : char;
+  h : int;
+  params : int64;
+}
+
+type entry = { eigenvalues : float array; dense : bool }
+
+type t = {
+  mutex : Mutex.t;
+  mem : (key, entry) Lru.t;
+  dir : string option;
+  disabled : bool;
+}
+
+(* ------------------------------ metrics ------------------------------ *)
+
+let c_hits = Graphio_obs.Metrics.counter "cache.hits"
+let c_misses = Graphio_obs.Metrics.counter "cache.misses"
+let c_evictions = Graphio_obs.Metrics.counter "cache.evictions"
+let c_disk_hits = Graphio_obs.Metrics.counter "cache.disk_hits"
+let c_disk_misses = Graphio_obs.Metrics.counter "cache.disk_misses"
+let c_disk_errors = Graphio_obs.Metrics.counter "cache.disk_errors"
+let c_disk_writes = Graphio_obs.Metrics.counter "cache.disk_writes"
+
+(* --------------------------- key utilities --------------------------- *)
+
+(* FNV-1a over bytes, the same hash family Dag.fingerprint uses; good
+   enough to key cache records, not cryptographic. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_byte acc b =
+  Int64.mul (Int64.logxor acc (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv1a_bytes bytes len =
+  let acc = ref fnv_offset in
+  for i = 0 to len - 1 do
+    acc := fnv1a_byte !acc (Char.code (Bytes.get bytes i))
+  done;
+  !acc
+
+let fnv1a_int64 acc v =
+  let acc = ref acc in
+  for shift = 0 to 7 do
+    acc := fnv1a_byte !acc (Int64.to_int (Int64.shift_right_logical v (shift * 8)))
+  done;
+  !acc
+
+let params_digest ~dense_threshold ~tol ~seed =
+  let acc = fnv_offset in
+  let acc =
+    fnv1a_int64 acc
+      (match dense_threshold with
+      | None -> -1L
+      | Some d -> Int64.of_int d)
+  in
+  let acc =
+    fnv1a_int64 acc
+      (match tol with None -> -1L | Some t -> Int64.bits_of_float t)
+  in
+  fnv1a_int64 acc (match seed with None -> -1L | Some s -> Int64.of_int s)
+
+(* ---------------------------- disk format ---------------------------- *)
+
+(* Record layout (little-endian; version baked into the magic):
+     0  magic   "GIOSPC\x00\x01"
+     8  fingerprint : int64
+    16  params      : int64
+    24  method_tag  : byte
+    25  dense       : byte (0 | 1)
+    26  h           : int32
+    30  count       : int32
+    34  count * 8 bytes of IEEE-754 bit patterns
+    end checksum    : int64 (FNV-1a over bytes [0, end)) *)
+let magic = "GIOSPC\x00\x01"
+let header_len = 34
+
+let encode key entry =
+  let count = Array.length entry.eigenvalues in
+  let len = header_len + (8 * count) + 8 in
+  let b = Bytes.create len in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int64_le b 8 key.fingerprint;
+  Bytes.set_int64_le b 16 key.params;
+  Bytes.set b 24 key.method_tag;
+  Bytes.set b 25 (if entry.dense then '\x01' else '\x00');
+  Bytes.set_int32_le b 26 (Int32.of_int key.h);
+  Bytes.set_int32_le b 30 (Int32.of_int count);
+  Array.iteri
+    (fun i v ->
+      Bytes.set_int64_le b (header_len + (8 * i)) (Int64.bits_of_float v))
+    entry.eigenvalues;
+  Bytes.set_int64_le b (len - 8) (fnv1a_bytes b (len - 8));
+  b
+
+(* Returns [None] for any record that cannot be trusted end-to-end:
+   truncated, wrong magic/version, checksum mismatch, or a key that does
+   not match the query (a renamed or stale file). *)
+let decode key b =
+  let len = Bytes.length b in
+  if len < header_len + 8 then None
+  else if Bytes.sub_string b 0 8 <> magic then None
+  else
+    let stored_sum = Bytes.get_int64_le b (len - 8) in
+    if not (Int64.equal stored_sum (fnv1a_bytes b (len - 8))) then None
+    else
+      let count = Int32.to_int (Bytes.get_int32_le b 30) in
+      if count < 0 || len <> header_len + (8 * count) + 8 then None
+      else if
+        (not (Int64.equal (Bytes.get_int64_le b 8) key.fingerprint))
+        || (not (Int64.equal (Bytes.get_int64_le b 16) key.params))
+        || Bytes.get b 24 <> key.method_tag
+        || Int32.to_int (Bytes.get_int32_le b 26) <> key.h
+      then None
+      else
+        let dense = Bytes.get b 25 = '\x01' in
+        let eigenvalues =
+          Array.init count (fun i ->
+              Int64.float_of_bits (Bytes.get_int64_le b (header_len + (8 * i))))
+        in
+        Some { eigenvalues; dense }
+
+let file_of_key ~dir key =
+  Filename.concat dir
+    (Printf.sprintf "spec-%016Lx-%c-%d-%016Lx.bin" key.fingerprint
+       key.method_tag key.h key.params)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some (Bytes.unsafe_of_string s)
+          | exception (End_of_file | Sys_error _) -> None)
+
+(* Atomic publish: temp file + rename, so a concurrent reader never sees a
+   partial record (it sees the old file or the new one). *)
+let write_file path b =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+  in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> false
+  | oc -> (
+      let written =
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            match output_bytes oc b with
+            | () -> true
+            | exception Sys_error _ -> false)
+      in
+      if not written then begin
+        (try Sys.remove tmp with Sys_error _ -> ());
+        false
+      end
+      else
+        match Sys.rename tmp path with
+        | () -> true
+        | exception Sys_error _ ->
+            (try Sys.remove tmp with Sys_error _ -> ());
+            false)
+
+(* ----------------------------- lifecycle ----------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error _ -> ()
+  end
+
+let create ?(capacity = 128) ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    mutex = Mutex.create ();
+    mem =
+      Lru.create ~capacity
+        ~on_evict:(fun _ _ -> Graphio_obs.Metrics.incr c_evictions)
+        ();
+    dir;
+    disabled = false;
+  }
+
+let disabled =
+  {
+    mutex = Mutex.create ();
+    mem = Lru.create ~capacity:0 ();
+    dir = None;
+    disabled = true;
+  }
+
+let ambient_cache =
+  lazy
+    (match Sys.getenv_opt "GRAPHIO_CACHE_DIR" with
+    | None | Some "" -> None
+    | Some dir ->
+        let capacity =
+          match Sys.getenv_opt "GRAPHIO_CACHE_CAP" with
+          | Some s -> ( match int_of_string_opt s with Some c when c >= 0 -> c | _ -> 128)
+          | None -> 128
+        in
+        Some (create ~capacity ~dir ()))
+
+let ambient () = Lazy.force ambient_cache
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = file_of_key ~dir key in
+      if not (Sys.file_exists path) then begin
+        Graphio_obs.Metrics.incr c_disk_misses;
+        None
+      end
+      else
+        match read_file path with
+        | None ->
+            Graphio_obs.Metrics.incr c_disk_errors;
+            None
+        | Some bytes -> (
+            match decode key bytes with
+            | Some entry ->
+                Graphio_obs.Metrics.incr c_disk_hits;
+                Some entry
+            | None ->
+                (* corrupt or stale: never trusted, evicted, recomputed *)
+                Graphio_obs.Metrics.incr c_disk_errors;
+                (try Sys.remove path with Sys_error _ -> ());
+                None))
+
+let find t key =
+  if t.disabled then None
+  else
+    locked t (fun () ->
+        match Lru.find t.mem key with
+        | Some entry ->
+            Graphio_obs.Metrics.incr c_hits;
+            Some entry
+        | None -> (
+            match disk_find t key with
+            | Some entry ->
+                Graphio_obs.Metrics.incr c_hits;
+                Lru.add t.mem key entry;
+                Some entry
+            | None ->
+                Graphio_obs.Metrics.incr c_misses;
+                None))
+
+let add t key entry =
+  if not t.disabled then
+    locked t (fun () ->
+        Lru.add t.mem key entry;
+        match t.dir with
+        | None -> ()
+        | Some dir ->
+            if write_file (file_of_key ~dir key) (encode key entry) then
+              Graphio_obs.Metrics.incr c_disk_writes
+            else Graphio_obs.Metrics.incr c_disk_errors)
+
+let length t = locked t (fun () -> Lru.length t.mem)
+let drop_memory t = locked t (fun () -> Lru.clear t.mem)
+let capacity t = Lru.capacity t.mem
+let dir t = t.dir

@@ -1,0 +1,105 @@
+(** Two-tier spectrum cache.
+
+    Eigensolves dominate the cost of every bound query, and their result —
+    the [h] smallest (scaled) Laplacian eigenvalues of a fixed graph — is a
+    pure function of [(graph structure, method, h, solver parameters)].
+    This cache memoizes exactly that function behind two tiers:
+
+    - an in-memory LRU ({!Lru}) with a configurable entry bound, shared by
+      every request of one process ([graphio serve], [graphio batch],
+      {!Graphio_core.Solver.bound_batch});
+    - an optional on-disk tier (one file per entry under [dir]) that
+      survives the process, so a CLI batch run warms the cache a later
+      server answers from.
+
+    {2 Disk format and trust}
+
+    Disk entries are versioned binary records: an 8-byte magic that bakes
+    in the format version, the full key (fingerprint, method tag, [h],
+    parameter digest), the eigenvalue count, each eigenvalue as its IEEE
+    bit pattern (bitwise round-trip — a disk hit is indistinguishable from
+    the solve that produced it), and a trailing FNV-1a checksum over
+    everything before it.  Records are written to a temp file and renamed
+    into place, so concurrent writers never expose partial records.
+
+    Disk entries are {e never trusted blindly}: a record whose magic,
+    length, embedded key or checksum disagrees is treated as absent,
+    counted in [cache.disk_errors], and unlinked (evicted) so it is
+    recomputed and rewritten rather than consulted again.
+
+    {2 Keying}
+
+    The primary key is [Dag.fingerprint × method × h].  Because numerics
+    also depend on solver parameters (dense/sparse crossover, tolerance,
+    iteration seed), a digest of those parameters is folded into the key:
+    entries computed under non-default parameters never answer queries
+    made under different ones — returning a bitwise-different spectrum
+    from a cache hit would violate the cache-consistency contract.
+
+    {2 Observability}
+
+    [cache.hits] / [cache.misses] (memory tier outcome of {!find}),
+    [cache.evictions] (LRU), [cache.disk_hits] / [cache.disk_misses] /
+    [cache.disk_errors] / [cache.disk_writes].  All operations are
+    serialized by an internal mutex: the cache may be shared by the
+    server's concurrent request handlers. *)
+
+type key = {
+  fingerprint : int64;  (** {!Graphio_graph.Dag.fingerprint} *)
+  method_tag : char;  (** ['n'] (normalized, Thm 4) or ['s'] (standard, Thm 5) *)
+  h : int;  (** eigenvalue-count cap the spectrum was requested with *)
+  params : int64;  (** {!params_digest} of the remaining solver knobs *)
+}
+
+type entry = {
+  eigenvalues : float array;
+      (** the clamped, scaled spectrum exactly as the solver returned it *)
+  dense : bool;  (** which eigensolver backend produced it *)
+}
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [create ()] — a fresh cache.  [capacity] bounds the memory tier
+    (default 128 entries; 0 disables it).  [dir] enables the disk tier
+    (the directory is created if missing).  Raises [Invalid_argument] on
+    negative capacity; disk-tier I/O errors are swallowed (the cache is
+    best-effort), surfacing only as [cache.disk_errors]. *)
+
+val disabled : t
+(** A cache that never stores and never answers — the explicit
+    "no caching" argument ({!find} is [None], {!add} a no-op). *)
+
+val ambient : unit -> t option
+(** The process-wide cache configured by the environment, or [None] when
+    caching is not requested: [GRAPHIO_CACHE_DIR] enables it (disk tier at
+    that directory) and [GRAPHIO_CACHE_CAP] overrides the memory-tier
+    capacity.  Evaluated once, at first use. *)
+
+val params_digest :
+  dense_threshold:int option -> tol:float option -> seed:int option -> int64
+(** Digest of the solver parameters that influence the computed spectrum
+    bits beyond [(graph, method, h)].  [None] means the solver default, so
+    all default-parameter callers share entries. *)
+
+val find : t -> key -> entry option
+(** Memory tier first (promoting on hit), then the disk tier (promoting
+    the decoded entry into memory).  [None] on a full miss — and on
+    corrupt or stale disk records, which are evicted. *)
+
+val add : t -> key -> entry -> unit
+(** Insert into the memory tier and (when configured) persist to disk. *)
+
+val length : t -> int
+(** Memory-tier entry count (test hook). *)
+
+val drop_memory : t -> unit
+(** Clear the memory tier only — forces the next {!find} to the disk tier
+    (test hook for exercising the disk path in-process). *)
+
+val capacity : t -> int
+val dir : t -> string option
+
+val file_of_key : dir:string -> key -> string
+(** Path the disk tier uses for [key] (test hook for corruption
+    fixtures). *)

@@ -171,6 +171,53 @@ let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Spectrum cache plumbing                                             *)
+
+let method_char = function Normalized -> 'n' | Standard -> 's'
+
+let spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag =
+  {
+    Graphio_cache.Spectrum.fingerprint = Dag.fingerprint dag;
+    method_tag = method_char method_;
+    h;
+    params = Graphio_cache.Spectrum.params_digest ~dense_threshold ~tol ~seed;
+  }
+
+let resolve_cache = function
+  | Some cache -> cache
+  | None ->
+      Option.value
+        (Graphio_cache.Spectrum.ambient ())
+        ~default:Graphio_cache.Spectrum.disabled
+
+(* Spectrum through the two-tier cache: a hit returns the cached
+   eigenvalue array (bitwise identical to the solve that produced it —
+   the disk codec round-trips IEEE bit patterns); a miss solves and
+   populates both tiers.  [from_cache] tells the caller whether an
+   eigensolve was paid. *)
+let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
+    ~method_ dag =
+  if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false)
+  else begin
+    let key = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag in
+    match Graphio_cache.Spectrum.find cache key with
+    | Some e ->
+        ( e.Graphio_cache.Spectrum.eigenvalues,
+          (if e.Graphio_cache.Spectrum.dense then Eigen.Dense
+           else Eigen.Sparse_filtered),
+          None,
+          true )
+    | None ->
+        let eigenvalues, backend, stats =
+          spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration
+            ?pool dag
+        in
+        Graphio_cache.Spectrum.add cache key
+          { Graphio_cache.Spectrum.eigenvalues; dense = backend = Eigen.Dense };
+        (eigenvalues, backend, stats, false)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
 
 type batch_job = {
@@ -195,14 +242,16 @@ let c_batch_misses = Graphio_obs.Metrics.counter "core.solver.batch_cache_misses
 let h_batch_job_seconds =
   Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
 
-let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
+let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
   Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
+      let cache = resolve_cache cache in
       let nj = Array.length jobs in
-      (* Spectrum cache: jobs that share (graph, method, h) — the typical
-         M- or p-sweep — pay for the eigensolve once.  The key hashes the
-         graph structure ({!Dag.fingerprint}), so structurally equal graphs
+      (* In-batch dedup: jobs that share (graph, method, h, params) — the
+         typical M- or p-sweep — pay for the eigensolve at most once and
+         share one physical eigenvalue array.  The key hashes the graph
+         structure ({!Dag.fingerprint}), so structurally equal graphs
          built independently still share. *)
-      let key_of j = (Dag.fingerprint j.dag, j.method_, h) in
+      let key_of j = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_:j.method_ j.dag in
       let keys = Array.map key_of jobs in
       let rep_of_key = Hashtbl.create (max nj 16) in
       let reps = ref [] in
@@ -215,28 +264,26 @@ let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
         keys;
       let reps = Array.of_list (List.rev !reps) in
       let n_reps = Array.length reps in
-      Graphio_obs.Metrics.add c_batch_jobs nj;
-      Graphio_obs.Metrics.add c_batch_misses n_reps;
-      Graphio_obs.Metrics.add c_batch_hits (nj - n_reps);
-      (* One eigensolve per distinct key.  With a pool and several keys we
-         parallelize across keys (each solve sequential inside); with a
-         single key the pool instead accelerates that solve's matvecs.
-         Either way the eigenvalues are bitwise-identical to the
-         sequential run (see Csr.matvec_into), so results don't depend on
-         pool size.  [spectra.(r)] also records the eigensolve wall time,
-         attributed to the representative job. *)
-      let spectra = Array.make n_reps ([||], Eigen.Dense, None, 0.0) in
+      (* One eigensolve per distinct key, each first consulting the shared
+         two-tier spectrum cache (so a warm server or an earlier batch in
+         the same process already paid for it).  With a pool and several
+         keys we parallelize across keys (each solve sequential inside);
+         with a single key the pool instead accelerates that solve's
+         matvecs.  Either way the eigenvalues are bitwise-identical to the
+         sequential run (see Csr.matvec_into, and the cache's bit-exact
+         codec), so results don't depend on pool size or cache warmth.
+         [spectra.(r)] also records the eigensolve wall time, attributed
+         to the representative job. *)
+      let spectra = Array.make n_reps ([||], Eigen.Dense, None, false, 0.0) in
       let solve ?pool r =
         let j = jobs.(reps.(r)) in
         let t0 = Graphio_obs.Clock.now_ns () in
-        let eigenvalues, backend, stats =
-          if Dag.n_vertices j.dag = 0 then ([||], Eigen.Dense, None)
-          else
-            spectrum_full ~method_:j.method_ ~h ?dense_threshold ?tol ?seed
-              ?pool j.dag
+        let eigenvalues, backend, stats, from_cache =
+          spectrum_cached ~cache ?pool ~h ?dense_threshold ?tol ?seed
+            ~method_:j.method_ j.dag
         in
         spectra.(r) <-
-          (eigenvalues, backend, stats, Graphio_obs.Clock.elapsed_s t0)
+          (eigenvalues, backend, stats, from_cache, Graphio_obs.Clock.elapsed_s t0)
       in
       (match pool with
       | Some pool when n_reps > 1 ->
@@ -250,6 +297,13 @@ let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
           for r = 0 to n_reps - 1 do
             solve r
           done);
+      let solved = ref 0 in
+      Array.iter
+        (fun (_, _, _, from_cache, _) -> if not from_cache then incr solved)
+        spectra;
+      Graphio_obs.Metrics.add c_batch_jobs nj;
+      Graphio_obs.Metrics.add c_batch_misses !solved;
+      Graphio_obs.Metrics.add c_batch_hits (nj - !solved);
       let slot_of_rep = Hashtbl.create (max n_reps 16) in
       Array.iteri (fun slot r -> Hashtbl.add slot_of_rep r slot) reps;
       (* Finalize every job in input order: the cheap k-maximization runs
@@ -259,16 +313,16 @@ let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
           (fun i j ->
             let t0 = Graphio_obs.Clock.now_ns () in
             let rep = Hashtbl.find rep_of_key keys.(i) in
-            let eigenvalues, backend, solve_stats, solve_s =
+            let eigenvalues, backend, solve_stats, from_cache, solve_s =
               spectra.(Hashtbl.find slot_of_rep rep)
             in
             let n = Dag.n_vertices j.dag in
             let result =
               Spectral_bound.compute ~n ~m:j.m ?p:j.p ~eigenvalues ()
             in
-            let cache_hit = rep <> i in
+            let cache_hit = rep <> i || from_cache in
             let wall_s =
-              Graphio_obs.Clock.elapsed_s t0 +. if cache_hit then 0.0 else solve_s
+              Graphio_obs.Clock.elapsed_s t0 +. if rep <> i then 0.0 else solve_s
             in
             {
               job = j;
@@ -282,3 +336,27 @@ let bound_batch ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
         (fun r -> Graphio_obs.Metrics.observe h_batch_job_seconds r.wall_s)
         results;
       results)
+
+let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
+    ?on_iteration job =
+  Graphio_obs.Span.with_ "solver.bound_cached" (fun () ->
+      Graphio_obs.Metrics.incr c_bounds;
+      let cache = resolve_cache cache in
+      let t0 = Graphio_obs.Clock.now_ns () in
+      let eigenvalues, backend, solve_stats, from_cache =
+        spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
+          ?seed ~method_:job.method_ job.dag
+      in
+      let result =
+        Spectral_bound.compute ~n:(Dag.n_vertices job.dag) ~m:job.m ?p:job.p
+          ~eigenvalues ()
+      in
+      let wall_s = Graphio_obs.Clock.elapsed_s t0 in
+      Graphio_obs.Metrics.observe h_bound_seconds wall_s;
+      {
+        job;
+        outcome =
+          { result; method_ = job.method_; backend; eigenvalues; solve_stats };
+        cache_hit = from_cache;
+        wall_s;
+      })

@@ -106,8 +106,9 @@ val bound_of_spectrum_all_k :
 
     Many bound evaluations — an M-sweep over one graph, a benchmark over a
     graph family — share eigensolves.  {!bound_batch} deduplicates them
-    through a spectrum cache and runs distinct eigensolves concurrently on
-    a {!Graphio_par.Pool}. *)
+    in-batch, consults the shared two-tier spectrum cache
+    ({!Graphio_cache.Spectrum}) across batches and processes, and runs
+    distinct eigensolves concurrently on a {!Graphio_par.Pool}. *)
 
 type batch_job = private {
   dag : Graphio_graph.Dag.t;
@@ -125,15 +126,17 @@ type batch_result = {
   job : batch_job;
   outcome : outcome;
   cache_hit : bool;
-      (** this job reused a spectrum computed for an earlier job in the
-          batch (its [outcome.eigenvalues] is the {e same physical array}
-          as the representative's) *)
+      (** this job did not pay an eigensolve: its spectrum came from an
+          earlier job in the same batch (then [outcome.eigenvalues] is the
+          {e same physical array} as the representative's) or from the
+          shared spectrum cache *)
   wall_s : float;
       (** per-job latency: k-maximization time, plus the eigensolve time
           for the job that actually computed the spectrum *)
 }
 
 val bound_batch :
+  ?cache:Graphio_cache.Spectrum.t ->
   ?pool:Graphio_par.Pool.t ->
   ?h:int ->
   ?dense_threshold:int ->
@@ -148,13 +151,39 @@ val bound_batch :
     eigensolves run concurrently across domains (a single distinct
     spectrum instead parallelizes its matvecs).
 
+    Each distinct spectrum additionally flows through [cache]: hits skip
+    the eigensolve entirely, misses populate it for later batches (and,
+    with a disk tier, later processes — a CLI batch run warms the cache a
+    server answers from).  [cache] defaults to
+    {!Graphio_cache.Spectrum.ambient} — caching off unless
+    [GRAPHIO_CACHE_DIR] is set; pass {!Graphio_cache.Spectrum.disabled}
+    to force a cold evaluation regardless of environment.
+
     Output is deterministic: bounds and eigenvalues are identical
-    regardless of job order, pool presence, or pool size (fixed [seed],
-    bitwise-reproducible parallel matvec).  Only [cache_hit] / [wall_s]
-    attribution moves with the ordering (the first job of each spectrum
-    class pays the solve).
+    regardless of job order, pool presence, pool size, or cache warmth
+    (fixed [seed], bitwise-reproducible parallel matvec, bit-exact cache
+    codec).  Only [cache_hit] / [wall_s] attribution moves with ordering
+    and warmth (the first job of each spectrum class pays any solve).
 
     Observability: runs inside a [solver.bound_batch] span and maintains
     [core.solver.batch_jobs], [core.solver.batch_cache_hits],
     [core.solver.batch_cache_misses] and the per-job latency histogram
-    [core.solver.batch_job_seconds]. *)
+    [core.solver.batch_job_seconds]; the cache maintains its own
+    [cache.*] metrics. *)
+
+val bound_cached :
+  ?cache:Graphio_cache.Spectrum.t ->
+  ?pool:Graphio_par.Pool.t ->
+  ?h:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  ?on_iteration:Graphio_la.Convergence.callback ->
+  batch_job ->
+  batch_result
+(** One job through the same cached pipeline as {!bound_batch} — the
+    server's per-request entry point.  [cache] defaults to
+    {!Graphio_cache.Spectrum.ambient}; [on_iteration] fires per eigensolver
+    sweep on cache misses taking the sparse path (the hook request
+    deadlines cancel long solves through).  Runs inside a
+    [solver.bound_cached] span. *)

@@ -88,7 +88,13 @@ let of_string text =
                       Hashtbl.replace labels v (percent_unescape l))
                 with Scanf.Scan_failure _ | End_of_file -> fail lineno "malformed label")
             | 'e' -> (
-                try Scanf.sscanf line "e %d %d" (fun u v -> edges := (u, v) :: !edges)
+                try
+                  Scanf.sscanf line "e %d %d" (fun u v ->
+                      if u < 0 || u >= !n || v < 0 || v >= !n then
+                        fail lineno
+                          (Printf.sprintf "edge %d -> %d: vertex out of range [0, %d)"
+                             u v !n);
+                      edges := (lineno, u, v) :: !edges)
                 with Scanf.Scan_failure _ | End_of_file -> fail lineno "malformed edge")
             | _ -> fail lineno "unknown record type"))
     lines;
@@ -99,12 +105,26 @@ let of_string text =
     failwith
       (Printf.sprintf "Edgelist: edge count mismatch (declared %d, found %d)" !m
          (List.length edges));
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (lineno, u, v) ->
+      if Hashtbl.mem seen (u, v) then
+        failwith
+          (Printf.sprintf
+             "Edgelist: line %d: duplicate edge %d -> %d (first on line %d)"
+             lineno u v (Hashtbl.find seen (u, v)));
+      Hashtbl.add seen (u, v) lineno)
+    edges;
   let b = Dag.Builder.create ~capacity_hint:!n () in
   for v = 0 to !n - 1 do
     ignore (Dag.Builder.add_vertex ?label:(Hashtbl.find_opt labels v) b)
   done;
-  (try List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges
-   with Invalid_argument msg -> failwith ("Edgelist: " ^ msg));
+  List.iter
+    (fun (lineno, u, v) ->
+      try Dag.Builder.add_edge b u v
+      with Invalid_argument msg ->
+        failwith (Printf.sprintf "Edgelist: line %d: %s" lineno msg))
+    edges;
   try Dag.Builder.build b
   with Invalid_argument msg -> failwith ("Edgelist: " ^ msg)
 
@@ -116,4 +136,6 @@ let of_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () ->
+      try of_string (In_channel.input_all ic)
+      with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg))

@@ -14,8 +14,13 @@
 val to_string : Dag.t -> string
 
 val of_string : string -> Dag.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises [Failure] with a line-numbered message on malformed input —
+    including out-of-range edge endpoints, duplicate edges (the message
+    names both offending lines) and edges the DAG builder rejects
+    (self-loops, cycles). *)
 
 val to_file : string -> Dag.t -> unit
 
 val of_file : string -> Dag.t
+(** {!of_string} on the file contents; [Failure] messages are prefixed
+    with the file path. *)

@@ -1,0 +1,42 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let sockaddr = function
+  | Server.Unix_socket path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+      let addr =
+        if host = "" || host = "*" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> Unix.inet_addr_loopback
+      in
+      Unix.ADDR_INET (addr, port)
+
+let connect ?(retries = 100) transport =
+  let addr = sockaddr transport in
+  let rec go attempt =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempt < retries
+      ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        go (attempt + 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  go 0
+
+let send t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t = input_line t.ic
+let rpc t line = send t line; recv t
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  try close_in_noerr t.ic with _ -> ()

@@ -1,0 +1,25 @@
+(** Minimal blocking client for [graphio serve] — used by the tests and
+    the bench harness (and handy for scripting).  One connection, one
+    request line in, one reply line out. *)
+
+type t
+
+val connect : ?retries:int -> Server.transport -> t
+(** Connect to a running server.  While the socket does not exist yet or
+    refuses connections, retries every 50 ms up to [retries] times
+    (default 100, i.e. ~5 s) — covers the races of a test that forks the
+    server and connects immediately.  Raises [Unix.Unix_error] once the
+    retries are exhausted. *)
+
+val rpc : t -> string -> string
+(** Send one request line (newline appended), block for one reply line.
+    Raises [End_of_file] if the server closes the connection first. *)
+
+val send : t -> string -> unit
+(** Send one request line without waiting — for pipelined requests; pair
+    with {!recv}. *)
+
+val recv : t -> string
+(** Block for the next reply line. *)
+
+val close : t -> unit

@@ -1,0 +1,379 @@
+open Graphio_obs
+open Graphio_core
+
+type transport = Unix_socket of string | Tcp of string * int
+
+type config = {
+  transport : transport;
+  pool_size : int;
+  cache : Graphio_cache.Spectrum.t;
+  timeout_s : float option;
+  h : int;
+  dense_threshold : int option;
+}
+
+let default_config transport =
+  {
+    transport;
+    pool_size = 1;
+    cache =
+      (match Graphio_cache.Spectrum.ambient () with
+      | Some c -> c
+      | None -> Graphio_cache.Spectrum.create ());
+    timeout_s = None;
+    h = 100;
+    dense_threshold = None;
+  }
+
+let c_requests = Metrics.counter "server.requests"
+let c_errors = Metrics.counter "server.errors"
+let c_connections = Metrics.counter "server.connections"
+let g_inflight = Metrics.gauge "server.inflight"
+let h_request_seconds = Metrics.histogram "server.request_seconds"
+
+(* Cooperative per-request deadline: raised by the pre-solve check and by
+   the eigensolver's per-sweep callback. *)
+exception Deadline
+
+(* ------------------------------ replies ------------------------------ *)
+
+let id_field = function Some id -> [ ("id", id) ] | None -> []
+
+let error_reply ?id ~code msg =
+  Jsonx.to_string
+    (Jsonx.Obj
+       (id_field id
+       @ [
+           ("ok", Jsonx.Bool false);
+           ("code", Jsonx.String code);
+           ("error", Jsonx.String msg);
+         ]))
+
+let query_reply ~id (r : Solver.batch_result) =
+  let j = r.Solver.job and o = r.Solver.outcome in
+  let b = o.Solver.result in
+  Jsonx.to_string
+    (Jsonx.Obj
+       (id_field id
+       @ [
+           ("ok", Jsonx.Bool true);
+           ("n", Jsonx.Int (Graphio_graph.Dag.n_vertices j.Solver.dag));
+           ("edges", Jsonx.Int (Graphio_graph.Dag.n_edges j.Solver.dag));
+           ("m", Jsonx.Int j.Solver.m);
+           ("p", Jsonx.Int (Option.value j.Solver.p ~default:1));
+           ("method", Jsonx.String (Protocol.method_name j.Solver.method_));
+           ("h", Jsonx.Int (Array.length o.Solver.eigenvalues));
+           ("bound", Jsonx.Float b.Spectral_bound.bound);
+           ("best_k", Jsonx.Int b.Spectral_bound.best_k);
+           ("best_raw", Jsonx.Float b.Spectral_bound.best_raw);
+           ("backend", Jsonx.String (Protocol.backend_name o.Solver.backend));
+           ("cache_hit", Jsonx.Bool r.Solver.cache_hit);
+           ("wall_s", Jsonx.Float r.Solver.wall_s);
+         ]))
+
+let build_graph = function
+  | Protocol.Spec s -> (
+      match Graphio_workloads.Spec.parse s with
+      | Ok g -> g
+      | Error msg -> invalid_arg msg)
+  | Protocol.Edgelist text -> Graphio_graph.Edgelist.of_string text
+
+let answer_query cfg ?pool ~arrival_ns (q : Protocol.query) =
+  Metrics.incr c_requests;
+  Metrics.time h_request_seconds @@ fun () ->
+  Span.with_ "server.request" @@ fun () ->
+  let timeout_s =
+    match q.Protocol.timeout_s with Some t -> Some t | None -> cfg.timeout_s
+  in
+  let deadline_ns =
+    Option.map (fun t -> arrival_ns + int_of_float (t *. 1e9)) timeout_s
+  in
+  let check_deadline () =
+    match deadline_ns with
+    | Some d when Clock.now_ns () >= d -> raise Deadline
+    | _ -> ()
+  in
+  let id = q.Protocol.id in
+  try
+    let g = build_graph q.Protocol.source in
+    check_deadline ();
+    let job =
+      Solver.job ~method_:q.Protocol.method_ ?p:q.Protocol.p g ~m:q.Protocol.m
+    in
+    let h = Option.value q.Protocol.h ~default:cfg.h in
+    let r =
+      Solver.bound_cached ~cache:cfg.cache ?pool ~h
+        ?dense_threshold:cfg.dense_threshold
+        ~on_iteration:(fun _ -> check_deadline ())
+        job
+    in
+    query_reply ~id r
+  with
+  | Deadline ->
+      Metrics.incr c_errors;
+      error_reply ?id ~code:"timeout"
+        (Printf.sprintf "deadline of %gs exceeded"
+           (Option.value timeout_s ~default:0.0))
+  | Invalid_argument msg | Failure msg ->
+      Metrics.incr c_errors;
+      error_reply ?id ~code:"bad_request" msg
+  | e ->
+      Metrics.incr c_errors;
+      error_reply ?id ~code:"internal" (Printexc.to_string e)
+
+(* --------------------------- client state ---------------------------- *)
+
+(* A request line larger than this cannot be answered sanely (even inline
+   edge lists of million-edge graphs stay well below); the client gets a
+   structured error and the connection is closed. *)
+let max_request_bytes = 16 * 1024 * 1024
+
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;  (** bytes accepted but not yet written *)
+  mutable eof : bool;  (** read side finished *)
+  mutable broken : bool;  (** write side failed; drop without flushing *)
+}
+
+let enqueue c s = if not c.broken then c.out <- c.out ^ s ^ "\n"
+
+let try_flush c =
+  if c.out <> "" && not c.broken then
+    match Unix.write_substring c.fd c.out 0 (String.length c.out) with
+    | written -> c.out <- String.sub c.out written (String.length c.out - written)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> c.broken <- true
+
+(* Split off complete lines; the unterminated tail stays buffered. *)
+let take_lines c =
+  let data = Buffer.contents c.inbuf in
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i ch ->
+      if ch = '\n' then begin
+        lines := String.sub data !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.clear c.inbuf;
+  Buffer.add_substring c.inbuf data !start (String.length data - !start);
+  (* a closed read side flushes the unterminated tail as a final line *)
+  if c.eof && Buffer.length c.inbuf > 0 then begin
+    lines := Buffer.contents c.inbuf :: !lines;
+    Buffer.clear c.inbuf
+  end;
+  List.rev !lines
+
+let read_into c =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> c.eof <- true
+    | n ->
+        Buffer.add_subbytes c.inbuf chunk 0 n;
+        if Buffer.length c.inbuf > max_request_bytes then begin
+          enqueue c
+            (error_reply ~code:"bad_request"
+               (Printf.sprintf "request exceeds %d bytes" max_request_bytes));
+          Buffer.clear c.inbuf;
+          c.eof <- true
+        end
+        else go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ ->
+        c.broken <- true;
+        c.eof <- true
+  in
+  go ()
+
+(* ------------------------------- loop -------------------------------- *)
+
+let bind_listener = function
+  | Unix_socket path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      (fd, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        if host = "" || host = "*" then Unix.inet_addr_any
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                failwith (Printf.sprintf "serve: cannot resolve host %S" host)
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+            | exception Not_found ->
+                failwith (Printf.sprintf "serve: cannot resolve host %S" host))
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      (fd, fun () -> ())
+
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let run ?(ready = fun () -> ()) cfg =
+  Atomic.set stop_requested false;
+  install_signal_handlers ();
+  let listen_fd, cleanup = bind_listener cfg.transport in
+  let pool =
+    if cfg.pool_size > 1 then Some (Graphio_par.Pool.create ~size:cfg.pool_size ())
+    else None
+  in
+  let clients = ref [] in
+  let listening = ref true in
+  let draining = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+      (if !listening then try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      cleanup ();
+      Option.iter Graphio_par.Pool.shutdown pool)
+    (fun () ->
+      Unix.listen listen_fd 64;
+      Unix.set_nonblock listen_fd;
+      ready ();
+      let accept_all () =
+        let rec go () =
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              Metrics.incr c_connections;
+              clients :=
+                { fd; inbuf = Buffer.create 256; out = ""; eof = false; broken = false }
+                :: !clients;
+              go ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        go ()
+      in
+      (* Answer one round's worth of lines.  Parsing and admin ops run in
+         the loop; bound queries become thunks dispatched together on the
+         pool, so concurrent clients' eigensolves overlap.  Responses are
+         enqueued in per-client request order (thunks keep their slot). *)
+      let process_lines lines =
+        let arrival_ns = Clock.now_ns () in
+        let tasks =
+          List.filter_map
+            (fun (c, line) ->
+              if String.trim line = "" then None
+              else
+                match Protocol.request_of_line line with
+                | Error (id, msg) ->
+                    Metrics.incr c_errors;
+                    Some (c, fun () -> error_reply ?id ~code:"bad_request" msg)
+                | Ok (Protocol.Ping id) ->
+                    Some
+                      ( c,
+                        fun () ->
+                          Jsonx.to_string
+                            (Jsonx.Obj
+                               (id_field id
+                               @ [ ("ok", Jsonx.Bool true); ("op", Jsonx.String "ping") ]))
+                      )
+                | Ok (Protocol.Stats id) ->
+                    Some
+                      ( c,
+                        fun () ->
+                          Jsonx.to_string
+                            (Jsonx.Obj
+                               (id_field id
+                               @ [
+                                   ("ok", Jsonx.Bool true);
+                                   ("op", Jsonx.String "stats");
+                                   ( "metrics",
+                                     Metrics.to_json (Metrics.snapshot ()) );
+                                 ])) )
+                | Ok (Protocol.Shutdown id) ->
+                    draining := true;
+                    Some
+                      ( c,
+                        fun () ->
+                          Jsonx.to_string
+                            (Jsonx.Obj
+                               (id_field id
+                               @ [
+                                   ("ok", Jsonx.Bool true);
+                                   ("op", Jsonx.String "shutdown");
+                                 ])) )
+                | Ok (Protocol.Query q) ->
+                    Some (c, fun () -> answer_query cfg ?pool ~arrival_ns q))
+            lines
+        in
+        match tasks with
+        | [] -> ()
+        | tasks ->
+            let tasks = Array.of_list tasks in
+            Metrics.set g_inflight (float_of_int (Array.length tasks));
+            let replies =
+              match pool with
+              | Some pool when Array.length tasks > 1 ->
+                  Graphio_par.Pool.run_all pool (Array.map snd tasks)
+              | _ -> Array.map (fun (_, f) -> f ()) tasks
+            in
+            Metrics.set g_inflight 0.0;
+            Array.iteri (fun i reply -> enqueue (fst tasks.(i)) reply) replies
+      in
+      let finished () =
+        !draining
+        && List.for_all (fun c -> (c.out = "" || c.broken) && Buffer.length c.inbuf = 0) !clients
+      in
+      while not (finished ()) do
+        if Atomic.get stop_requested then draining := true;
+        if !draining && !listening then begin
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          listening := false
+        end;
+        (* drop clients we are done with *)
+        clients :=
+          List.filter
+            (fun c ->
+              let dead = c.broken || (c.eof && c.out = "" && Buffer.length c.inbuf = 0) in
+              if dead then (try Unix.close c.fd with Unix.Unix_error _ -> ());
+              not dead)
+            !clients;
+        if not (finished ()) then begin
+          let read_fds =
+            (if !listening then [ listen_fd ] else [])
+            @ List.filter_map
+                (fun c -> if c.eof || c.broken then None else Some c.fd)
+                !clients
+          in
+          let write_fds =
+            List.filter_map
+              (fun c -> if c.out <> "" && not c.broken then Some c.fd else None)
+              !clients
+          in
+          match Unix.select read_fds write_fds [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, writable, _ ->
+              if !listening && List.mem listen_fd readable then accept_all ();
+              List.iter
+                (fun c -> if List.mem c.fd readable then read_into c)
+                !clients;
+              let lines =
+                List.concat_map
+                  (fun c -> List.map (fun l -> (c, l)) (take_lines c))
+                  (List.rev !clients)
+              in
+              process_lines lines;
+              List.iter
+                (fun c -> if c.out <> "" && (List.mem c.fd writable || true) then try_flush c)
+                !clients
+        end
+      done)

@@ -1,0 +1,54 @@
+(** [graphio serve] — a long-lived bound service.
+
+    One process, one listening socket (Unix-domain by default, TCP
+    optionally), newline-delimited JSON requests ({!Protocol}).  Request
+    handling is batched per event-loop round and dispatched onto a
+    {!Graphio_par.Pool}: every complete line read in one round is answered
+    concurrently (distinct eigensolves run on separate domains; a single
+    solve parallelizes its matvecs), and every spectrum flows through the
+    shared two-tier {!Graphio_cache.Spectrum} cache, so repeated and
+    overlapping queries are answered from memory or disk instead of
+    recomputing the eigensolve.
+
+    Robustness contract:
+
+    - malformed requests get structured [bad_request] replies; the
+      connection (and the server) survives;
+    - per-request deadlines: a request whose deadline passes before or
+      during its eigensolve is answered with a [timeout] reply (long
+      sparse solves are cancelled cooperatively through the eigensolver's
+      iteration callback; an already-running dense factorization finishes
+      first and the reply still reports the timeout);
+    - SIGINT/SIGTERM trigger a graceful drain: stop accepting, answer
+      everything already read, flush, unlink the socket, return —
+      the [{"op":"shutdown"}] admin request does the same from the wire;
+    - responses to one connection are written in request order.
+
+    Observability: [server.requests], [server.errors],
+    [server.connections], [server.inflight] plus a [server.request_seconds]
+    histogram; each query runs inside a [server.request] span; the
+    [{"op":"stats"}] admin request returns the full metrics snapshot as
+    JSON. *)
+
+type transport =
+  | Unix_socket of string  (** path of the listening socket (unlinked on exit) *)
+  | Tcp of string * int  (** host, port *)
+
+type config = {
+  transport : transport;
+  pool_size : int;  (** domain-pool participants; [<= 1] runs sequentially *)
+  cache : Graphio_cache.Spectrum.t;  (** shared spectrum cache (never [None]: pass
+      {!Graphio_cache.Spectrum.disabled} to serve cold) *)
+  timeout_s : float option;  (** default per-request deadline; [None] = no deadline *)
+  h : int;  (** default eigenvalue cap (requests may override) *)
+  dense_threshold : int option;  (** eigensolver crossover override (tests) *)
+}
+
+val default_config : transport -> config
+(** Pool of 1, a fresh default cache ({!Graphio_cache.Spectrum.ambient}
+    when configured, else memory-only), no timeout, [h = 100]. *)
+
+val run : ?ready:(unit -> unit) -> config -> unit
+(** Bind, listen, serve until a shutdown request or signal, drain, clean
+    up, return.  [ready] fires once the socket is listening (test and
+    bench hook).  Raises [Unix.Unix_error] if the socket cannot be bound. *)

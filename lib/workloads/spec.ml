@@ -1,0 +1,43 @@
+open Graphio_graph
+
+let grammar = "fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED]"
+
+exception Bad of string
+
+let parse spec =
+  let int_param name s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None ->
+        raise
+          (Bad (Printf.sprintf "graph spec %S: %s %S is not an integer" spec name s))
+  in
+  let float_param name s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None ->
+        raise
+          (Bad (Printf.sprintf "graph spec %S: %s %S is not a number" spec name s))
+  in
+  match
+    match String.split_on_char ':' spec with
+    | [ "fft"; l ] -> Ok (Fft.build (int_param "level count" l))
+    | [ "bhk"; l ] -> Ok (Bhk.build (int_param "level count" l))
+    | [ "matmul"; n ] -> Ok (Matmul.build (int_param "size" n))
+    | [ "matmul-binary"; n ] ->
+        Ok (Matmul.build_binary_sums (int_param "size" n))
+    | [ "strassen"; n ] -> Ok (Strassen.build (int_param "size" n))
+    | [ "inner"; d ] -> Ok (Inner_product.build (int_param "dimension" d))
+    | [ "er"; n; p ] ->
+        Ok (Er.gnp ~n:(int_param "size" n) ~p:(float_param "edge probability" p) ~seed:1)
+    | [ "er"; n; p; seed ] ->
+        Ok
+          (Er.gnp ~n:(int_param "size" n)
+             ~p:(float_param "edge probability" p)
+             ~seed:(int_param "seed" seed))
+    | _ ->
+        Error
+          (Printf.sprintf "unknown graph spec %S (expected %s)" spec grammar)
+  with
+  | result -> result
+  | exception Bad msg -> Error msg

@@ -1,0 +1,11 @@
+(** Textual graph-family specs ([fft:8], [er:200:0.05], ...) shared by the
+    CLI and the bound server: one grammar, one error message, wherever a
+    graph is named by a string. *)
+
+val grammar : string
+(** Human-readable list of accepted forms, embedded in error messages. *)
+
+val parse : string -> (Graphio_graph.Dag.t, string) result
+(** Build the named graph.  [Error] carries a one-line description for
+    unknown families and malformed parameters; generator-level failures
+    (e.g. out-of-range probabilities) raise as usual. *)

@@ -3,6 +3,7 @@ record per job, in input order.  Jobs sharing (graph, method) pay for one
 eigensolve: only the first is a cache miss.  Wall times are masked — they
 are the only nondeterministic field.
 
+  $ unset GRAPHIO_CACHE_DIR
   $ cat > jobs.txt <<'EOF'
   > # one spectrum, three memory sizes (the last two hit the cache)
   > bhk:8 m=2 method=standard
@@ -55,3 +56,39 @@ counters only; steal counts depend on scheduling):
   par.pool.created                1
   par.pool.loops                  1
   par.pool.size                   2
+
+--cache-dir adds the persistent tier.  A cold run computes the two
+spectra and writes one record each; a second process finds them on disk,
+so every job is a hit — and the answers are bitwise-identical:
+
+  $ ../../bin/graphio.exe batch jobs.txt --cache-dir spectra \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/_/' > cold.out
+  $ grep -c '"cache_hit":true' cold.out
+  3
+  $ ls spectra | wc -l | tr -d ' '
+  2
+  $ ../../bin/graphio.exe batch jobs.txt --cache-dir spectra \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/_/' > warm.out
+  $ grep -c '"cache_hit":true' warm.out
+  5
+  $ sed 's/"cache_hit":[a-z]*/_/' cold.out > cold.norm
+  $ sed 's/"cache_hit":[a-z]*/_/' warm.out > warm.norm
+  $ diff cold.norm warm.norm
+
+Corrupt records are detected by checksum, evicted, and recomputed — a
+damaged cache can slow the batch down but never change an answer:
+
+  $ for f in spectra/*.bin; do
+  >   printf 'X' | dd of="$f" bs=1 seek=5 conv=notrunc status=none
+  > done
+  $ ../../bin/graphio.exe batch jobs.txt --cache-dir spectra \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/_/' > healed.out
+  $ grep -c '"cache_hit":true' healed.out
+  3
+  $ sed 's/"cache_hit":[a-z]*/_/' healed.out > healed.norm
+  $ diff cold.norm healed.norm
+
+The rewritten records serve again:
+
+  $ ../../bin/graphio.exe batch jobs.txt --cache-dir spectra | grep -c '"cache_hit":true'
+  5

@@ -59,7 +59,7 @@ Errors are reported cleanly, with exit code 1:
 
   $ printf 'not an edge list\n' > bad.txt
   $ ../../bin/graphio.exe bound -f bad.txt -m 4
-  graphio: Edgelist: line 1: expected header 'graphio 1'
+  graphio: bad.txt: Edgelist: line 1: expected header 'graphio 1'
   [1]
 
 Observability: --metrics prints the counter table to stderr (stdout stays

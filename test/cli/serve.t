@@ -1,0 +1,81 @@
+graphio serve is a long-lived bound service on a Unix-domain socket
+speaking newline-delimited JSON; graphio client drives it from stdin,
+one reply line per request line.  Wall times are masked -- they are the
+only nondeterministic field.
+
+  $ unset GRAPHIO_CACHE_DIR
+  $ ../../bin/graphio.exe serve --socket srv.sock --dense-threshold 24 -j 2 2>/dev/null &
+
+Round trips.  The second identical query is answered from the spectrum
+cache (bitwise-identical bound, cache_hit flips); an inline edge list
+works as the graph source:
+
+  $ printf '%s\n' \
+  >   '{"spec":"bhk:6","m":2,"method":"standard","id":1}' \
+  >   '{"spec":"bhk:6","m":2,"method":"standard","id":2}' \
+  >   '{"edgelist":"graphio 1\nn 3 m 2\ne 0 1\ne 1 2\n","m":2,"method":"standard"}' \
+  >   | ../../bin/graphio.exe client --socket srv.sock \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
+  {"id":1,"ok":true,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.666666666666643,"best_k":2,"best_raw":2.666666666666643,"backend":"filtered","cache_hit":false,"wall_s":_}
+  {"id":2,"ok":true,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.666666666666643,"best_k":2,"best_raw":2.666666666666643,"backend":"filtered","cache_hit":true,"wall_s":_}
+  {"ok":true,"n":3,"edges":2,"m":2,"p":1,"method":"standard","h":3,"bound":0,"best_k":2,"best_raw":-7,"backend":"dense","cache_hit":false,"wall_s":_}
+
+Malformed requests get structured errors -- and the server survives them
+all, still answering on the same connection (the ping at the end):
+
+  $ printf '%s\n' \
+  >   'garbage' \
+  >   '{"spec":"fft:4"}' \
+  >   '{"spec":"nope:1","m":4}' \
+  >   '{"spec":"fft:4","m":8,"typo":1}' \
+  >   '{"spec":"bhk:6","m":2,"method":"standard","timeout_s":0,"id":9}' \
+  >   '{"op":"ping"}' \
+  >   | ../../bin/graphio.exe client --socket srv.sock
+  {"ok":false,"code":"bad_request","error":"malformed JSON: Jsonx: at offset 0: unexpected character 'g'"}
+  {"ok":false,"code":"bad_request","error":"missing field \"m\""}
+  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:1\" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"}
+  {"ok":false,"code":"bad_request","error":"unknown field \"typo\""}
+  {"id":9,"ok":false,"code":"timeout","error":"deadline of 0s exceeded"}
+  {"ok":true,"op":"ping"}
+
+The shutdown op drains and removes the socket:
+
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket srv.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait
+  $ test -e srv.sock || echo socket removed
+  socket removed
+
+SIGTERM does the same -- graceful drain, socket unlinked, clean exit:
+
+  $ ../../bin/graphio.exe serve --socket sig.sock -j 1 2>/dev/null &
+  $ SRV=$!
+  $ printf '{"op":"ping"}\n' | ../../bin/graphio.exe client --socket sig.sock
+  {"ok":true,"op":"ping"}
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ test -e sig.sock || echo socket removed
+  socket removed
+
+The disk tier outlives the process: a fresh server has never computed
+this spectrum, yet answers it as a cache hit from the directory the
+previous server (or a batch run) populated:
+
+  $ ../../bin/graphio.exe serve --socket d1.sock --cache-dir spectra -j 1 2>/dev/null &
+  $ printf '{"spec":"bhk:5","m":4,"method":"standard"}\n' \
+  >   | ../../bin/graphio.exe client --socket d1.sock \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
+  {"ok":true,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.600000000000005,"backend":"dense","cache_hit":false,"wall_s":_}
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket d1.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait
+  $ ls spectra | wc -l | tr -d ' '
+  1
+  $ ../../bin/graphio.exe serve --socket d2.sock --cache-dir spectra -j 1 2>/dev/null &
+  $ printf '{"spec":"bhk:5","m":4,"method":"standard"}\n' \
+  >   | ../../bin/graphio.exe client --socket d2.sock \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
+  {"ok":true,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.600000000000005,"backend":"dense","cache_hit":true,"wall_s":_}
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket d2.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait

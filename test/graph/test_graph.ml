@@ -362,6 +362,45 @@ let test_edgelist_rejects_garbage () =
       ("cycle", "graphio 1\nn 2 m 2\ne 0 1\ne 1 0");
     ]
 
+let test_edgelist_error_messages () =
+  (* Malformed-input corpus: every rejection names the offending line, so
+     a bad line deep in a generated file is findable. *)
+  List.iter
+    (fun (text, expected) ->
+      Alcotest.check_raises expected (Failure expected) (fun () ->
+          ignore (Edgelist.of_string text)))
+    [
+      ( "graphio 1\nn -1 m 0\n",
+        "Edgelist: line 2: negative counts" );
+      ( "graphio 1\nn 2 m 1\ne 0 5\n",
+        "Edgelist: line 3: edge 0 -> 5: vertex out of range [0, 2)" );
+      ( "graphio 1\nn 2 m 1\ne -1 1\n",
+        "Edgelist: line 3: edge -1 -> 1: vertex out of range [0, 2)" );
+      ( "graphio 1\n# a comment\nn 3 m 3\ne 0 1\ne 1 2\ne 0 1\n",
+        "Edgelist: line 6: duplicate edge 0 -> 1 (first on line 4)" );
+      ( "graphio 1\nn 2 m 1\ne 1 1\n",
+        "Edgelist: line 3: Dag.add_edge: self-loop" );
+      ( "graphio 1\nn 3 m 1\nl 7 far\ne 0 1\n",
+        "Edgelist: line 3: label vertex out of range" );
+      ( "graphio 1\nn 2 m 2\ne 0 1\n",
+        "Edgelist: edge count mismatch (declared 2, found 1)" );
+      ( "graphio 1\nn 2 m 2\ne 0 1\ne 1 0\n",
+        "Edgelist: Dag.build: graph has a cycle" );
+    ]
+
+let test_edgelist_of_file_prefixes_path () =
+  let path = Filename.temp_file "graphio_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "graphio 1\nn 2 m 1\ne 0 5\n");
+      let expected =
+        path ^ ": Edgelist: line 3: edge 0 -> 5: vertex out of range [0, 2)"
+      in
+      Alcotest.check_raises "path prefixed" (Failure expected) (fun () ->
+          ignore (Edgelist.of_file path)))
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -397,6 +436,29 @@ let prop_edgelist_roundtrip =
       let g' = Edgelist.of_string (Edgelist.to_string g) in
       Dag.edges g = Dag.edges g' && Dag.n_vertices g = Dag.n_vertices g')
 
+(* Labels exercise the percent-escaping: spaces, percent signs, quotes,
+   newlines and raw bytes must all survive the text format byte-exactly. *)
+let label_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'z'; ' '; '%'; '"'; ':'; '\n'; '\xff'; '0' ])
+      (int_range 0 12))
+
+let labeled_er_gen =
+  QCheck2.Gen.(
+    let* g = er_gen in
+    let* labels = array_size (return (Dag.n_vertices g)) label_gen in
+    return (Dag.of_edges ~labels ~n:(Dag.n_vertices g) (Dag.edges g)))
+
+let prop_edgelist_label_roundtrip =
+  QCheck2.Test.make ~name:"edgelist roundtrip preserves labels" ~count:60
+    labeled_er_gen (fun g ->
+      let g' = Edgelist.of_string (Edgelist.to_string g) in
+      Dag.edges g = Dag.edges g'
+      && Dag.n_vertices g = Dag.n_vertices g'
+      && List.for_all
+           (fun v -> Dag.label g v = Dag.label g' v)
+           (List.init (Dag.n_vertices g) Fun.id))
+
 let prop_reverse_involution =
   QCheck2.Test.make ~name:"reverse twice is identity" ~count:40 er_gen (fun g ->
       Dag.edges (Dag.reverse (Dag.reverse g)) = Dag.edges g)
@@ -408,6 +470,7 @@ let props =
       prop_laplacian_trace_is_degree_sum;
       prop_normalized_trace;
       prop_edgelist_roundtrip;
+      prop_edgelist_label_roundtrip;
       prop_reverse_involution;
     ]
 
@@ -477,6 +540,10 @@ let () =
           Alcotest.test_case "edgelist file roundtrip" `Quick test_edgelist_file_roundtrip;
           Alcotest.test_case "dot file write" `Quick test_dot_file_write;
           Alcotest.test_case "edgelist rejects garbage" `Quick test_edgelist_rejects_garbage;
+          Alcotest.test_case "edgelist error messages are line-numbered" `Quick
+            test_edgelist_error_messages;
+          Alcotest.test_case "edgelist of_file prefixes path" `Quick
+            test_edgelist_of_file_prefixes_path;
         ] );
       ("properties", props);
     ]

@@ -128,6 +128,109 @@ let test_mincut_partitioned_trivial () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Exact sandwich: lower bounds vs the TRUE optimum                    *)
+(* ------------------------------------------------------------------ *)
+
+(* On graphs small enough for Exact.optimal_io, the whole lattice of
+   quantities must order correctly:
+
+     spectral (Thm 4 and 5)  <=  J*_G  <=  best simulated schedule
+
+   and, per topological order X (the chain behind Theorems 2-4):
+
+     spectral best_raw  <=  partition bound(X)  <=  J_G(X) = simulate(X).
+
+   Note what is NOT asserted: partition(X) vs J*_G is unordered in
+   general (the partition bound constrains one schedule, the optimum
+   minimizes over all of them), so the two chains are checked separately. *)
+let test_exact_sandwich () =
+  let eps = 1e-6 in
+  let checked = ref 0 in
+  for seed = 1 to 30 do
+    let n = 6 + (seed * 5 mod 9) in
+    let p = 0.10 +. (0.05 *. float_of_int (seed mod 5)) in
+    let g = Er.gnp ~n ~p ~seed:(1000 + seed) in
+    let mf = Simulator.min_feasible_m g in
+    let ms = if n <= 10 then [ mf; mf + 1; mf + 3 ] else [ mf; mf + 2 ] in
+    List.iter
+      (fun m ->
+        (* the state cap keeps one pathological instance from dominating
+           the suite; capped-out instances are skipped, and the final
+           count assertion keeps the battery honest *)
+        match Exact.optimal_io ~max_states:200_000 g ~m with
+        | exception Exact.Too_large _ -> ()
+        | exact ->
+            incr checked;
+            let name = Printf.sprintf "seed=%d n=%d M=%d" seed n m in
+            let fexact = float_of_int exact in
+            let u = upper g ~m in
+            Alcotest.(check bool) (name ^ ": exact <= best simulated") true
+              (exact <= u);
+            let o4 = (Solver.bound g ~m).Solver.result in
+            let o5 = (Solver.bound ~method_:Solver.Standard g ~m).Solver.result in
+            Alcotest.(check bool) (name ^ ": thm4 <= exact") true
+              (o4.Spectral_bound.bound <= fexact +. eps);
+            Alcotest.(check bool) (name ^ ": thm5 <= exact") true
+              (o5.Spectral_bound.bound <= fexact +. eps);
+            List.iter
+              (fun (oname, order) ->
+                let _, pv = Partition_bound.best g ~order ~m in
+                let sim = (Simulator.simulate g ~order ~m).Simulator.io in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s: spectral raw <= partition" name oname)
+                  true
+                  (o4.Spectral_bound.best_raw <= pv +. eps);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s: partition <= simulated" name oname)
+                  true
+                  (Float.max 0.0 pv <= float_of_int sim +. eps))
+              [
+                ("natural", Topo.natural g);
+                ("kahn", Topo.kahn g);
+                ("dfs", Topo.dfs g);
+              ])
+      ms
+  done;
+  (* the battery is vacuous if Too_large ate everything *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough exact instances solved (%d)" !checked)
+    true (!checked >= 40)
+
+let test_exact_sandwich_structured () =
+  (* Same lattice on the structured workloads that fit under the exact
+     solver's 20-vertex cap. *)
+  let eps = 1e-6 in
+  List.iter
+    (fun (name, g) ->
+      let mf = Simulator.min_feasible_m g in
+      List.iter
+        (fun m ->
+          match Exact.optimal_io ~max_states:200_000 g ~m with
+          | exception Exact.Too_large _ -> ()
+          | exact ->
+              let u = upper g ~m in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s M=%d: exact <= simulated" name m)
+                true (exact <= u);
+              List.iter
+                (fun method_ ->
+                  let b = (Solver.bound ~method_ g ~m).Solver.result in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s M=%d: spectral <= exact" name m)
+                    true
+                    (b.Spectral_bound.bound <= float_of_int exact +. eps))
+                [ Solver.Normalized; Solver.Standard ])
+        [ mf; mf + 2 ])
+    [
+      ("fft l=2", Fft.build 2);
+      ("fft l=3", Fft.build 3);
+      ("inner d=4", Inner_product.build 4);
+      ("inner d=8", Inner_product.build 8);
+      ("diamond chain", Dag.of_edges ~n:8
+         [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6); (6, 7) ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Edgelist round trip through the solver                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -180,6 +283,12 @@ let () =
           Alcotest.test_case "inner product" `Quick test_sandwich_inner_product;
           Alcotest.test_case "er random" `Quick test_sandwich_er_random;
           Alcotest.test_case "traced programs" `Quick test_sandwich_traced_programs;
+        ] );
+      ( "exact-sandwich",
+        [
+          Alcotest.test_case "random dags vs true optimum" `Quick test_exact_sandwich;
+          Alcotest.test_case "structured workloads vs true optimum" `Quick
+            test_exact_sandwich_structured;
         ] );
       ( "backends",
         [

@@ -260,7 +260,11 @@ let batch_jobs () =
 
 (* dense_threshold 24 sends bhk4 (n=16) dense and the ffts (n>=32) through
    the iterative path, covering both backends in one batch *)
-let run_batch ?pool jobs = Solver.bound_batch ?pool ~h:8 ~dense_threshold:24 jobs
+(* the explicit disabled cache keeps these in-batch-dedup assertions
+   hermetic even when GRAPHIO_CACHE_DIR is exported *)
+let run_batch ?pool jobs =
+  Solver.bound_batch ~cache:Graphio_cache.Spectrum.disabled ?pool ~h:8
+    ~dense_threshold:24 jobs
 
 let same_outcome msg (a : Solver.batch_result) (b : Solver.batch_result) =
   Alcotest.(check bool) (msg ^ ": same result") true
