@@ -974,6 +974,19 @@ let () =
     | [ "--json" ] ->
         prerr_endline "bench: --json requires an output path";
         exit 2
+    | "--faults" :: plan :: rest -> (
+        (* chaos benchmarking: run the sections with fault injection live
+           (e.g. to measure the cache's corrupt-record recovery cost) *)
+        match Graphio_fault.parse plan with
+        | Ok p ->
+            Graphio_fault.set p;
+            parse acc rest
+        | Error msg ->
+            Printf.eprintf "bench: %s\n" msg;
+            exit 2)
+    | [ "--faults" ] ->
+        prerr_endline "bench: --faults requires a plan string";
+        exit 2
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
         | Some v when v >= 1 ->

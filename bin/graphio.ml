@@ -58,6 +58,22 @@ let trace_arg =
          ~doc:"Record hierarchical spans and write Chrome trace-event JSON \
                (load in chrome://tracing or Perfetto).")
 
+(* Deterministic fault injection (testing only): the plan activates named
+   sites across cache/server/pool; with no plan the sites stay inert.
+   Offered on the subcommands that exercise those subsystems. *)
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN"
+         ~doc:"Activate the deterministic fault-injection plan $(docv), e.g. \
+               $(b,cache.disk.write:p=0.2:seed=7,pool.task:nth=3).  Also read \
+               from $(b,GRAPHIO_FAULTS).  Chaos testing only.")
+
+let apply_faults = function
+  | None -> ()
+  | Some plan -> (
+      match Graphio_fault.parse plan with
+      | Ok p -> Graphio_fault.set p
+      | Error msg -> raise (Invalid_argument msg))
+
 (* All expected failures (bad specs, unreadable/malformed graph files,
    infeasible parameters) surface as one clean line on stderr and exit
    code 1; cmdliner's `Error path is reserved for CLI syntax problems. *)
@@ -109,8 +125,9 @@ let generate_cmd =
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name metrics trace =
+let bound spec file m h p method_name faults metrics trace =
   handle ~metrics ~trace @@ fun () ->
+  apply_faults faults;
   let g = load_graph ~spec ~file in
   let method_ =
     match method_name with
@@ -153,7 +170,7 @@ let bound_cmd =
     Term.(
       ret
         (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
-        $ metrics_arg $ trace_arg))
+        $ faults_arg $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -456,8 +473,9 @@ let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
   | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
-let batch path njobs h dense_threshold cache_dir metrics trace =
+let batch path njobs h dense_threshold cache_dir faults metrics trace =
   handle ~metrics ~trace @@ fun () ->
+  apply_faults faults;
   let lines = In_channel.with_open_text path In_channel.input_lines in
   let entries =
     List.mapi (fun i line -> parse_job_line ~path ~lineno:(i + 1) line) lines
@@ -534,7 +552,7 @@ let batch_cmd =
     Term.(
       ret
         (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
-        $ metrics_arg $ trace_arg))
+        $ faults_arg $ metrics_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -567,9 +585,10 @@ let tcp_arg =
   Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
          ~doc:"Use TCP instead of the Unix socket.")
 
-let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap metrics
-    trace =
+let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap faults
+    metrics trace =
   handle ~metrics ~trace @@ fun () ->
+  apply_faults faults;
   let transport = transport_of_args ~socket ~tcp in
   let cache =
     match cache_dir with
@@ -637,7 +656,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
-        $ timeout $ cache_dir $ cache_cap $ metrics_arg $ trace_arg))
+        $ timeout $ cache_dir $ cache_cap $ faults_arg $ metrics_arg
+        $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)

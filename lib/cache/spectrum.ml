@@ -24,6 +24,19 @@ let c_disk_misses = Graphio_obs.Metrics.counter "cache.disk_misses"
 let c_disk_errors = Graphio_obs.Metrics.counter "cache.disk_errors"
 let c_disk_writes = Graphio_obs.Metrics.counter "cache.disk_writes"
 
+(* --------------------------- fault sites ----------------------------- *)
+
+(* Chaos battery hooks (inert without a fault plan, see Graphio_fault):
+   every disk interaction the cache's correctness story depends on is
+   injectable — failed/torn/corrupted reads and writes, failed renames,
+   and checksum rejection.  The invariant under any of them: a record
+   that cannot be trusted end-to-end is never served; it is evicted and
+   recomputed. *)
+let f_disk_read = Graphio_fault.site "cache.disk.read"
+let f_disk_write = Graphio_fault.site "cache.disk.write"
+let f_disk_rename = Graphio_fault.site "cache.disk.rename"
+let f_checksum = Graphio_fault.site "cache.checksum"
+
 (* --------------------------- key utilities --------------------------- *)
 
 (* FNV-1a over bytes, the same hash family Dag.fingerprint uses; good
@@ -105,6 +118,10 @@ let decode key b =
   else
     let stored_sum = Bytes.get_int64_le b (len - 8) in
     if not (Int64.equal stored_sum (fnv1a_bytes b (len - 8))) then None
+    else if Graphio_fault.hit f_checksum <> Graphio_fault.Pass then
+      (* injected checksum rejection: the record verifies but is treated
+         as untrustworthy, exercising the evict-and-recompute path *)
+      None
     else
       let count = Int32.to_int (Bytes.get_int32_le b 30) in
       if count < 0 || len <> header_len + (8 * count) + 8 then None
@@ -130,41 +147,90 @@ let file_of_key ~dir key =
 let read_file path =
   match open_in_bin path with
   | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match really_input_string ic (in_channel_length ic) with
-          | s -> Some (Bytes.unsafe_of_string s)
-          | exception (End_of_file | Sys_error _) -> None)
+  | ic -> (
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match really_input_string ic (in_channel_length ic) with
+            | s -> Some (Bytes.unsafe_of_string s)
+            | exception (End_of_file | Sys_error _) -> None)
+      in
+      match bytes with
+      | None -> None
+      | Some b -> (
+          (* injectable read path: a failed, torn, or bit-flipped read must
+             never propagate past [decode]'s end-to-end checks *)
+          match Graphio_fault.hit ~len:(Bytes.length b) f_disk_read with
+          | Graphio_fault.Pass -> Some b
+          | Graphio_fault.Fail -> None
+          | Graphio_fault.Torn keep -> Some (Bytes.sub b 0 keep)
+          | Graphio_fault.Flip (off, mask) ->
+              let b = Bytes.copy b in
+              Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor mask));
+              Some b
+          | Graphio_fault.Sleep s ->
+              Unix.sleepf s;
+              Some b))
 
 (* Atomic publish: temp file + rename, so a concurrent reader never sees a
    partial record (it sees the old file or the new one). *)
 let write_file path b =
-  let tmp =
-    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+  (* Injectable write path.  [Fail] models open/write errors before any
+     byte lands; [Torn]/[Flip] model a crash mid-write or silent media
+     corruption — the damaged record is deliberately PUBLISHED (the
+     rename below still runs) because the on-disk checksum, not the
+     writer, is what guarantees a corrupt record is never served. *)
+  let payload =
+    match Graphio_fault.hit ~len:(Bytes.length b) f_disk_write with
+    | Graphio_fault.Pass -> Some b
+    | Graphio_fault.Fail -> None
+    | Graphio_fault.Torn keep -> Some (Bytes.sub b 0 keep)
+    | Graphio_fault.Flip (off, mask) ->
+        let b = Bytes.copy b in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor mask));
+        Some b
+    | Graphio_fault.Sleep s ->
+        Unix.sleepf s;
+        Some b
   in
-  match open_out_bin tmp with
-  | exception Sys_error _ -> false
-  | oc -> (
-      let written =
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            match output_bytes oc b with
-            | () -> true
-            | exception Sys_error _ -> false)
+  match payload with
+  | None -> false
+  | Some b -> (
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
       in
-      if not written then begin
-        (try Sys.remove tmp with Sys_error _ -> ());
-        false
-      end
-      else
-        match Sys.rename tmp path with
-        | () -> true
-        | exception Sys_error _ ->
+      match open_out_bin tmp with
+      | exception Sys_error _ -> false
+      | oc -> (
+          let written =
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                match output_bytes oc b with
+                | () -> true
+                | exception Sys_error _ -> false)
+          in
+          if not written then begin
             (try Sys.remove tmp with Sys_error _ -> ());
-            false)
+            false
+          end
+          else
+            (* injectable rename: a failed publish must clean up the temp
+               file — a leaked temp would accumulate forever in the cache
+               directory (asserted by the chaos battery) *)
+            match
+              (match Graphio_fault.hit f_disk_rename with
+              | Graphio_fault.Pass -> ()
+              | Graphio_fault.Sleep s -> Unix.sleepf s
+              | Graphio_fault.Fail | Graphio_fault.Torn _ | Graphio_fault.Flip _ ->
+                  raise (Sys_error "injected rename failure"));
+              Sys.rename tmp path
+            with
+            | () -> true
+            | exception Sys_error _ ->
+                (try Sys.remove tmp with Sys_error _ -> ());
+                false))
 
 (* ----------------------------- lifecycle ----------------------------- *)
 

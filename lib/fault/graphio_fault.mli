@@ -1,0 +1,117 @@
+(** Deterministic, seeded, off-by-default fault injection.
+
+    Code under test declares named {e sites} once at module-initialization
+    time ([let f = Fault.site "cache.disk.read"]) and consults them on the
+    error-prone path with {!hit}.  With no plan installed every hit
+    returns {!Pass} after a single atomic load — the layer is fully inert
+    in production and in ordinary test runs.
+
+    A {e plan} — parsed from the [GRAPHIO_FAULTS] environment variable, a
+    [--faults] CLI flag, or set programmatically — decides at each hit
+    whether the site {e fires} and how:
+
+    {v cache.disk.write:p=0.2:seed=7,server.sock.read:nth=3:kind=partial v}
+
+    Clauses are comma-separated; each names a site (or a [prefix.*]
+    wildcard) followed by [:key=value] settings:
+
+    - [p=F]     fire each hit with probability [F] (default [1])
+    - [nth=N]   fire exactly on the [N]-th hit (1-based; overrides [p])
+    - [count=N] stop after [N] fires (default unlimited)
+    - [seed=N]  per-clause PRNG seed (default [0])
+    - [kind=K]  [error] (default) | [partial] | [flip] | [delay]
+    - [ms=F]    delay magnitude in milliseconds for [kind=delay]
+                (default [10])
+
+    Every random decision — whether a probabilistic clause fires, how many
+    bytes a torn I/O keeps, which byte a corruption flips — is drawn from
+    a per-site splitmix64 stream seeded by [seed] and the site name, so a
+    failing run is replayable from its plan string alone (provided the
+    site's hit sequence is itself deterministic; pin pool sizes to 1 when
+    asserting exact replay).
+
+    Fires surface as [fault.injected.<site>] counters through
+    {!Graphio_obs.Metrics} (registered lazily at first fire, so inert
+    processes expose no fault metrics), and are appended to an in-memory
+    {!injections} log for replay assertions. *)
+
+type site
+(** Handle for one named injection point. *)
+
+val site : string -> site
+(** Register (or look up) the site with this name.  Cheap; intended for
+    module-initialization time.  Raises [Invalid_argument] on an empty
+    name. *)
+
+val name : site -> string
+
+type outcome =
+  | Pass  (** no fault: proceed normally *)
+  | Fail  (** behave as the operation's error case *)
+  | Torn of int
+      (** torn / partial I/O: act on only this many of the [len] units
+          offered to {!hit} (in [\[0, len)]) *)
+  | Flip of int * int
+      (** corrupt one byte: [(offset, xor_mask)] with [offset] in
+          [\[0, len)] and [xor_mask] in [\[1, 255\]] *)
+  | Sleep of float  (** injected delay in seconds *)
+
+exception Injected of string
+(** Raised by {!step}; carries the site name.  Sites that model
+    task-level exceptions (e.g. [pool.task]) surface as this. *)
+
+val hit : ?len:int -> site -> outcome
+(** Record one hit at the site and decide whether a fault fires.  [len]
+    is the size of the buffer (bytes, units) the caller is about to act
+    on; [Torn]/[Flip] outcomes are drawn within it.  A [partial] or
+    [flip] clause firing against [len <= 0] degrades to [Fail].  With no
+    plan installed, always [Pass]. *)
+
+val step : site -> unit
+(** [step s] raises [Injected (name s)] if the site fires (whatever the
+    clause kind); otherwise returns unit.  For sites whose only failure
+    mode is an exception. *)
+
+val active : unit -> bool
+(** Whether a plan is currently installed (after consulting
+    [GRAPHIO_FAULTS] on first use). *)
+
+(* ------------------------------- plans ------------------------------ *)
+
+type plan
+
+val parse : string -> (plan, string) result
+(** Parse a plan string.  The error message is a single line and quotes
+    the offending clause. *)
+
+val parse_exn : string -> plan
+(** Like {!parse} but raises [Invalid_argument]. *)
+
+val set : plan -> unit
+(** Install a plan: all per-site clause state (hit counters, PRNG
+    streams) and the {!injections} log are reset, so installing the same
+    plan twice yields the same decision sequence twice. *)
+
+val clear : unit -> unit
+(** Remove any installed plan (including one loaded from the
+    environment); the layer returns to inert. *)
+
+val plan_string : unit -> string option
+(** The string form of the installed plan, for replay messages. *)
+
+val with_plan : string -> (unit -> 'a) -> 'a
+(** [with_plan s f] parses and installs [s], runs [f], and restores the
+    previously-installed plan (if any) even on exception.  Raises
+    [Invalid_argument] on a malformed plan. *)
+
+(* ------------------------------ replay ------------------------------ *)
+
+val injections : unit -> (string * int * string) list
+(** Chronological log of fired injections since the last {!set}/{!clear}:
+    [(site, hit_index, outcome_tag)] with [hit_index] 1-based per site
+    and [outcome_tag] one of ["fail" | "torn" | "flip" | "sleep"] plus
+    the drawn parameters (e.g. ["torn:17"]).  Capped at one million
+    entries. *)
+
+val injected_total : unit -> int
+(** Total fires since the last {!set}/{!clear} (not capped). *)

@@ -217,9 +217,17 @@ let map_reduce ?chunk pool ~lo ~hi ~map ~reduce ~init =
     !acc
   end
 
+(* Task-level fault site: an injected fire makes the task raise
+   [Graphio_fault.Injected "pool.task"], which propagates to the caller
+   through [parallel_for]'s failure channel exactly like a real task
+   exception would.  Callers that must survive task death (the server's
+   request dispatch) are chaos-tested against this site. *)
+let f_task = Graphio_fault.site "pool.task"
+
 let run_all pool jobs =
   let n = Array.length jobs in
   let results = Array.make n None in
   parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun j ->
+      Graphio_fault.step f_task;
       results.(j) <- Some (jobs.(j) ()));
   Array.map (function Some r -> r | None -> assert false) results

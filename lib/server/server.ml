@@ -31,6 +31,16 @@ let c_connections = Metrics.counter "server.connections"
 let g_inflight = Metrics.gauge "server.inflight"
 let h_request_seconds = Metrics.histogram "server.request_seconds"
 
+(* Fault sites (inert without a plan, see Graphio_fault): transient accept
+   failures, partial/failed socket reads and writes, mid-request
+   disconnects, and deadline jitter between solve and reply.  The chaos
+   battery drives each and asserts the server never crashes, never emits
+   a silently wrong bound, and still drains gracefully. *)
+let f_accept = Graphio_fault.site "server.accept"
+let f_sock_read = Graphio_fault.site "server.sock.read"
+let f_sock_write = Graphio_fault.site "server.sock.write"
+let f_deadline = Graphio_fault.site "server.deadline"
+
 (* Cooperative per-request deadline: raised by the pre-solve check and by
    the eigensolver's per-sweep callback. *)
 exception Deadline
@@ -107,6 +117,16 @@ let answer_query cfg ?pool ~arrival_ns (q : Protocol.query) =
         ~on_iteration:(fun _ -> check_deadline ())
         job
     in
+    (* injected deadline jitter lands in the gap between the solve and the
+       reply — the window the final check below exists to close *)
+    (match Graphio_fault.hit f_deadline with
+    | Graphio_fault.Sleep s -> Unix.sleepf s
+    | _ -> ());
+    (* A reply composed after the deadline has passed must be the
+       structured timeout, not a late success: the per-iteration checks
+       only cover the eigensolve, so a cache hit or a slow reply path
+       could otherwise answer an expired request. *)
+    check_deadline ();
     query_reply ~id r
   with
   | Deadline ->
@@ -139,12 +159,27 @@ type client = {
 let enqueue c s = if not c.broken then c.out <- c.out ^ s ^ "\n"
 
 let try_flush c =
-  if c.out <> "" && not c.broken then
-    match Unix.write_substring c.fd c.out 0 (String.length c.out) with
-    | written -> c.out <- String.sub c.out written (String.length c.out - written)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> ()
-    | exception Unix.Unix_error _ -> c.broken <- true
+  if c.out <> "" && not c.broken then begin
+    let limit =
+      match Graphio_fault.hit ~len:(String.length c.out) f_sock_write with
+      | Graphio_fault.Pass -> String.length c.out
+      | Graphio_fault.Torn k -> k (* partial write: k bytes now, rest later *)
+      | Graphio_fault.Sleep s ->
+          Unix.sleepf s;
+          String.length c.out
+      | Graphio_fault.Fail | Graphio_fault.Flip _ ->
+          (* wire corruption is not modeled on the write side (a reply must
+             arrive intact or not at all); both degrade to a dead peer *)
+          c.broken <- true;
+          0
+    in
+    if limit > 0 && not c.broken then
+      match Unix.write_substring c.fd c.out 0 limit with
+      | written -> c.out <- String.sub c.out written (String.length c.out - written)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> c.broken <- true
+  end
 
 (* Split off complete lines; the unterminated tail stays buffered. *)
 let take_lines c =
@@ -170,23 +205,45 @@ let take_lines c =
 let read_into c =
   let chunk = Bytes.create 65536 in
   let rec go () =
-    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> c.eof <- true
-    | n ->
-        Buffer.add_subbytes c.inbuf chunk 0 n;
-        if Buffer.length c.inbuf > max_request_bytes then begin
-          enqueue c
-            (error_reply ~code:"bad_request"
-               (Printf.sprintf "request exceeds %d bytes" max_request_bytes));
-          Buffer.clear c.inbuf;
-          c.eof <- true
-        end
-        else go ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> ()
-    | exception Unix.Unix_error _ ->
+    (* The fault is applied to the length we ask the kernel for, so a torn
+       read is a genuine short read: undelivered bytes stay queued in the
+       socket and surface at the next select round — no data is invented
+       or lost.  [Fail] is a mid-request disconnect; [Flip] corrupts the
+       received bytes (client-side corruption the protocol answers with a
+       structured parse error, since NDJSON carries no integrity check). *)
+    let fault = Graphio_fault.hit ~len:(Bytes.length chunk) f_sock_read in
+    match fault with
+    | Graphio_fault.Fail ->
         c.broken <- true;
         c.eof <- true
+    | Graphio_fault.Torn 0 -> () (* short read of nothing: retry next round *)
+    | _ -> (
+        (match fault with Graphio_fault.Sleep s -> Unix.sleepf s | _ -> ());
+        let want =
+          match fault with Graphio_fault.Torn k -> k | _ -> Bytes.length chunk
+        in
+        match Unix.read c.fd chunk 0 want with
+        | 0 -> c.eof <- true
+        | n ->
+            (match fault with
+            | Graphio_fault.Flip (off, mask) when off < n ->
+                Bytes.set chunk off
+                  (Char.chr (Char.code (Bytes.get chunk off) lxor mask))
+            | _ -> ());
+            Buffer.add_subbytes c.inbuf chunk 0 n;
+            if Buffer.length c.inbuf > max_request_bytes then begin
+              enqueue c
+                (error_reply ~code:"bad_request"
+                   (Printf.sprintf "request exceeds %d bytes" max_request_bytes));
+              Buffer.clear c.inbuf;
+              c.eof <- true
+            end
+            else go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          -> ()
+        | exception Unix.Unix_error _ ->
+            c.broken <- true;
+            c.eof <- true)
   in
   go ()
 
@@ -247,7 +304,14 @@ let run ?(ready = fun () -> ()) cfg =
       ready ();
       let accept_all () =
         let rec go () =
-          match Unix.accept listen_fd with
+          (* a fired accept fault skips this round; the connection stays in
+             the kernel backlog and is picked up at the next select round *)
+          match Graphio_fault.hit f_accept with
+          | Graphio_fault.Fail | Graphio_fault.Torn _ | Graphio_fault.Flip _ ->
+              ()
+          | (Graphio_fault.Pass | Graphio_fault.Sleep _) as o -> (
+              (match o with Graphio_fault.Sleep s -> Unix.sleepf s | _ -> ());
+              match Unix.accept listen_fd with
           | fd, _ ->
               Unix.set_nonblock fd;
               Metrics.incr c_connections;
@@ -255,10 +319,11 @@ let run ?(ready = fun () -> ()) cfg =
                 { fd; inbuf = Buffer.create 256; out = ""; eof = false; broken = false }
                 :: !clients;
               go ()
-          | exception
-              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-            -> ()
-          | exception Unix.Unix_error _ -> ()
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                -> ()
+              | exception Unix.Unix_error _ -> ())
         in
         go ()
       in
@@ -320,11 +385,27 @@ let run ?(ready = fun () -> ()) cfg =
         | tasks ->
             let tasks = Array.of_list tasks in
             Metrics.set g_inflight (float_of_int (Array.length tasks));
+            (* Task thunks are written not to raise (answer_query catches
+               everything), but a task dying anyway — historically possible,
+               and routinely injected via the "pool.task" fault site — must
+               not take the whole server down with it: [run_all] re-raises
+               the first task exception.  Fall back to inline execution
+               with a per-task catch so every request still gets a reply. *)
+            let run_inline () =
+              Array.map
+                (fun (_, f) ->
+                  try f ()
+                  with e ->
+                    Metrics.incr c_errors;
+                    error_reply ~code:"internal" (Printexc.to_string e))
+                tasks
+            in
             let replies =
               match pool with
-              | Some pool when Array.length tasks > 1 ->
-                  Graphio_par.Pool.run_all pool (Array.map snd tasks)
-              | _ -> Array.map (fun (_, f) -> f ()) tasks
+              | Some pool when Array.length tasks > 1 -> (
+                  try Graphio_par.Pool.run_all pool (Array.map snd tasks)
+                  with _ -> run_inline ())
+              | _ -> run_inline ()
             in
             Metrics.set g_inflight 0.0;
             Array.iteri (fun i reply -> enqueue (fst tasks.(i)) reply) replies

@@ -1,0 +1,48 @@
+Graph specs have ONE grammar and ONE set of error messages, produced by
+Workloads.Spec and quoted verbatim by every surface.  These pins keep
+the CLI text and the server's structured error field from drifting
+apart (the unit suite in test/workloads checks the same strings against
+Spec.grammar itself).
+
+The CLI, through generate -- the thinnest path into Spec.parse:
+
+  $ ../../bin/graphio.exe generate nope:3 -o g.txt
+  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  [1]
+
+  $ ../../bin/graphio.exe generate fft:x -o g.txt
+  graphio: graph spec "fft:x": level count "x" is not an integer
+  [1]
+
+  $ ../../bin/graphio.exe generate matmul: -o g.txt
+  graphio: graph spec "matmul:": size "" is not an integer
+  [1]
+
+  $ ../../bin/graphio.exe generate er:10:zz -o g.txt
+  graphio: graph spec "er:10:zz": edge probability "zz" is not a number
+  [1]
+
+  $ ../../bin/graphio.exe generate er:10:0.1:abc -o g.txt
+  graphio: graph spec "er:10:0.1:abc": seed "abc" is not an integer
+  [1]
+
+The server embeds the SAME text in the error field of a bad_request
+reply -- same parser, same message, different transport:
+
+  $ unset GRAPHIO_CACHE_DIR
+  $ ../../bin/graphio.exe serve --socket spec.sock -j 1 2>/dev/null &
+  $ printf '%s\n' \
+  >   '{"spec":"nope:3","m":4}' \
+  >   '{"spec":"fft:x","m":4}' \
+  >   '{"spec":"matmul:","m":4}' \
+  >   '{"spec":"er:10:zz","m":4}' \
+  >   '{"spec":"er:10:0.1:abc","m":4}' \
+  >   | ../../bin/graphio.exe client --socket spec.sock
+  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:3\" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"}
+  {"ok":false,"code":"bad_request","error":"graph spec \"fft:x\": level count \"x\" is not an integer"}
+  {"ok":false,"code":"bad_request","error":"graph spec \"matmul:\": size \"\" is not an integer"}
+  {"ok":false,"code":"bad_request","error":"graph spec \"er:10:zz\": edge probability \"zz\" is not a number"}
+  {"ok":false,"code":"bad_request","error":"graph spec \"er:10:0.1:abc\": seed \"abc\" is not an integer"}
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket spec.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait

@@ -570,6 +570,91 @@ let prop_all_k_matches_brute_force =
         Float.abs (r.Spectral_bound.best_raw -. !best)
         <= 1e-6 *. (1.0 +. Float.abs !best))
 
+(* ------------------------------------------------------------------ *)
+(* Metamorphic properties on whole graphs: transform the DAG (not the   *)
+(* spectrum) and assert what the bound must do.                         *)
+(* ------------------------------------------------------------------ *)
+
+let methods = [ Solver.Normalized; Solver.Standard ]
+
+let graph_bound ~method_ ?h g ~m =
+  (Solver.bound ~method_ ?h g ~m).Solver.result.Spectral_bound.bound
+
+let dag_gen =
+  QCheck2.Gen.(
+    let* n = int_range 6 20 in
+    let* p10 = int_range 2 5 in
+    let* seed = int_range 0 10_000 in
+    return (Er.gnp ~n ~p:(float_of_int p10 /. 10.0) ~seed))
+
+(* The bound depends only on graph structure, not on how vertices happen
+   to be numbered: an isomorphic relabeling must give the same value (to
+   eigensolver rounding). *)
+let relabel_case_gen =
+  QCheck2.Gen.(
+    let* g = dag_gen in
+    let* perm = shuffle_a (Array.init (Dag.n_vertices g) Fun.id) in
+    let* m = int_range 1 16 in
+    return (g, perm, m))
+
+let permute_dag g perm =
+  Dag.of_edges ~n:(Dag.n_vertices g)
+    (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Dag.edges g))
+
+let prop_relabel_invariance =
+  QCheck2.Test.make ~name:"bound invariant under vertex relabeling" ~count:40
+    relabel_case_gen
+    (fun (g, perm, m) ->
+      Dag.n_edges g = 0
+      || List.for_all
+           (fun method_ ->
+             let h = Dag.n_vertices g in
+             let a = graph_bound ~method_ ~h g ~m in
+             let b = graph_bound ~method_ ~h (permute_dag g perm) ~m in
+             Float.abs (a -. b)
+             <= 1e-6 *. (1.0 +. Float.max (Float.abs a) (Float.abs b)))
+           methods)
+
+(* More fast memory can only weaken a lower bound on I/O. *)
+let prop_graph_monotone_m =
+  QCheck2.Test.make ~name:"graph bound non-increasing in M" ~count:40
+    QCheck2.Gen.(pair dag_gen (int_range 1 16))
+    (fun (g, m) ->
+      Dag.n_edges g = 0
+      || List.for_all
+           (fun method_ ->
+             let h = Dag.n_vertices g in
+             let b m = graph_bound ~method_ ~h g ~m in
+             b m >= b (m + 1) -. 1e-9 && b (m + 1) >= b (2 * m) -. 1e-9)
+           methods)
+
+(* Disjoint self-union: c independent copies of G need at least as much
+   I/O as one copy.  The heterogeneous form bound(A ⊔ B) >= max(bound A,
+   bound B) is FALSE for this relaxation (spectrum dilution: B's low
+   eigenvalues drag down every prefix sum of the merged spectrum), so the
+   metamorphic relation is stated for copies of the same graph, where it
+   is provable: the union's spectrum is each eigenvalue with multiplicity
+   c, so value_{cG}(c·k) = c·value_G(k) because ⌊cn/(ck)⌋ = ⌊n/k⌋. *)
+let union_copies g c =
+  let n = Dag.n_vertices g in
+  Dag.of_edges ~n:(c * n)
+    (List.concat
+       (List.init c (fun k ->
+            List.map (fun (u, v) -> (u + (k * n), v + (k * n))) (Dag.edges g))))
+
+let prop_self_union =
+  QCheck2.Test.make ~name:"self-union bound >= single-copy bound" ~count:30
+    QCheck2.Gen.(triple dag_gen (int_range 2 3) (int_range 1 12))
+    (fun (g, c, m) ->
+      Dag.n_edges g = 0
+      || List.for_all
+           (fun method_ ->
+             let n = Dag.n_vertices g in
+             let one = graph_bound ~method_ ~h:n g ~m in
+             let many = graph_bound ~method_ ~h:(c * n) (union_copies g c) ~m in
+             many >= one -. (1e-6 *. (1.0 +. one)))
+           methods)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -578,6 +663,9 @@ let props =
       prop_bound_monotone_in_eigs;
       prop_parallel_monotone;
       prop_all_k_matches_brute_force;
+      prop_relabel_invariance;
+      prop_graph_monotone_m;
+      prop_self_union;
     ]
 
 let () =

@@ -231,6 +231,73 @@ let test_exact_sandwich_structured () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exact sandwich: Theorem 6 vs simulated parallel schedules  *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper leaves Theorem 6 analytic; here it is sandwiched
+   empirically: for every feasible parallel execution (an assignment of
+   vertices to p processors plus a global topological order), the
+   simulated max-per-processor I/O must dominate the p-processor
+   spectral lower bound.  Small graphs only — the simulator enumerates
+   concrete schedules, not the optimum, so the oracle is "bound below
+   EVERY schedule we can build", minimized over orders x assignments. *)
+let test_parallel_sandwich () =
+  let eps = 1e-6 in
+  let checked = ref 0 in
+  let graphs =
+    [
+      ("fft l=2", Fft.build 2);
+      ("fft l=3", Fft.build 3);
+      ("inner d=4", Inner_product.build 4);
+      ("diamond chain", Dag.of_edges ~n:8
+         [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6); (6, 7) ]);
+    ]
+    @ List.map
+        (fun seed ->
+          (Printf.sprintf "er seed=%d" seed, Er.gnp ~n:(12 + (seed mod 8)) ~p:0.2 ~seed))
+        [ 1; 2; 3; 4 ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let m = max 4 (Simulator.min_feasible_m g) in
+      List.iter
+        (fun p ->
+          let lower =
+            (Solver.bound ~p g ~m).Solver.result.Spectral_bound.bound
+          in
+          let best = ref infinity in
+          List.iter
+            (fun order ->
+              List.iter
+                (fun assignment_of ->
+                  match
+                    Parallel_sim.simulate g
+                      ~assignment:(assignment_of g ~order ~p)
+                      ~order ~p ~m
+                  with
+                  | exception Invalid_argument _ ->
+                      (* m below this assignment's per-processor
+                         feasibility floor: not a legal schedule, so it
+                         cannot witness the sandwich *)
+                      ()
+                  | r ->
+                      incr checked;
+                      best := Float.min !best (float_of_int r.Parallel_sim.max_io))
+                [ Parallel_sim.block_assignment; Parallel_sim.round_robin_assignment ])
+            [ Topo.natural g; Topo.kahn g; Topo.dfs g ];
+          if !best < infinity then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s p=%d M=%d: thm6 %.3f <= parallel sim %.3f" name p m
+                 lower !best)
+              true
+              (lower <= !best +. eps))
+        [ 2; 4 ])
+    graphs;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough parallel schedules simulated (%d)" !checked)
+    true (!checked >= 40)
+
+(* ------------------------------------------------------------------ *)
 (* Edgelist round trip through the solver                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +356,8 @@ let () =
           Alcotest.test_case "random dags vs true optimum" `Quick test_exact_sandwich;
           Alcotest.test_case "structured workloads vs true optimum" `Quick
             test_exact_sandwich_structured;
+          Alcotest.test_case "parallel bound vs simulated schedules" `Quick
+            test_parallel_sandwich;
         ] );
       ( "backends",
         [

@@ -388,6 +388,99 @@ let test_independent_chains () =
   Alcotest.(check bool) "natural topo" true (Topo.is_valid g (Topo.natural g))
 
 (* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* [Spec.grammar] is the single source of truth quoted in CLI and server
+   error messages, so every form it advertises must actually parse.  The
+   test derives its cases FROM the grammar string: adding a family to
+   the parser without updating the grammar (or vice versa) fails here. *)
+let test_spec_grammar_forms_parse () =
+  let subst = [ ("L", "3"); ("N", "2"); ("D", "4"); ("P", "0.2"); ("SEED", "7") ] in
+  let expand form =
+    (* "er:N:P[:SEED]" -> both the bare and the optional-suffix form *)
+    match String.index_opt form '[' with
+    | None -> [ form ]
+    | Some i ->
+        let base = String.sub form 0 i in
+        let opt = String.sub form i (String.length form - i) in
+        Alcotest.(check bool) (form ^ ": optional suffix shape") true
+          (String.length opt >= 3 && opt.[String.length opt - 1] = ']');
+        [ base; base ^ String.sub opt 1 (String.length opt - 2) ]
+  in
+  let instantiate form =
+    String.split_on_char ':' form
+    |> List.map (fun tok ->
+           match List.assoc_opt tok subst with Some v -> v | None -> tok)
+    |> String.concat ":"
+  in
+  let forms =
+    String.split_on_char ',' Spec.grammar |> List.map String.trim
+    |> List.concat_map expand
+  in
+  Alcotest.(check bool) "grammar advertises several forms" true
+    (List.length forms >= 7);
+  List.iter
+    (fun form ->
+      let spec = instantiate form in
+      match Spec.parse spec with
+      | Ok g ->
+          Alcotest.(check bool) (spec ^ ": non-empty graph") true
+            (Dag.n_vertices g > 0)
+      | Error e -> Alcotest.failf "grammar form %S (as %S) rejected: %s" form spec e)
+    forms
+
+let test_spec_malformed_one_line () =
+  List.iter
+    (fun (spec, fragment) ->
+      match Spec.parse spec with
+      | Ok _ -> Alcotest.failf "%S unexpectedly parsed" spec
+      | Error e ->
+          Alcotest.(check bool) (spec ^ ": error is one line") false
+            (String.contains e '\n');
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S mentions %S" spec e fragment)
+            true (contains_substring e fragment))
+    [
+      ("nope:3", "unknown graph spec \"nope:3\"");
+      ("fft", "unknown graph spec");
+      ("fft:3:4", "unknown graph spec");
+      ("", "unknown graph spec");
+      ("fft:x", "level count \"x\" is not an integer");
+      ("bhk:2.5", "level count \"2.5\" is not an integer");
+      ("matmul:", "size \"\" is not an integer");
+      ("strassen:two", "size \"two\" is not an integer");
+      ("inner:x", "dimension \"x\" is not an integer");
+      ("er:ten:0.1", "size \"ten\" is not an integer");
+      ("er:10:zz", "edge probability \"zz\" is not a number");
+      ("er:10:0.1:abc", "seed \"abc\" is not an integer");
+    ]
+
+let test_spec_unknown_embeds_grammar () =
+  (* The "expected ..." tail IS the grammar constant, verbatim: the text
+     users see from the CLI and the server error field cannot drift. *)
+  match Spec.parse "nope:3" with
+  | Ok _ -> Alcotest.fail "nope:3 parsed"
+  | Error e ->
+      Alcotest.(check string) "exact message"
+        (Printf.sprintf "unknown graph spec \"nope:3\" (expected %s)" Spec.grammar)
+        e;
+      Alcotest.(check bool) "grammar quoted verbatim" true
+        (contains_substring e Spec.grammar)
+
+let test_spec_deterministic () =
+  (* er defaults seed to 1 and equals the explicit-seed form *)
+  match (Spec.parse "er:20:0.3", Spec.parse "er:20:0.3:1") with
+  | Ok a, Ok b -> Alcotest.(check (list (pair int int))) "same graph"
+      (Dag.edges a) (Dag.edges b)
+  | _ -> Alcotest.fail "er specs did not parse"
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -487,6 +580,16 @@ let () =
           Alcotest.test_case "horner" `Quick test_horner;
           Alcotest.test_case "prefix sum" `Quick test_prefix_sum;
           Alcotest.test_case "independent chains" `Quick test_independent_chains;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "every grammar form parses" `Quick
+            test_spec_grammar_forms_parse;
+          Alcotest.test_case "malformed specs give one-line errors" `Quick
+            test_spec_malformed_one_line;
+          Alcotest.test_case "unknown spec embeds grammar verbatim" `Quick
+            test_spec_unknown_embeds_grammar;
+          Alcotest.test_case "er default seed" `Quick test_spec_deterministic;
         ] );
       ("properties", props);
     ]
