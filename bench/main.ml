@@ -836,6 +836,39 @@ let serve () =
   in
   let cold = pass () in
   let warm = pass () in
+  (* one {"op":"metrics"} before shutdown: the server-side latency
+     quantiles and GC gauges of the passes above land in the bench
+     record, so BENCH_*.json tracks tail latency across versions *)
+  let latency, gc_stats =
+    let c = Client.connect transport in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let json = Graphio_obs.Jsonx.of_string (Client.rpc c {|{"op":"metrics"}|}) in
+        let lat name =
+          match Graphio_obs.Jsonx.member "latency" json with
+          | Some l -> (
+              match Graphio_obs.Jsonx.member name l with
+              | Some (Graphio_obs.Jsonx.Float f) -> f
+              | Some (Graphio_obs.Jsonx.Int i) -> float_of_int i
+              | _ -> 0.0)
+          | None -> 0.0
+        in
+        let snap =
+          match Graphio_obs.Jsonx.member "metrics" json with
+          | Some m -> Graphio_obs.Metrics.of_json m
+          | None -> []
+        in
+        let g name =
+          match Graphio_obs.Metrics.find snap name with
+          | Some (Graphio_obs.Metrics.Gauge v) -> v
+          | _ -> 0.0
+        in
+        ( (lat "p50_s", lat "p95_s", lat "p99_s"),
+          ( g "runtime.gc.heap_words",
+            g "runtime.gc.minor_collections",
+            g "runtime.gc.major_collections" ) ))
+  in
   (let c = Client.connect transport in
    ignore (Client.rpc c {|{"op":"shutdown"}|});
    Client.close c);
@@ -860,6 +893,12 @@ let serve () =
   Report.add_row r [ "warm pass (s)"; Report.cell_float warm_s ];
   Report.add_row r [ "warm cache hits"; Report.cell_int (hits warm) ];
   Report.add_row r [ "speedup (cold/warm)"; Report.cell_float speedup ];
+  let p50, p95, p99 = latency in
+  let heap_words, minor_gcs, major_gcs = gc_stats in
+  Report.add_row r [ "request p50 (s)"; Report.cell_float p50 ];
+  Report.add_row r [ "request p95 (s)"; Report.cell_float p95 ];
+  Report.add_row r [ "request p99 (s)"; Report.cell_float p99 ];
+  Report.add_row r [ "gc major collections"; Report.cell_int (int_of_float major_gcs) ];
   Report.note r
     "warm answers come from the two-tier spectrum cache; the residue is protocol + socket cost";
   emit r;
@@ -870,6 +909,12 @@ let serve () =
       ("warm_s", Graphio_obs.Jsonx.Float warm_s);
       ("warm_hits", Graphio_obs.Jsonx.Int (hits warm));
       ("speedup", Graphio_obs.Jsonx.Float speedup);
+      ("p50_s", Graphio_obs.Jsonx.Float p50);
+      ("p95_s", Graphio_obs.Jsonx.Float p95);
+      ("p99_s", Graphio_obs.Jsonx.Float p99);
+      ("gc_heap_words", Graphio_obs.Jsonx.Float heap_words);
+      ("gc_minor_collections", Graphio_obs.Jsonx.Float minor_gcs);
+      ("gc_major_collections", Graphio_obs.Jsonx.Float major_gcs);
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -10,6 +10,7 @@
      batch      many bounds concurrently from a jobs file (JSON lines)
      serve      long-lived bound service over a socket (JSON lines)
      client     line-oriented client for a running serve
+     top        live latency/cache/pool dashboard for a running serve
 
    Graphs are supplied either with --graph SPEC (generated on the fly) or
    --file PATH (edge-list format, see Graphio_graph.Edgelist). *)
@@ -47,16 +48,48 @@ let m_arg =
 
 (* Observability flags, shared by every subcommand: [--metrics] prints the
    process-wide counter/histogram table to stderr on success (stderr so
-   the primary stdout output stays scriptable), [--trace FILE] enables
-   span collection and writes a Chrome trace-event JSON on exit. *)
-let metrics_arg =
-  Arg.(value & flag & info [ "metrics" ]
-         ~doc:"Print the metrics summary table to stderr on exit.")
+   the primary stdout output stays scriptable), [--metrics-out FILE]
+   writes the same table to a file instead — so it can never interleave
+   with NDJSON stdout in batch pipelines — [--trace FILE] enables span
+   collection and writes a Chrome trace-event JSON on exit, and
+   [--log FILE] ([-] = stderr) streams leveled NDJSON structured events
+   ([--log-level] filters).  Every invocation runs under a fresh ambient
+   request id ([cli-PID]) so its spans and events correlate. *)
+type obs = {
+  metrics : bool;
+  metrics_out : string option;
+  trace : string option;
+  log : string option;
+  log_level : string;
+}
 
-let trace_arg =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Record hierarchical spans and write Chrome trace-event JSON \
-               (load in chrome://tracing or Perfetto).")
+let obs_term =
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print the metrics summary table to stderr on exit.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the metrics summary table to $(docv) on exit (keeps \
+                 stdout/stderr clean in pipelines).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record hierarchical spans and write Chrome trace-event JSON \
+                 (load in chrome://tracing or Perfetto).")
+  in
+  let log =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Stream structured NDJSON events to $(docv) ($(b,-) = stderr).")
+  in
+  let log_level =
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Minimum event level: debug | info | warn | error.")
+  in
+  Term.(
+    const (fun metrics metrics_out trace log log_level ->
+        { metrics; metrics_out; trace; log; log_level })
+    $ metrics $ metrics_out $ trace $ log $ log_level)
 
 (* Deterministic fault injection (testing only): the plan activates named
    sites across cache/server/pool; with no plan the sites stay inert.
@@ -77,15 +110,37 @@ let apply_faults = function
 (* All expected failures (bad specs, unreadable/malformed graph files,
    infeasible parameters) surface as one clean line on stderr and exit
    code 1; cmdliner's `Error path is reserved for CLI syntax problems. *)
-let handle ~metrics ~trace f =
-  if trace <> None then Graphio_obs.Span.set_enabled true;
+let handle obs f =
+  if obs.trace <> None then Graphio_obs.Span.set_enabled true;
+  (match Graphio_obs.Log.level_of_string obs.log_level with
+  | Some l -> Graphio_obs.Log.set_level l
+  | None ->
+      Printf.eprintf "graphio: --log-level %s: expected debug, info, warn or error\n"
+        obs.log_level;
+      exit 1);
   match
-    f ();
-    (match trace with
+    (try Option.iter Graphio_obs.Log.open_file obs.log
+     with Sys_error msg -> raise (Invalid_argument msg));
+    Fun.protect ~finally:Graphio_obs.Log.close (fun () ->
+        Graphio_obs.Ctx.with_rid
+          (Printf.sprintf "cli-%d" (Unix.getpid ()))
+          f);
+    (match obs.trace with
     | Some path -> Graphio_obs.Span.write_chrome_trace path
     | None -> ());
-    if metrics then
-      prerr_string (Graphio_obs.Metrics.render_text (Graphio_obs.Metrics.snapshot ()))
+    let summary =
+      if obs.metrics || obs.metrics_out <> None then
+        Graphio_obs.Metrics.render_text (Graphio_obs.Metrics.snapshot ())
+      else ""
+    in
+    if obs.metrics then prerr_string summary;
+    match obs.metrics_out with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc summary)
+    | None -> ()
   with
   | () -> `Ok ()
   | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
@@ -96,8 +151,8 @@ let handle ~metrics ~trace f =
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let generate spec output metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let generate spec output obs =
+  handle obs @@ fun () ->
   match parse_spec spec with
   | Error msg -> raise (Invalid_argument msg)
   | Ok g -> (
@@ -119,14 +174,14 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Build a workload computation graph")
-    Term.(ret (const generate $ spec $ output $ metrics_arg $ trace_arg))
+    Term.(ret (const generate $ spec $ output $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name faults metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let bound spec file m h p method_name faults obs =
+  handle obs @@ fun () ->
   apply_faults faults;
   let g = load_graph ~spec ~file in
   let method_ =
@@ -170,14 +225,14 @@ let bound_cmd =
     Term.(
       ret
         (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
-        $ faults_arg $ metrics_arg $ trace_arg))
+        $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let baseline spec file m partitioned metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let baseline spec file m partitioned obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   if partitioned then begin
     let b = Graphio_flow.Convex_mincut.bound_partitioned g ~m ~part_size:(2 * m) in
@@ -199,15 +254,14 @@ let baseline_cmd =
     (Cmd.info "baseline" ~doc:"Convex min-cut lower bound (Elango et al.)")
     Term.(
       ret
-        (const baseline $ spec_arg $ file_arg $ m_arg $ partitioned $ metrics_arg
-        $ trace_arg))
+        (const baseline $ spec_arg $ file_arg $ m_arg $ partitioned $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate spec file m order_name policy_name metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let simulate spec file m order_name policy_name obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   let order =
     match order_name with
@@ -243,14 +297,14 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ spec_arg $ file_arg $ m_arg $ order $ policy
-        $ metrics_arg $ trace_arg))
+        $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* spectrum                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let spectrum spec file h normalized metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let spectrum spec file h normalized obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   let lap = if normalized then Laplacian.normalized g else Laplacian.standard g in
   let s = Graphio_la.Eigen.smallest ~h lap in
@@ -275,15 +329,14 @@ let spectrum_cmd =
     (Cmd.info "spectrum" ~doc:"Smallest Laplacian eigenvalues of a graph")
     Term.(
       ret
-        (const spectrum $ spec_arg $ file_arg $ h $ normalized $ metrics_arg
-        $ trace_arg))
+        (const spectrum $ spec_arg $ file_arg $ h $ normalized $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let export spec file output metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let export spec file output obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   let dot = Dot.to_string g in
   match output with
@@ -300,14 +353,14 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export a graph as Graphviz DOT")
-    Term.(ret (const export $ spec_arg $ file_arg $ output $ metrics_arg $ trace_arg))
+    Term.(ret (const export $ spec_arg $ file_arg $ output $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let analyze spec file m with_mincut search_budget metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let analyze spec file m with_mincut search_budget obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   let m = max m (Graphio_pebble.Simulator.min_feasible_m g) in
   let r =
@@ -367,14 +420,14 @@ let analyze_cmd =
     Term.(
       ret
         (const analyze $ spec_arg $ file_arg $ m_arg $ with_mincut $ budget
-        $ metrics_arg $ trace_arg))
+        $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let sweep spec file m_from m_to metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let sweep spec file m_from m_to obs =
+  handle obs @@ fun () ->
   let g = load_graph ~spec ~file in
   if m_from < 0 || m_to < m_from then
     raise (Invalid_argument "sweep: need 0 <= from <= to");
@@ -403,8 +456,7 @@ let sweep_cmd =
        ~doc:"CSV of the spectral bounds across fast-memory sizes (doubling steps)")
     Term.(
       ret
-        (const sweep $ spec_arg $ file_arg $ m_from $ m_to $ metrics_arg
-        $ trace_arg))
+        (const sweep $ spec_arg $ file_arg $ m_from $ m_to $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
@@ -473,8 +525,8 @@ let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
   | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
-let batch path njobs h dense_threshold cache_dir faults metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let batch path njobs h dense_threshold cache_dir faults obs =
+  handle obs @@ fun () ->
   apply_faults faults;
   let lines = In_channel.with_open_text path In_channel.input_lines in
   let entries =
@@ -552,7 +604,7 @@ let batch_cmd =
     Term.(
       ret
         (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
-        $ faults_arg $ metrics_arg $ trace_arg))
+        $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -586,8 +638,8 @@ let tcp_arg =
          ~doc:"Use TCP instead of the Unix socket.")
 
 let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap faults
-    metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+    obs =
+  handle obs @@ fun () ->
   apply_faults faults;
   let transport = transport_of_args ~socket ~tcp in
   let cache =
@@ -656,15 +708,14 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
-        $ timeout $ cache_dir $ cache_cap $ faults_arg $ metrics_arg
-        $ trace_arg))
+        $ timeout $ cache_dir $ cache_cap $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let client socket tcp metrics trace =
-  handle ~metrics ~trace @@ fun () ->
+let client socket tcp obs =
+  handle obs @@ fun () ->
   let transport = transport_of_args ~socket ~tcp in
   let c =
     try Graphio_server.Client.connect transport
@@ -692,7 +743,127 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send request lines from stdin to a running graphio serve; print \
              one reply line each")
-    Term.(ret (const client $ socket_arg $ tcp_arg $ metrics_arg $ trace_arg))
+    Term.(ret (const client $ socket_arg $ tcp_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A refreshing dashboard over the server's {"op":"metrics"} exposition:
+   each poll fetches the full snapshot, computes latency quantiles
+   client-side (Metrics.of_json round-trips the histogram), and derives
+   the request rate from the counter delta between polls. *)
+
+let snap_counter snap name =
+  match Graphio_obs.Metrics.find snap name with
+  | Some (Graphio_obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+let snap_gauge snap name =
+  match Graphio_obs.Metrics.find snap name with
+  | Some (Graphio_obs.Metrics.Gauge g) -> g
+  | _ -> 0.0
+
+let render_top ~rate snap =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let ms = function Some s -> Printf.sprintf "%.2fms" (s *. 1e3) | None -> "-" in
+  let requests = snap_counter snap "server.requests" in
+  let errors = snap_counter snap "server.errors" in
+  let lat name =
+    Graphio_obs.Metrics.find snap name
+    |> Option.map (fun v -> Graphio_obs.Metrics.value_quantile v)
+  in
+  line "graphio top";
+  line "";
+  line "requests   total %-8d errors %-6d rate %.1f/s" requests errors rate;
+  (match lat "server.request_seconds" with
+  | Some q ->
+      line "latency    p50 %-10s p95 %-10s p99 %s" (ms (q 0.5)) (ms (q 0.95))
+        (ms (q 0.99))
+  | None -> line "latency    (no requests yet)");
+  let hits = snap_counter snap "cache.hits" and misses = snap_counter snap "cache.misses" in
+  let total = hits + misses in
+  line "cache      hits %-9d misses %-6d hit-rate %s" hits misses
+    (if total = 0 then "-" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int hits /. float_of_int total));
+  line "pool       size %-9.0f queue %-7.0f steals %d"
+    (snap_gauge snap "par.pool.size")
+    (snap_gauge snap "par.pool.queue_depth")
+    (snap_counter snap "par.pool.steals");
+  line "gc         heap %-9.0f minor %-7.0f major %.0f"
+    (snap_gauge snap "runtime.gc.heap_words")
+    (snap_gauge snap "runtime.gc.minor_collections")
+    (snap_gauge snap "runtime.gc.major_collections");
+  Buffer.contents b
+
+let top socket tcp interval iterations no_clear obs =
+  handle obs @@ fun () ->
+  if interval <= 0.0 then raise (Invalid_argument "--interval: must be positive");
+  if iterations < 0 then raise (Invalid_argument "--iterations: must be >= 0");
+  let transport = transport_of_args ~socket ~tcp in
+  let c =
+    try Graphio_server.Client.connect transport
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "cannot connect to the server: %s"
+              (Unix.error_message e)))
+  in
+  Fun.protect
+    ~finally:(fun () -> Graphio_server.Client.close c)
+    (fun () ->
+      let prev = ref None in
+      let i = ref 0 in
+      let continue () = iterations = 0 || !i < iterations in
+      while continue () do
+        incr i;
+        let reply = Graphio_server.Client.rpc c {|{"op":"metrics"}|} in
+        let json = Graphio_obs.Jsonx.of_string reply in
+        (match Graphio_obs.Jsonx.member "ok" json with
+        | Some (Graphio_obs.Jsonx.Bool true) -> ()
+        | _ -> raise (Failure ("unexpected metrics reply: " ^ reply)));
+        let snap =
+          match Graphio_obs.Jsonx.member "metrics" json with
+          | Some m -> Graphio_obs.Metrics.of_json m
+          | None -> raise (Failure "metrics reply carries no snapshot")
+        in
+        let now = Graphio_obs.Clock.now_ns () in
+        let requests = snap_counter snap "server.requests" in
+        let rate =
+          match !prev with
+          | Some (r0, t0) when now > t0 ->
+              float_of_int (requests - r0) /. (float_of_int (now - t0) /. 1e9)
+          | _ -> 0.0
+        in
+        prev := Some (requests, now);
+        if not no_clear then print_string "\027[2J\027[H";
+        print_string (render_top ~rate snap);
+        flush stdout;
+        if continue () then Unix.sleepf interval
+      done)
+
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between polls.")
+  in
+  let iterations =
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let no_clear =
+    Arg.(value & flag & info [ "no-clear" ]
+           ~doc:"Append refreshes instead of clearing the screen (pipelines, \
+                 tests).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Poll a running graphio serve and render a refreshing \
+             latency/cache/pool dashboard")
+    Term.(
+      ret
+        (const top $ socket_arg $ tcp_arg $ interval $ iterations $ no_clear
+        $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 
@@ -707,4 +878,5 @@ let () =
           [
             generate_cmd; bound_cmd; baseline_cmd; simulate_cmd; spectrum_cmd;
             export_cmd; analyze_cmd; sweep_cmd; batch_cmd; serve_cmd; client_cmd;
+            top_cmd;
           ]))

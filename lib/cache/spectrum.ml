@@ -305,6 +305,17 @@ let disk_find t key =
                 (try Sys.remove path with Sys_error _ -> ());
                 None))
 
+(* Debug-level cache events carry the key fingerprint so a request's
+   cache interactions line up with its solver.spectrum event in the log. *)
+let log_lookup ~tier key =
+  if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
+    Graphio_obs.Log.emit ~level:Graphio_obs.Log.Debug "cache.lookup"
+      [
+        ( "fingerprint",
+          Graphio_obs.Jsonx.String (Printf.sprintf "%016Lx" key.fingerprint) );
+        ("tier", Graphio_obs.Jsonx.String tier);
+      ]
+
 let find t key =
   if t.disabled then None
   else
@@ -312,15 +323,18 @@ let find t key =
         match Lru.find t.mem key with
         | Some entry ->
             Graphio_obs.Metrics.incr c_hits;
+            log_lookup ~tier:"mem" key;
             Some entry
         | None -> (
             match disk_find t key with
             | Some entry ->
                 Graphio_obs.Metrics.incr c_hits;
+                log_lookup ~tier:"disk" key;
                 Lru.add t.mem key entry;
                 Some entry
             | None ->
                 Graphio_obs.Metrics.incr c_misses;
+                log_lookup ~tier:"miss" key;
                 None))
 
 let add t key entry =
@@ -330,9 +344,20 @@ let add t key entry =
         match t.dir with
         | None -> ()
         | Some dir ->
-            if write_file (file_of_key ~dir key) (encode key entry) then
-              Graphio_obs.Metrics.incr c_disk_writes
-            else Graphio_obs.Metrics.incr c_disk_errors)
+            if write_file (file_of_key ~dir key) (encode key entry) then begin
+              Graphio_obs.Metrics.incr c_disk_writes;
+              log_lookup ~tier:"disk_write" key
+            end
+            else begin
+              Graphio_obs.Metrics.incr c_disk_errors;
+              Graphio_obs.Log.emit ~level:Graphio_obs.Log.Warn
+                "cache.disk_write_error"
+                [
+                  ( "fingerprint",
+                    Graphio_obs.Jsonx.String
+                      (Printf.sprintf "%016Lx" key.fingerprint) );
+                ]
+            end)
 
 let length t = locked t (fun () -> Lru.length t.mem)
 let drop_memory t = locked t (fun () -> Lru.clear t.mem)

@@ -200,8 +200,23 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
   if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false)
   else begin
     let key = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag in
+    let log_spectrum ~cache_hit =
+      if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
+        Graphio_obs.Log.emit ~level:Graphio_obs.Log.Debug "solver.spectrum"
+          [
+            ( "fingerprint",
+              Graphio_obs.Jsonx.String
+                (Printf.sprintf "%016Lx" key.Graphio_cache.Spectrum.fingerprint)
+            );
+            ( "method",
+              Graphio_obs.Jsonx.String (String.make 1 (method_char method_)) );
+            ("h", Graphio_obs.Jsonx.Int h);
+            ("cache_hit", Graphio_obs.Jsonx.Bool cache_hit);
+          ]
+    in
     match Graphio_cache.Spectrum.find cache key with
     | Some e ->
+        log_spectrum ~cache_hit:true;
         ( e.Graphio_cache.Spectrum.eigenvalues,
           (if e.Graphio_cache.Spectrum.dense then Eigen.Dense
            else Eigen.Sparse_filtered),
@@ -214,6 +229,7 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
         in
         Graphio_cache.Spectrum.add cache key
           { Graphio_cache.Spectrum.eigenvalues; dense = backend = Eigen.Dense };
+        log_spectrum ~cache_hit:false;
         (eigenvalues, backend, stats, false)
   end
 
@@ -353,6 +369,14 @@ let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
       in
       let wall_s = Graphio_obs.Clock.elapsed_s t0 in
       Graphio_obs.Metrics.observe h_bound_seconds wall_s;
+      Graphio_obs.Log.emit "solver.bound"
+        [
+          ("n", Graphio_obs.Jsonx.Int (Dag.n_vertices job.dag));
+          ("m", Graphio_obs.Jsonx.Int job.m);
+          ("bound", Graphio_obs.Jsonx.Float result.Spectral_bound.bound);
+          ("cache_hit", Graphio_obs.Jsonx.Bool from_cache);
+          ("wall_s", Graphio_obs.Jsonx.Float wall_s);
+        ];
       {
         job;
         outcome =

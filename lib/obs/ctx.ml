@@ -1,0 +1,24 @@
+(* Request-scoped correlation context.
+
+   The ambient request id is domain-local (Domain.DLS): a pool task that
+   installs its request's id sees it from every instrumentation point the
+   task touches — spans, the event log, cache and solver telemetry —
+   without any of those layers taking an explicit parameter.  Helper
+   domains executing chunks of a pooled loop inherit the submitting
+   domain's id (see Graphio_par.Pool), so a request's eigensolve carries
+   its id even when its matvecs are spread across the pool. *)
+
+let counter = Atomic.make 0
+
+let fresh ?(prefix = "req") () =
+  Printf.sprintf "%s-%d" prefix (Atomic.fetch_and_add counter 1 + 1)
+
+let key : string option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let rid () = !(Domain.DLS.get key)
+
+let with_rid r f =
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  cell := Some r;
+  Fun.protect ~finally:(fun () -> cell := saved) (fun () -> f ())

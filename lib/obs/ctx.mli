@@ -1,0 +1,24 @@
+(** Request-scoped correlation: an ambient, domain-local request id.
+
+    A request id minted at the edge of the system (server accept loop,
+    CLI invocation) and installed with {!with_rid} is visible to every
+    instrumentation point that runs inside the callback — {!Span} records
+    it on each completed span, {!Log} stamps it on each emitted event —
+    so one served request can be reconstructed end-to-end from telemetry
+    alone.
+
+    The id is stored in domain-local state; {!Graphio_par.Pool} loops
+    re-install the submitting domain's id in helper domains, so the
+    ambient id survives pooled execution. *)
+
+val fresh : ?prefix:string -> unit -> string
+(** Mint a process-unique id, [PREFIX-N] with an atomic counter
+    ([prefix] defaults to ["req"]). *)
+
+val with_rid : string -> (unit -> 'a) -> 'a
+(** [with_rid r f] runs [f ()] with [r] as the ambient request id of the
+    current domain, restoring the previous ambient id afterwards (also on
+    exceptions).  Nesting is allowed; the innermost id wins. *)
+
+val rid : unit -> string option
+(** The current domain's ambient request id, if any. *)

@@ -1,0 +1,83 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* The sink is process-global and mutex-protected: events from pool
+   domains interleave line-atomically, never byte-wise.  [`Closed] marks a
+   channel we own (a file we opened) versus one we borrowed (stderr). *)
+type sink = { oc : out_channel; owned : bool }
+
+let sink : sink option ref = ref None
+let threshold = ref Info
+let mutex = Mutex.create ()
+let c_events = Metrics.counter ~help:"structured events written" "obs.log.events"
+
+let set_level l = threshold := l
+
+let close () =
+  Mutex.lock mutex;
+  (match !sink with
+  | Some s ->
+      (try flush s.oc with Sys_error _ -> ());
+      if s.owned then close_out_noerr s.oc
+  | None -> ());
+  sink := None;
+  Mutex.unlock mutex
+
+let set_channel oc =
+  close ();
+  Mutex.lock mutex;
+  sink := Some { oc; owned = false };
+  Mutex.unlock mutex
+
+let open_file = function
+  | "-" -> set_channel stderr
+  | path ->
+      close ();
+      let oc = open_out path in
+      Mutex.lock mutex;
+      sink := Some { oc; owned = true };
+      Mutex.unlock mutex
+
+let enabled level = !sink <> None && severity level >= severity !threshold
+
+let emit ?(level = Info) event fields =
+  if enabled level then begin
+    let record =
+      Jsonx.Obj
+        ([
+           ("ts_ns", Jsonx.Int (Clock.now_ns ()));
+           ("level", Jsonx.String (level_name level));
+           ("event", Jsonx.String event);
+         ]
+        @ (match Ctx.rid () with
+          | Some r -> [ ("rid", Jsonx.String r) ]
+          | None -> [])
+        @ fields)
+    in
+    let line = Jsonx.to_string record in
+    Mutex.lock mutex;
+    (match !sink with
+    | Some s -> (
+        Metrics.incr c_events;
+        try
+          output_string s.oc line;
+          output_char s.oc '\n';
+          flush s.oc
+        with Sys_error _ -> ())
+    | None -> ());
+    Mutex.unlock mutex
+  end

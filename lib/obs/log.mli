@@ -1,0 +1,49 @@
+(** Leveled structured event log: newline-delimited JSON (NDJSON).
+
+    Off by default — with no sink installed, {!emit} is one load and a
+    branch, so event emission can live permanently in the serve tier, the
+    solver and the cache.  With a sink (CLI [--log FILE], [-] = stderr),
+    each event becomes one JSON object on one line:
+
+    {v
+    {"ts_ns":123456789,"level":"info","event":"server.reply",
+     "rid":"req-7","ok":true,"cache_hit":false,"wall_s":0.0021}
+    v}
+
+    Schema: every record carries [ts_ns] (monotonic {!Clock.now_ns} — for
+    ordering and correlation with span traces, not wall-clock time),
+    [level], [event] (dot-separated, subsystem-prefixed), and — whenever
+    the emitting domain has an ambient {!Ctx} request id — [rid].
+    Remaining fields are event-specific.  Writes are mutex-serialized and
+    flushed per line, so events from pool domains interleave
+    line-atomically and the log is replayable alongside the
+    fault-injection log (which shares the same NDJSON discipline). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+val set_channel : out_channel -> unit
+(** Install a sink the caller owns (not closed by {!close}). *)
+
+val open_file : string -> unit
+(** Open [path] (truncating) as the sink; [-] means stderr.  Replaces and
+    closes any previous owned sink.  Raises [Sys_error] if the path
+    cannot be opened. *)
+
+val close : unit -> unit
+(** Flush and drop the sink (closing it if {!open_file} opened it).
+    Emission becomes a no-op again. *)
+
+val set_level : level -> unit
+(** Minimum level written (default [Info]). *)
+
+val enabled : level -> bool
+(** Whether an event at [level] would currently be written — guard for
+    callers that would otherwise build expensive field lists. *)
+
+val emit : ?level:level -> string -> (string * Jsonx.t) list -> unit
+(** [emit name fields] writes one event record ([level] defaults to
+    [Info]).  The ambient request id, if any, is attached automatically;
+    [fields] should not shadow [ts_ns]/[level]/[event]/[rid]. *)

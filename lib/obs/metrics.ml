@@ -1,15 +1,23 @@
+(* Domain safety: counters and gauges are atomics (one fetch-and-add /
+   exchange on the hot path — pooled matvecs bump them from every worker
+   domain), histograms take a per-histogram mutex (they sit at request
+   and solve granularity, never in inner loops), and the registry tables
+   are guarded by a global registration mutex.  Snapshots are consistent
+   per metric: each histogram is copied under its own lock. *)
+
 type counter = {
   c_name : string;
-  mutable c_count : int;
+  c_count : int Atomic.t;
 }
 
 type gauge = {
   g_name : string;
-  mutable g_value : float;
+  g_value : float Atomic.t;
 }
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t;
   h_buckets : float array;  (* ascending upper bounds *)
   h_counts : int array;  (* length = buckets + 1; last is overflow *)
   mutable h_sum : float;
@@ -24,6 +32,8 @@ let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
    rendering *)
 let helps : (string, string) Hashtbl.t = Hashtbl.create 64
 
+let reg_mutex = Mutex.create ()
+
 let register_help name help =
   match help with
   | Some h when not (Hashtbl.mem helps name) -> Hashtbl.add helps name h
@@ -33,36 +43,52 @@ let kind_clash name =
   invalid_arg
     (Printf.sprintf "Metrics: %S is already registered as a different metric" name)
 
+let with_registry f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
 let counter ?help name =
+  with_registry @@ fun () ->
   register_help name help;
   match Hashtbl.find_opt registry name with
   | Some (C c) -> c
   | Some _ -> kind_clash name
   | None ->
-      let c = { c_name = name; c_count = 0 } in
+      let c = { c_name = name; c_count = Atomic.make 0 } in
       Hashtbl.add registry name (C c);
       c
 
 let gauge ?help name =
+  with_registry @@ fun () ->
   register_help name help;
   match Hashtbl.find_opt registry name with
   | Some (G g) -> g
   | Some _ -> kind_clash name
   | None ->
-      let g = { g_name = name; g_value = 0.0 } in
+      let g = { g_name = name; g_value = Atomic.make 0.0 } in
       Hashtbl.add registry name (G g);
       g
 
 let default_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
 
+(* 1-2-5 per decade from 10us to 10s: fine enough that interpolated
+   p50/p95/p99 of request latencies are meaningful, small enough that a
+   snapshot stays cheap. *)
+let latency_buckets =
+  [|
+    1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2;
+    0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0;
+  |]
+
 let histogram ?help ?(buckets = default_buckets) name =
-  register_help name help;
   if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
   for i = 1 to Array.length buckets - 1 do
     if buckets.(i) <= buckets.(i - 1) then
       invalid_arg "Metrics.histogram: buckets must be strictly ascending"
   done;
+  with_registry @@ fun () ->
+  register_help name help;
   match Hashtbl.find_opt registry name with
   | Some (H h) ->
       if h.h_buckets <> buckets && buckets != default_buckets then
@@ -75,6 +101,7 @@ let histogram ?help ?(buckets = default_buckets) name =
       let h =
         {
           h_name = name;
+          h_mutex = Mutex.create ();
           h_buckets = Array.copy buckets;
           h_counts = Array.make (Array.length buckets + 1) 0;
           h_sum = 0.0;
@@ -84,17 +111,17 @@ let histogram ?help ?(buckets = default_buckets) name =
       Hashtbl.add registry name (H h);
       h
 
-let incr c = c.c_count <- c.c_count + 1
+let incr c = Atomic.incr c.c_count
 
 let add c n =
   if n < 0 then invalid_arg (Printf.sprintf "Metrics.add: negative delta on %S" c.c_name);
-  c.c_count <- c.c_count + n
+  ignore (Atomic.fetch_and_add c.c_count n)
 
-let counter_value c = c.c_count
+let counter_value c = Atomic.get c.c_count
 
-let set g v = g.g_value <- v
+let set g v = Atomic.set g.g_value v
 
-let gauge_value g = g.g_value
+let gauge_value g = Atomic.get g.g_value
 
 let observe h v =
   let nb = Array.length h.h_buckets in
@@ -102,15 +129,59 @@ let observe h v =
   while !i < nb && v > h.h_buckets.(!i) do
     i := !i + 1
   done;
+  Mutex.lock h.h_mutex;
   h.h_counts.(!i) <- h.h_counts.(!i) + 1;
   h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1
+  h.h_count <- h.h_count + 1;
+  Mutex.unlock h.h_mutex
 
 let time h f =
   let t0 = Clock.now_ns () in
   let r = f () in
   observe h (Clock.elapsed_s t0);
   r
+
+(* --------------------------- quantiles ---------------------------- *)
+
+(* Fixed-bucket interpolation: with target rank r = q * count, find the
+   bucket holding the r-th smallest observation (cumulative count >= r)
+   and interpolate linearly inside it between its lower and upper bound
+   (the first bucket's lower bound is 0 for the non-negative observations
+   these histograms hold — latencies and sizes).  The estimate therefore
+   always lands inside the bucket the exact sorted-sample quantile lives
+   in; observations beyond the last bound clamp to it. *)
+let quantile_of ~buckets ~counts ~count q =
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.quantile: q must be in [0, 1]";
+  if count = 0 then None
+  else begin
+    let nb = Array.length buckets in
+    let target = q *. float_of_int count in
+    let rec find i cum =
+      if i > nb then Some buckets.(nb - 1) (* ran past the end: clamp *)
+      else
+        let cum' = cum + counts.(i) in
+        if counts.(i) > 0 && (float_of_int cum' >= target || i = nb) then
+          if i = nb then Some buckets.(nb - 1) (* overflow bucket: clamp *)
+          else begin
+            let lo = if i = 0 then 0.0 else buckets.(i - 1) in
+            let hi = buckets.(i) in
+            let frac =
+              Float.max 0.0 (target -. float_of_int cum)
+              /. float_of_int counts.(i)
+            in
+            Some (lo +. (frac *. (hi -. lo)))
+          end
+        else find (i + 1) cum'
+    in
+    find 0 0
+  end
+
+let quantile h q =
+  Mutex.lock h.h_mutex;
+  let counts = Array.copy h.h_counts and count = h.h_count in
+  Mutex.unlock h.h_mutex;
+  quantile_of ~buckets:h.h_buckets ~counts ~count q
 
 (* --------------------------- snapshots ---------------------------- *)
 
@@ -127,38 +198,56 @@ type value =
 type snapshot = (string * value) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | C c -> Counter c.c_count
-        | G g -> Gauge g.g_value
-        | H h ->
-            Histogram
-              {
-                buckets = Array.copy h.h_buckets;
-                counts = Array.copy h.h_counts;
-                sum = h.h_sum;
-                count = h.h_count;
-              }
-      in
-      (name, v) :: acc)
-    registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | C c -> Counter (Atomic.get c.c_count)
+            | G g -> Gauge (Atomic.get g.g_value)
+            | H h ->
+                Mutex.lock h.h_mutex;
+                let v =
+                  Histogram
+                    {
+                      buckets = Array.copy h.h_buckets;
+                      counts = Array.copy h.h_counts;
+                      sum = h.h_sum;
+                      count = h.h_count;
+                    }
+                in
+                Mutex.unlock h.h_mutex;
+                v
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> c.c_count <- 0
-      | G g -> g.g_value <- 0.0
-      | H h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.c_count 0
+          | G g -> Atomic.set g.g_value 0.0
+          | H h ->
+              Mutex.lock h.h_mutex;
+              Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              h.h_sum <- 0.0;
+              h.h_count <- 0;
+              Mutex.unlock h.h_mutex)
+        registry)
 
 let find snap name = List.assoc_opt name snap
+
+let value_quantile v q =
+  match v with
+  | Histogram { buckets; counts; count; _ } ->
+      quantile_of ~buckets ~counts ~count q
+  | Counter _ | Gauge _ -> None
+
+let snapshot_quantile snap name q =
+  match find snap name with Some v -> value_quantile v q | None -> None
 
 let render_text snap =
   let buf = Buffer.create 1024 in
@@ -186,6 +275,75 @@ let render_text snap =
                    else
                      Printf.sprintf "%s  overflow: %d\n" (String.make width ' ') c))
             counts)
+    snap;
+  Buffer.contents buf
+
+(* ------------------------ Prometheus exposition ---------------------- *)
+
+(* Text exposition format, version 0.0.4: metric names sanitized to
+   [a-zA-Z0-9_:] (dots become underscores), histograms rendered as
+   cumulative [_bucket{le="..."}] series plus [_sum]/[_count], a # HELP
+   line whenever a help string was registered and a # TYPE line always. *)
+
+let prom_name name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let prom_escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+(* %.17g keeps the float exact; trim to %g form when shorter and lossless *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    let short = Printf.sprintf "%g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let render_prometheus snap =
+  let help_of name = with_registry (fun () -> Hashtbl.find_opt helps name) in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prom_name name in
+      (match help_of name with
+      | Some h ->
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" pname (prom_escape_help h))
+      | None -> ());
+      match v with
+      | Counter n ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" pname);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" pname n)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pname);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" pname (prom_float g))
+      | Histogram { buckets; counts; sum; count } ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cum := !cum + counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (prom_float b)
+                   !cum))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" pname (prom_float sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count))
     snap;
   Buffer.contents buf
 

@@ -3,13 +3,22 @@
 
     Instrumented modules obtain a handle once at module-initialization
     time ([let c = Metrics.counter "la.eigen.matvecs"]) and update it on
-    the hot path with a single unboxed field mutation — no hashing, no
+    the hot path with a single atomic mutation — no hashing, no
     allocation.  Handles registered under the same name are shared, so
     independent modules may safely instrument the same logical metric.
 
+    All operations are domain-safe: counter and gauge updates are
+    lock-free atomics, histogram observations take a per-histogram mutex
+    (they sit at request/solve granularity, not in inner loops), and
+    registration is serialized, so pool worker domains may update shared
+    handles without losing increments.
+
     Snapshots are immutable, renderable as an aligned text table (the
-    CLI's [--metrics]) and as JSON (round-trippable through {!Jsonx} —
-    the bench perf trajectory). *)
+    CLI's [--metrics]), as Prometheus text exposition format (the serve
+    tier's [{"op":"metrics"}]) and as JSON (round-trippable through
+    {!Jsonx} — the bench perf trajectory).  Histogram snapshots support
+    streaming quantile estimates ({!value_quantile}) by in-bucket linear
+    interpolation. *)
 
 type counter
 type gauge
@@ -33,6 +42,13 @@ val histogram : ?help:string -> ?buckets:float array -> string -> histogram
     clashes with an existing metric of a different kind or different
     buckets. *)
 
+val default_buckets : float array
+(** Geometric upper bounds in seconds, [1e-6 .. 100]. *)
+
+val latency_buckets : float array
+(** 1-2-5 series per decade, [10us .. 10s] — fine enough that
+    interpolated p50/p95/p99 of request latencies are meaningful. *)
+
 (* ---------------------------- updates ----------------------------- *)
 
 val incr : counter -> unit
@@ -49,6 +65,14 @@ val observe : histogram -> float -> unit
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** [time h f] runs [f ()] and observes its monotonic duration in seconds. *)
+
+val quantile : histogram -> float -> float option
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1], else
+    [Invalid_argument]) of the observations in [h] by linear
+    interpolation inside the bucket holding the target rank; [None] when
+    the histogram is empty.  Observations beyond the last bucket bound
+    clamp to that bound.  The estimate always lies in the same bucket as
+    the exact sorted-sample quantile. *)
 
 (* --------------------------- snapshots ---------------------------- *)
 
@@ -73,9 +97,24 @@ val reset : unit -> unit
 
 val find : snapshot -> string -> value option
 
+val value_quantile : value -> float -> float option
+(** {!quantile} over a snapshotted value; [None] for counters, gauges and
+    empty histograms. *)
+
+val snapshot_quantile : snapshot -> string -> float -> float option
+(** [snapshot_quantile snap name q] = quantile of the named histogram in
+    [snap], if present and non-empty. *)
+
 val render_text : snapshot -> string
 (** Aligned table, one metric per line; histograms render as
     [count/sum/mean] plus their non-empty buckets. *)
+
+val render_prometheus : snapshot -> string
+(** Prometheus text exposition format (version 0.0.4): names sanitized to
+    [[a-zA-Z0-9_:]], a [# TYPE] line per metric, a [# HELP] line when a
+    help string was registered, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count] and a [+Inf]
+    bucket. *)
 
 val to_json : snapshot -> Jsonx.t
 

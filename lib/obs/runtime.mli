@@ -1,0 +1,9 @@
+(** Runtime (GC) gauges sampled from [Gc.quick_stat].
+
+    {!sample} refreshes the [runtime.gc.*] gauges — heap words, top heap
+    words, minor/major collection counts, compactions — in the
+    {!Metrics} registry.  Called at metrics exposition time (the server's
+    [{"op":"metrics"}]) and at bench section boundaries; cheap enough to
+    call anywhere ([Gc.quick_stat] does not walk the heap). *)
+
+val sample : unit -> unit

@@ -3,6 +3,7 @@ type record = {
   start_ns : int;
   dur_ns : int;
   depth : int;
+  rid : string option;
 }
 
 let enabled_flag = ref false
@@ -36,6 +37,7 @@ let with_ name f =
     let current_depth = Domain.DLS.get depth_key in
     let d = !current_depth in
     current_depth := d + 1;
+    let rid = Ctx.rid () in
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
@@ -43,7 +45,8 @@ let with_ name f =
         current_depth := d;
         Mutex.lock record_mutex;
         completed :=
-          { name; start_ns = t0 - !epoch; dur_ns = t1 - t0; depth = d } :: !completed;
+          { name; start_ns = t0 - !epoch; dur_ns = t1 - t0; depth = d; rid }
+          :: !completed;
         incr completed_count;
         Mutex.unlock record_mutex)
       f
@@ -66,7 +69,13 @@ let to_trace_json () =
                ("dur", Jsonx.Float (float_of_int r.dur_ns /. 1e3));
                ("pid", Jsonx.Int 1);
                ("tid", Jsonx.Int 1);
-               ("args", Jsonx.Obj [ ("depth", Jsonx.Int r.depth) ]);
+               ( "args",
+                 Jsonx.Obj
+                   (("depth", Jsonx.Int r.depth)
+                   ::
+                   (match r.rid with
+                   | Some rid -> [ ("rid", Jsonx.String rid) ]
+                   | None -> [])) );
              ])
   in
   Jsonx.Obj

@@ -13,6 +13,7 @@ type record = {
   start_ns : int;  (** relative to the trace epoch (first enable / last clear) *)
   dur_ns : int;
   depth : int;  (** nesting depth at entry; 0 = top-level *)
+  rid : string option;  (** ambient {!Ctx} request id at span entry *)
 }
 
 val set_enabled : bool -> unit
@@ -35,7 +36,10 @@ val clear : unit -> unit
 
 val to_trace_json : unit -> Jsonx.t
 (** Chrome [trace_event] document: [{"traceEvents": [...]}] with complete
-    ("ph":"X") events, timestamps and durations in microseconds. *)
+    ("ph":"X") events, timestamps and durations in microseconds; each
+    event's [args] carries its nesting depth and, when one was ambient,
+    the request id — so a request's spans are findable by [rid] in the
+    trace viewer. *)
 
 val write_chrome_trace : string -> unit
 (** [to_trace_json] to a file. *)

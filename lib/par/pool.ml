@@ -5,6 +5,10 @@ let c_helped = Graphio_obs.Metrics.counter "par.pool.helped_tasks"
 let c_created = Graphio_obs.Metrics.counter "par.pool.created"
 let g_size = Graphio_obs.Metrics.gauge "par.pool.size"
 
+let g_queue_depth =
+  Graphio_obs.Metrics.gauge ~help:"tasks waiting in the shared pool queue"
+    "par.pool.queue_depth"
+
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
@@ -31,6 +35,8 @@ let worker_loop pool =
   let rec go () =
     if not (Queue.is_empty pool.queue) then begin
       let task = Queue.pop pool.queue in
+      Graphio_obs.Metrics.set g_queue_depth
+        (float_of_int (Queue.length pool.queue));
       Mutex.unlock pool.mutex;
       task ();
       Mutex.lock pool.mutex;
@@ -108,17 +114,29 @@ let exec_loop pool nchunks run_chunk =
     in
     let helpers = min (pool.size - 1) (nchunks - 1) in
     let remaining = ref helpers in
+    (* Helper domains run chunks of this loop on behalf of the submitting
+       domain, so they inherit its ambient request id: spans and events
+       from a pooled eigensolve stay correlated with the request that
+       submitted it. *)
+    let submitter_rid = Graphio_obs.Ctx.rid () in
+    let helper_drain =
+      match submitter_rid with
+      | None -> fun () -> drain ~helper:true
+      | Some r -> fun () -> Graphio_obs.Ctx.with_rid r (fun () -> drain ~helper:true)
+    in
     Mutex.lock pool.mutex;
     for _ = 1 to helpers do
       Queue.push
         (fun () ->
-          drain ~helper:true;
+          helper_drain ();
           Mutex.lock pool.mutex;
           decr remaining;
           if !remaining = 0 then Condition.broadcast pool.cond;
           Mutex.unlock pool.mutex)
         pool.queue
     done;
+    Graphio_obs.Metrics.set g_queue_depth
+      (float_of_int (Queue.length pool.queue));
     Condition.broadcast pool.cond;
     Mutex.unlock pool.mutex;
     drain ~helper:false;
@@ -127,6 +145,8 @@ let exec_loop pool nchunks run_chunk =
       if !remaining > 0 then
         if not (Queue.is_empty pool.queue) then begin
           let task = Queue.pop pool.queue in
+          Graphio_obs.Metrics.set g_queue_depth
+            (float_of_int (Queue.length pool.queue));
           Mutex.unlock pool.mutex;
           Graphio_obs.Metrics.incr c_helped;
           task ();

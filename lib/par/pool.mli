@@ -24,8 +24,12 @@
 
     Observability: the pool bumps [par.pool.*] counters (loops, chunks,
     chunks executed by helper domains = "steals") and sets the
-    [par.pool.size] gauge; counter updates from worker domains are
-    lossy-but-safe under contention (plain stores, no tearing). *)
+    [par.pool.size] and [par.pool.queue_depth] gauges; counter updates
+    from worker domains are atomic ({!Graphio_obs.Metrics} is
+    domain-safe), so counts are exact under contention.  Helper domains
+    executing chunks of a loop inherit the submitting domain's ambient
+    {!Graphio_obs.Ctx} request id, so telemetry emitted inside pooled
+    work stays correlated with the request that submitted it. *)
 
 type t
 

@@ -16,6 +16,7 @@ type request =
   | Query of query
   | Ping of Jsonx.t option
   | Stats of Jsonx.t option
+  | Metrics_op of Jsonx.t option
   | Shutdown of Jsonx.t option
 
 let method_name = function
@@ -104,6 +105,7 @@ let request_of_line line =
         match Jsonx.member "op" json with
         | Some (Jsonx.String "ping") -> Ping id
         | Some (Jsonx.String "stats") -> Stats id
+        | Some (Jsonx.String "metrics") -> Metrics_op id
         | Some (Jsonx.String "shutdown") -> Shutdown id
         | Some (Jsonx.String other) -> fail "unknown op %S" other
         | Some _ -> fail "field \"op\": expected a string"

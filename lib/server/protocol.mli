@@ -9,7 +9,7 @@
     {"spec":"fft:6", "m":8}
     {"edgelist":"graphio 1\nn 2 m 1\ne 0 1\n", "m":4, "method":"standard"}
     {"spec":"bhk:8", "m":4, "p":2, "h":64, "timeout_s":1.5, "id":7}
-    {"op":"ping"}  {"op":"stats"}  {"op":"shutdown"}
+    {"op":"ping"}  {"op":"stats"}  {"op":"metrics"}  {"op":"shutdown"}
     v}
 
     Replies always carry ["ok"] (and echo ["id"] when the request had
@@ -39,6 +39,10 @@ type request =
   | Query of query
   | Ping of Graphio_obs.Jsonx.t option
   | Stats of Graphio_obs.Jsonx.t option
+  | Metrics_op of Graphio_obs.Jsonx.t option
+      (** live metrics exposition: the reply carries the registry snapshot
+          as JSON, a Prometheus text rendering, and interpolated
+          p50/p95/p99 of [server.request_seconds] *)
   | Shutdown of Graphio_obs.Jsonx.t option
 
 val request_of_line : string -> (request, Graphio_obs.Jsonx.t option * string) result

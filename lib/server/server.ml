@@ -29,7 +29,10 @@ let c_requests = Metrics.counter "server.requests"
 let c_errors = Metrics.counter "server.errors"
 let c_connections = Metrics.counter "server.connections"
 let g_inflight = Metrics.gauge "server.inflight"
-let h_request_seconds = Metrics.histogram "server.request_seconds"
+
+let h_request_seconds =
+  Metrics.histogram ~help:"bound query latency in seconds"
+    ~buckets:Metrics.latency_buckets "server.request_seconds"
 
 (* Fault sites (inert without a plan, see Graphio_fault): transient accept
    failures, partial/failed socket reads and writes, mid-request
@@ -59,7 +62,7 @@ let error_reply ?id ~code msg =
            ("error", Jsonx.String msg);
          ]))
 
-let query_reply ~id (r : Solver.batch_result) =
+let query_reply ~id ~rid (r : Solver.batch_result) =
   let j = r.Solver.job and o = r.Solver.outcome in
   let b = o.Solver.result in
   Jsonx.to_string
@@ -67,6 +70,7 @@ let query_reply ~id (r : Solver.batch_result) =
        (id_field id
        @ [
            ("ok", Jsonx.Bool true);
+           ("rid", Jsonx.String rid);
            ("n", Jsonx.Int (Graphio_graph.Dag.n_vertices j.Solver.dag));
            ("edges", Jsonx.Int (Graphio_graph.Dag.n_edges j.Solver.dag));
            ("m", Jsonx.Int j.Solver.m);
@@ -88,58 +92,71 @@ let build_graph = function
       | Error msg -> invalid_arg msg)
   | Protocol.Edgelist text -> Graphio_graph.Edgelist.of_string text
 
-let answer_query cfg ?pool ~arrival_ns (q : Protocol.query) =
+let answer_query cfg ?pool ~arrival_ns ~rid (q : Protocol.query) =
   Metrics.incr c_requests;
-  Metrics.time h_request_seconds @@ fun () ->
-  Span.with_ "server.request" @@ fun () ->
-  let timeout_s =
-    match q.Protocol.timeout_s with Some t -> Some t | None -> cfg.timeout_s
-  in
-  let deadline_ns =
-    Option.map (fun t -> arrival_ns + int_of_float (t *. 1e9)) timeout_s
-  in
-  let check_deadline () =
-    match deadline_ns with
-    | Some d when Clock.now_ns () >= d -> raise Deadline
-    | _ -> ()
-  in
-  let id = q.Protocol.id in
-  try
-    let g = build_graph q.Protocol.source in
-    check_deadline ();
-    let job =
-      Solver.job ~method_:q.Protocol.method_ ?p:q.Protocol.p g ~m:q.Protocol.m
+  let t0 = Clock.now_ns () in
+  (* outcome is (code, reply): code "ok" for a success, the structured
+     error code otherwise — logged on the server.reply event below *)
+  let code, reply =
+    Span.with_ "server.request" @@ fun () ->
+    let timeout_s =
+      match q.Protocol.timeout_s with Some t -> Some t | None -> cfg.timeout_s
     in
-    let h = Option.value q.Protocol.h ~default:cfg.h in
-    let r =
-      Solver.bound_cached ~cache:cfg.cache ?pool ~h
-        ?dense_threshold:cfg.dense_threshold
-        ~on_iteration:(fun _ -> check_deadline ())
-        job
+    let deadline_ns =
+      Option.map (fun t -> arrival_ns + int_of_float (t *. 1e9)) timeout_s
     in
-    (* injected deadline jitter lands in the gap between the solve and the
-       reply — the window the final check below exists to close *)
-    (match Graphio_fault.hit f_deadline with
-    | Graphio_fault.Sleep s -> Unix.sleepf s
-    | _ -> ());
-    (* A reply composed after the deadline has passed must be the
-       structured timeout, not a late success: the per-iteration checks
-       only cover the eigensolve, so a cache hit or a slow reply path
-       could otherwise answer an expired request. *)
-    check_deadline ();
-    query_reply ~id r
-  with
-  | Deadline ->
-      Metrics.incr c_errors;
-      error_reply ?id ~code:"timeout"
-        (Printf.sprintf "deadline of %gs exceeded"
-           (Option.value timeout_s ~default:0.0))
-  | Invalid_argument msg | Failure msg ->
-      Metrics.incr c_errors;
-      error_reply ?id ~code:"bad_request" msg
-  | e ->
-      Metrics.incr c_errors;
-      error_reply ?id ~code:"internal" (Printexc.to_string e)
+    let check_deadline () =
+      match deadline_ns with
+      | Some d when Clock.now_ns () >= d -> raise Deadline
+      | _ -> ()
+    in
+    let id = q.Protocol.id in
+    try
+      let g = build_graph q.Protocol.source in
+      check_deadline ();
+      let job =
+        Solver.job ~method_:q.Protocol.method_ ?p:q.Protocol.p g ~m:q.Protocol.m
+      in
+      let h = Option.value q.Protocol.h ~default:cfg.h in
+      let r =
+        Solver.bound_cached ~cache:cfg.cache ?pool ~h
+          ?dense_threshold:cfg.dense_threshold
+          ~on_iteration:(fun _ -> check_deadline ())
+          job
+      in
+      (* injected deadline jitter lands in the gap between the solve and the
+         reply — the window the final check below exists to close *)
+      (match Graphio_fault.hit f_deadline with
+      | Graphio_fault.Sleep s -> Unix.sleepf s
+      | _ -> ());
+      (* A reply composed after the deadline has passed must be the
+         structured timeout, not a late success: the per-iteration checks
+         only cover the eigensolve, so a cache hit or a slow reply path
+         could otherwise answer an expired request. *)
+      check_deadline ();
+      ("ok", query_reply ~id ~rid r)
+    with
+    | Deadline ->
+        Metrics.incr c_errors;
+        ( "timeout",
+          error_reply ?id ~code:"timeout"
+            (Printf.sprintf "deadline of %gs exceeded"
+               (Option.value timeout_s ~default:0.0)) )
+    | Invalid_argument msg | Failure msg ->
+        Metrics.incr c_errors;
+        ("bad_request", error_reply ?id ~code:"bad_request" msg)
+    | e ->
+        Metrics.incr c_errors;
+        ("internal", error_reply ?id ~code:"internal" (Printexc.to_string e))
+  in
+  let wall_s = Clock.elapsed_s t0 in
+  Metrics.observe h_request_seconds wall_s;
+  Log.emit "server.reply"
+    [
+      ("code", Jsonx.String code);
+      ("wall_s", Jsonx.Float wall_s);
+    ];
+  reply
 
 (* --------------------------- client state ---------------------------- *)
 
@@ -150,6 +167,7 @@ let max_request_bytes = 16 * 1024 * 1024
 
 type client = {
   fd : Unix.file_descr;
+  cid : string;  (** connection id, [conn-N] — correlates events per peer *)
   inbuf : Buffer.t;
   mutable out : string;  (** bytes accepted but not yet written *)
   mutable eof : bool;  (** read side finished *)
@@ -315,8 +333,17 @@ let run ?(ready = fun () -> ()) cfg =
           | fd, _ ->
               Unix.set_nonblock fd;
               Metrics.incr c_connections;
+              let cid = Ctx.fresh ~prefix:"conn" () in
+              Log.emit "server.accept" [ ("cid", Jsonx.String cid) ];
               clients :=
-                { fd; inbuf = Buffer.create 256; out = ""; eof = false; broken = false }
+                {
+                  fd;
+                  cid;
+                  inbuf = Buffer.create 256;
+                  out = "";
+                  eof = false;
+                  broken = false;
+                }
                 :: !clients;
               go ()
               | exception
@@ -364,8 +391,51 @@ let run ?(ready = fun () -> ()) cfg =
                                    ( "metrics",
                                      Metrics.to_json (Metrics.snapshot ()) );
                                  ])) )
+                | Ok (Protocol.Metrics_op id) ->
+                    Some
+                      ( c,
+                        fun () ->
+                          (* refresh the GC gauges so the exposition is live,
+                             then expose the same snapshot three ways: JSON
+                             (programmatic), Prometheus text (scrapers), and
+                             interpolated latency quantiles (humans/top) *)
+                          Runtime.sample ();
+                          let snap = Metrics.snapshot () in
+                          let quant p =
+                            match
+                              Metrics.snapshot_quantile snap
+                                "server.request_seconds" p
+                            with
+                            | Some v -> Jsonx.Float v
+                            | None -> Jsonx.Null
+                          in
+                          let latency_count =
+                            match Metrics.find snap "server.request_seconds" with
+                            | Some (Metrics.Histogram { count; _ }) -> count
+                            | _ -> 0
+                          in
+                          Jsonx.to_string
+                            (Jsonx.Obj
+                               (id_field id
+                               @ [
+                                   ("ok", Jsonx.Bool true);
+                                   ("op", Jsonx.String "metrics");
+                                   ( "latency",
+                                     Jsonx.Obj
+                                       [
+                                         ("p50_s", quant 0.5);
+                                         ("p95_s", quant 0.95);
+                                         ("p99_s", quant 0.99);
+                                         ("count", Jsonx.Int latency_count);
+                                       ] );
+                                   ( "prometheus",
+                                     Jsonx.String (Metrics.render_prometheus snap)
+                                   );
+                                   ("metrics", Metrics.to_json snap);
+                                 ])) )
                 | Ok (Protocol.Shutdown id) ->
                     draining := true;
+                    Log.emit "server.drain" [ ("cid", Jsonx.String c.cid) ];
                     Some
                       ( c,
                         fun () ->
@@ -377,7 +447,28 @@ let run ?(ready = fun () -> ()) cfg =
                                    ("op", Jsonx.String "shutdown");
                                  ])) )
                 | Ok (Protocol.Query q) ->
-                    Some (c, fun () -> answer_query cfg ?pool ~arrival_ns q))
+                    (* One request id per query line, minted at the edge:
+                       the thunk installs it as the ambient id, so spans,
+                       structured events and the reply itself all carry
+                       it — a served request is reconstructable from
+                       telemetry alone. *)
+                    let rid = Ctx.fresh () in
+                    Log.emit "server.request"
+                      [
+                        ("rid", Jsonx.String rid);
+                        ("cid", Jsonx.String c.cid);
+                        ("m", Jsonx.Int q.Protocol.m);
+                        ( "source",
+                          Jsonx.String
+                            (match q.Protocol.source with
+                            | Protocol.Spec s -> s
+                            | Protocol.Edgelist _ -> "edgelist") );
+                      ];
+                    Some
+                      ( c,
+                        fun () ->
+                          Ctx.with_rid rid (fun () ->
+                              answer_query cfg ?pool ~arrival_ns ~rid q) ))
             lines
         in
         match tasks with

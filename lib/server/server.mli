@@ -26,9 +26,18 @@
 
     Observability: [server.requests], [server.errors],
     [server.connections], [server.inflight] plus a [server.request_seconds]
-    histogram; each query runs inside a [server.request] span; the
+    histogram over {!Graphio_obs.Metrics.latency_buckets}; each query is
+    assigned a fresh request id ([req-N]) at the parse edge, installed as
+    the ambient {!Graphio_obs.Ctx} id for the whole handling path — so the
+    [server.request] span, every structured {!Graphio_obs.Log} event the
+    request touches (cache lookups, the eigensolve, the reply), and the
+    [rid] field of the success reply all correlate.  Connections get
+    [conn-N] ids ([server.accept]/[server.drain] events).  The
     [{"op":"stats"}] admin request returns the full metrics snapshot as
-    JSON. *)
+    JSON; [{"op":"metrics"}] additionally returns a Prometheus text
+    rendering, freshly sampled [runtime.gc.*] gauges and interpolated
+    p50/p95/p99 request latency — live, without restarting the server
+    (see docs/OBSERVABILITY.md). *)
 
 type transport =
   | Unix_socket of string  (** path of the listening socket (unlinked on exit) *)

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Telemetry smoke test: boot a serve instance with the full telemetry
+# plane enabled, drive one bound request and one metrics request
+# through it, then assert that
+#
+#   1. the metrics reply embeds a Prometheus rendering that parses
+#      under the text exposition format 0.0.4 grammar, and
+#   2. the request id minted for the bound request appears in the
+#      structured event log AND in the Chrome span trace,
+#
+# i.e. a served request is reconstructable end-to-end from telemetry
+# alone.  Run from the repo root after `dune build`; the work dir (and
+# the trace artifact CI uploads) lands in $SMOKE_DIR, default
+# _smoke_telemetry/.
+#
+# Requires: bash, python3, a built _build/default/bin/graphio.exe
+# (override with $GRAPHIO).
+
+set -euo pipefail
+
+GRAPHIO=${GRAPHIO:-_build/default/bin/graphio.exe}
+SMOKE_DIR=${SMOKE_DIR:-_smoke_telemetry}
+
+if [ ! -x "$GRAPHIO" ]; then
+  echo "telemetry_smoke: $GRAPHIO not found or not executable (run dune build first)" >&2
+  exit 2
+fi
+GRAPHIO=$(cd "$(dirname "$GRAPHIO")" && pwd)/$(basename "$GRAPHIO")
+
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+cd "$SMOKE_DIR"
+
+fail() { echo "telemetry_smoke: FAIL: $*" >&2; exit 1; }
+ok() { echo "telemetry_smoke: ok: $*"; }
+
+unset GRAPHIO_CACHE_DIR GRAPHIO_FAULTS || true
+
+"$GRAPHIO" serve --socket tel.sock -j 2 \
+  --log events.ndjson --log-level debug --trace trace.json \
+  2>serve.stderr &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+# Wait for the socket to appear.
+for _ in $(seq 1 100); do
+  [ -S tel.sock ] && break
+  sleep 0.1
+done
+[ -S tel.sock ] || fail "server socket never appeared"
+
+# One bound request; keep the reply so we can pull the request id out.
+printf '{"spec":"bhk:6","m":2,"method":"standard","id":1}\n' \
+  | "$GRAPHIO" client --socket tel.sock > reply.json
+grep -q '"ok":true' reply.json || fail "bound request failed: $(cat reply.json)"
+RID=$(sed -E 's/.*"rid":"([^"]+)".*/\1/' reply.json)
+case "$RID" in
+  req-*) ok "bound reply carries rid $RID" ;;
+  *) fail "no request id in reply: $(cat reply.json)" ;;
+esac
+
+# The metrics op, live, no restart.
+printf '{"op":"metrics","id":"smoke"}\n' \
+  | "$GRAPHIO" client --socket tel.sock > metrics.json
+grep -q '"ok":true' metrics.json || fail "metrics request failed: $(cat metrics.json)"
+
+# Validate the embedded Prometheus rendering against the text
+# exposition format grammar: HELP/TYPE comments and sample lines with
+# sane metric names, optional le-labels, and float values; histogram
+# buckets must be cumulative and close with +Inf == _count.
+python3 - <<'PY' metrics.json || fail "Prometheus grammar check failed"
+import json, math, re, sys
+
+with open(sys.argv[1]) as f:
+    reply = json.load(f)
+
+text = reply["prometheus"]
+lat = reply["latency"]
+assert lat["count"] >= 1, "latency.count must be >= 1 after a request"
+assert lat["p50_s"] > 0 and lat["p95_s"] > 0 and lat["p99_s"] > 0, \
+    "latency quantiles must be non-zero after a request"
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+re_help = re.compile(rf"^# HELP ({NAME}) .+$")
+re_type = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram)$")
+re_sample = re.compile(rf'^({NAME})(\{{le="([^"]+)"\}})? (\S+)$')
+
+types = {}
+buckets = {}   # base name -> list of (le, cumulative count)
+counts = {}    # base name -> _count value
+n_samples = 0
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        assert re_help.match(line), f"bad HELP line: {line!r}"
+        continue
+    if line.startswith("# TYPE "):
+        m = re_type.match(line)
+        assert m, f"bad TYPE line: {line!r}"
+        types[m.group(1)] = m.group(2)
+        continue
+    m = re_sample.match(line)
+    assert m, f"bad sample line: {line!r}"
+    name, le, value = m.group(1), m.group(3), m.group(4)
+    v = math.inf if value == "+Inf" else float(value)  # raises on junk
+    n_samples += 1
+    if name.endswith("_bucket"):
+        assert le is not None, f"bucket sample without le: {line!r}"
+        base = name[: -len("_bucket")]
+        lev = math.inf if le == "+Inf" else float(le)
+        buckets.setdefault(base, []).append((lev, v))
+    elif name.endswith("_count"):
+        counts[name[: -len("_count")]] = v
+
+assert n_samples > 0, "no samples in exposition"
+assert any(t == "histogram" for t in types.values()), "no histogram exposed"
+for base, bs in buckets.items():
+    les = [le for le, _ in bs]
+    cums = [c for _, c in bs]
+    assert les == sorted(les), f"{base}: bucket bounds not ascending"
+    assert les[-1] == math.inf, f"{base}: missing +Inf bucket"
+    assert cums == sorted(cums), f"{base}: bucket counts not cumulative"
+    assert base in counts and cums[-1] == counts[base], \
+        f"{base}: +Inf bucket != _count"
+print(f"prometheus ok: {n_samples} samples, {len(buckets)} histogram(s)")
+PY
+ok "Prometheus exposition parses"
+
+# Drain; the trace and any owned log channel are flushed on exit.
+printf '{"op":"shutdown"}\n' | "$GRAPHIO" client --socket tel.sock >/dev/null
+wait "$SRV"
+trap - EXIT
+
+grep -q "\"rid\":\"$RID\"" events.ndjson || fail "rid $RID absent from event log"
+grep -q '"event":"server.request"' events.ndjson || fail "no server.request event"
+grep -q '"event":"server.reply"' events.ndjson || fail "no server.reply event"
+ok "rid $RID present in event log"
+
+grep -q "\"rid\":\"$RID\"" trace.json || fail "rid $RID absent from span trace"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' trace.json \
+  || fail "trace.json is not valid JSON"
+ok "rid $RID present in Chrome trace"
+
+echo "telemetry_smoke: PASS"

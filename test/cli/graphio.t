@@ -74,6 +74,16 @@ byte-identical), and --trace writes Chrome trace-event JSON:
   $ grep -c "solver.eigensolve" trace.json
   1
 
+--metrics-out writes the same table to a file instead, keeping both
+stdout and stderr clean for pipelines:
+
+  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics-out metrics.txt 2>&1 >/dev/null | wc -l | tr -d ' '
+  0
+  $ head -1 metrics.txt
+  == metrics ==
+  $ grep -c "la.eigen" metrics.txt
+  6
+
 DOT export:
 
   $ ../../bin/graphio.exe export -g inner:2 | head -4

@@ -1,0 +1,82 @@
+The telemetry plane end-to-end: a served bound request is
+reconstructable from its request id alone.  The server runs with a
+structured event log and a Chrome span trace; the reply carries the
+request id, the metrics op exposes live quantiles and a Prometheus
+rendering, and graphio top renders a one-shot dashboard over the same
+snapshot.
+
+  $ unset GRAPHIO_CACHE_DIR
+  $ ../../bin/graphio.exe serve --socket tel.sock -j 2 --dense-threshold 24 \
+  >   --log events.ndjson --log-level debug --trace trace.json 2>/dev/null &
+
+A bound request; the success reply carries the request id minted at
+dispatch:
+
+  $ printf '{"spec":"bhk:6","m":2,"method":"standard","id":1}\n' \
+  >   | ../../bin/graphio.exe client --socket tel.sock > reply.json
+  $ RID=$(sed -E 's/.*"rid":"([^"]+)".*/\1/' reply.json)
+  $ echo "$RID" | sed -E 's/req-[0-9]+/req-N/'
+  req-N
+
+The metrics op answers without a restart: latency quantiles are
+non-zero once a request has been served, and the same reply embeds a
+Prometheus text rendering plus the full snapshot:
+
+  $ printf '{"op":"metrics","id":"m1"}\n' \
+  >   | ../../bin/graphio.exe client --socket tel.sock > metrics.json
+  $ grep -c '"op":"metrics"' metrics.json
+  1
+  $ grep -q '"p50_s":0,' metrics.json || echo p50 nonzero
+  p50 nonzero
+  $ grep -q '"p99_s":0,' metrics.json || echo p99 nonzero
+  p99 nonzero
+  $ grep -o '# TYPE server_request_seconds histogram' metrics.json
+  # TYPE server_request_seconds histogram
+  $ grep -q 'server_request_seconds_bucket{le=' metrics.json && echo has buckets
+  has buckets
+  $ grep -q '+Inf' metrics.json && echo has +Inf bucket
+  has +Inf bucket
+  $ grep -o '"server.requests"' metrics.json | head -n 1
+  "server.requests"
+
+graphio top polls the same op and renders a dashboard; one iteration
+with --no-clear is pipeline-friendly:
+
+  $ ../../bin/graphio.exe top --socket tel.sock --iterations 1 --no-clear > top.out
+  $ grep -c 'graphio top' top.out
+  1
+  $ grep -Eo '^(requests|latency|cache|pool|gc)' top.out
+  requests
+  latency
+  cache
+  pool
+  gc
+
+Drain the server so the trace and log files are flushed on exit:
+
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket tel.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait
+
+The request id from the reply indexes the event log: dispatch, the
+solver's answer, and the reply record all carry it.
+
+  $ grep '"rid":"'$RID'"' events.ndjson | grep -c '"event":"server.request"'
+  1
+  $ grep '"rid":"'$RID'"' events.ndjson | grep -c '"event":"solver.bound"'
+  1
+  $ grep '"rid":"'$RID'"' events.ndjson | grep -c '"event":"server.reply"'
+  1
+
+The same id lands in the span trace (Chrome trace args), so the
+per-request timeline is replayable in a trace viewer:
+
+  $ grep -q '"rid":"'$RID'"' trace.json && echo rid in trace
+  rid in trace
+
+The event log is NDJSON: every line parses as a JSON object with a
+timestamp, level, and event name:
+
+  $ grep -Ecv '^\{"ts_ns":[0-9]+,"level":"[a-z]+","event":"[a-z._]+"' events.ndjson
+  0
+  [1]

@@ -111,6 +111,244 @@ let test_metrics_json_round_trip () =
     (contains rendered "test.rt.counter");
   Alcotest.(check bool) "render mentions its value" true (contains rendered "7")
 
+(* Shared handles, hammered from several domains at once: every update
+   must land (atomics for counters/gauges, a mutex per histogram) —
+   lost increments would silently understate served traffic. *)
+let test_metrics_domain_safety () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.hammer.counter" in
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.hammer.hist" in
+  let domains = 4 and per_domain = 50_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.incr c;
+              if i mod 100 = 0 then
+                Metrics.observe h (float_of_int ((d + i) mod 3))
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost counter increments" (domains * per_domain)
+    (Metrics.counter_value c);
+  match Metrics.find (Metrics.snapshot ()) "test.hammer.hist" with
+  | Some (Metrics.Histogram { count; counts; _ }) ->
+      Alcotest.(check int) "no lost observations"
+        (domains * (per_domain / 100))
+        count;
+      Alcotest.(check int) "bucket counts sum to count" count
+        (Array.fold_left ( + ) 0 counts)
+  | _ -> Alcotest.fail "hammered histogram missing"
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_edges () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "test.q.hist" in
+  Alcotest.(check bool) "empty histogram has no quantiles" true
+    (Metrics.quantile h 0.5 = None);
+  (match Metrics.quantile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q > 1 not rejected");
+  (match Metrics.quantile h Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan q not rejected");
+  (* one observation in (1, 2]: every quantile interpolates inside it *)
+  Metrics.observe h 1.5;
+  (match Metrics.quantile h 0.5 with
+  | Some v -> Alcotest.(check bool) "inside its bucket" true (v > 1.0 && v <= 2.0)
+  | None -> Alcotest.fail "non-empty histogram");
+  (* overflow observations clamp to the last finite bound *)
+  Metrics.reset ();
+  Metrics.observe h 100.0;
+  Alcotest.(check (option (float 1e-9))) "overflow clamps" (Some 4.0)
+    (Metrics.quantile h 0.99);
+  (* uniform fill: the median of 1..100 over buckets [25;50;75;100] must
+     land in the (25, 50] bucket *)
+  Metrics.reset ();
+  let h2 = Metrics.histogram ~buckets:[| 25.0; 50.0; 75.0; 100.0 |] "test.q.u" in
+  for i = 1 to 100 do
+    Metrics.observe h2 (float_of_int i)
+  done;
+  match Metrics.quantile h2 0.5 with
+  | Some v -> Alcotest.(check bool) "median in median bucket" true (v > 25.0 && v <= 50.0)
+  | None -> Alcotest.fail "non-empty histogram"
+
+(* Property: the interpolated quantile always lands in the bucket holding
+   the exact sorted-sample quantile (rank ceil(q*n), 1-based).  Oracle is
+   a sort of the raw samples — the thing the histogram approximates. *)
+let quantile_vs_oracle_prop =
+  let buckets = [| 0.001; 0.01; 0.1; 1.0; 10.0 |] in
+  let bucket_index v =
+    let i = ref 0 in
+    while !i < Array.length buckets && v > buckets.(!i) do
+      incr i
+    done;
+    !i
+  in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (float_range 0.0001 20.0))
+        (float_range 0.0 1.0))
+  in
+  QCheck2.Test.make ~name:"quantile lands in the oracle's bucket" ~count:200 gen
+    (fun (samples, q) ->
+      Metrics.reset ();
+      let h = Metrics.histogram ~buckets "test.q.prop" in
+      List.iter (Metrics.observe h) samples;
+      let est =
+        match Metrics.quantile h q with
+        | Some v -> v
+        | None -> QCheck2.Test.fail_report "empty quantile on non-empty data"
+      in
+      let sorted = List.sort compare samples |> Array.of_list in
+      let n = Array.length sorted in
+      let rank =
+        max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1)
+      in
+      let oracle = sorted.(min rank (n - 1)) in
+      let oi = bucket_index oracle in
+      if oi >= Array.length buckets then
+        (* oracle overflows: the estimate clamps to the last bound *)
+        est = buckets.(Array.length buckets - 1)
+      else
+        let lo = if oi = 0 then 0.0 else buckets.(oi - 1) in
+        est >= lo && est <= buckets.(oi))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One line of the text exposition format: a comment (# HELP / # TYPE) or
+   [name[{labels}] value] with a sanitized metric name. *)
+let prometheus_line_ok line =
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  if line = "" then true
+  else if String.length line >= 2 && String.sub line 0 2 = "# " then
+    contains line "# HELP " || contains line "# TYPE "
+  else
+    match String.index_opt line ' ' with
+    | None -> false
+    | Some sp ->
+        let name_part = String.sub line 0 sp in
+        let name_end =
+          match String.index_opt name_part '{' with
+          | Some b -> String.ends_with ~suffix:"}" name_part && b > 0
+          | None -> String.for_all is_name_char name_part
+        in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        name_end && (value = "+Inf" || Float.of_string_opt value <> None)
+
+let test_prometheus_render () =
+  Metrics.reset ();
+  let c = Metrics.counter ~help:"a counter" "test.prom.counter" in
+  Metrics.add c 5;
+  Metrics.set (Metrics.gauge "test.prom.gauge") 1.25;
+  let h = Metrics.histogram ~buckets:[| 0.1; 1.0 |] "test.prom.hist" in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 0.5; 3.0 ];
+  let text = Metrics.render_prometheus (Metrics.snapshot ()) in
+  List.iteri
+    (fun i line ->
+      if not (prometheus_line_ok line) then
+        Alcotest.failf "line %d violates the exposition grammar: %S" (i + 1) line)
+    (String.split_on_char '\n' text);
+  Alcotest.(check bool) "names are sanitized" true
+    (contains text "test_prom_counter 5");
+  Alcotest.(check bool) "help rendered" true
+    (contains text "# HELP test_prom_counter a counter");
+  Alcotest.(check bool) "type rendered" true
+    (contains text "# TYPE test_prom_hist histogram");
+  (* histogram buckets are cumulative, and +Inf carries the total *)
+  Alcotest.(check bool) "le=0.1 cumulative" true
+    (contains text "test_prom_hist_bucket{le=\"0.1\"} 1");
+  Alcotest.(check bool) "le=1 cumulative" true
+    (contains text "test_prom_hist_bucket{le=\"1\"} 3");
+  Alcotest.(check bool) "+Inf is the count" true
+    (contains text "test_prom_hist_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "sum" true (contains text "test_prom_hist_sum 4.05");
+  Alcotest.(check bool) "count" true (contains text "test_prom_hist_count 4")
+
+(* ------------------------------------------------------------------ *)
+(* Ctx and Log                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctx () =
+  Alcotest.(check bool) "no ambient id by default" true (Ctx.rid () = None);
+  let a = Ctx.fresh () and b = Ctx.fresh () in
+  Alcotest.(check bool) "fresh ids are distinct" true (a <> b);
+  Alcotest.(check bool) "prefix respected" true
+    (String.length (Ctx.fresh ~prefix:"conn" ()) > 5
+    && String.sub (Ctx.fresh ~prefix:"conn" ()) 0 5 = "conn-");
+  let seen = ref [] in
+  Ctx.with_rid "outer" (fun () ->
+      seen := Ctx.rid () :: !seen;
+      Ctx.with_rid "inner" (fun () -> seen := Ctx.rid () :: !seen);
+      seen := Ctx.rid () :: !seen);
+  Alcotest.(check bool) "nesting restores" true
+    (!seen = [ Some "outer"; Some "inner"; Some "outer" ]);
+  Alcotest.(check bool) "restored to none" true (Ctx.rid () = None);
+  (match Ctx.with_rid "boom" (fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check bool) "restored after raise" true (Ctx.rid () = None);
+  (* domain-local: a spawned domain does not see the parent's id *)
+  Ctx.with_rid "parent" (fun () ->
+      let child = Domain.spawn (fun () -> Ctx.rid ()) in
+      Alcotest.(check bool) "child domain starts clean" true
+        (Domain.join child = None))
+
+let read_lines path = In_channel.with_open_text path In_channel.input_lines
+
+let test_log_emit () =
+  let path = Filename.temp_file "graphio_log" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.close ();
+      Log.set_level Log.Info;
+      Sys.remove path)
+    (fun () ->
+      Log.open_file path;
+      Log.set_level Log.Info;
+      Log.emit "test.plain" [ ("k", Jsonx.Int 1) ];
+      Ctx.with_rid "req-test" (fun () ->
+          Log.emit "test.with_rid" [ ("k", Jsonx.Int 2) ]);
+      Log.emit ~level:Log.Debug "test.filtered" [];
+      Alcotest.(check bool) "debug disabled at info" false (Log.enabled Log.Debug);
+      Log.set_level Log.Debug;
+      Log.emit ~level:Log.Debug "test.debug" [];
+      Log.close ();
+      match read_lines path with
+      | [ l1; l2; l3 ] ->
+          let j1 = Jsonx.of_string l1 and j2 = Jsonx.of_string l2 in
+          Alcotest.(check bool) "event name" true
+            (Jsonx.member "event" j1 = Some (Jsonx.String "test.plain"));
+          Alcotest.(check bool) "level stamped" true
+            (Jsonx.member "level" j1 = Some (Jsonx.String "info"));
+          Alcotest.(check bool) "ts_ns present" true
+            (match Jsonx.member "ts_ns" j1 with Some (Jsonx.Int t) -> t > 0 | _ -> false);
+          Alcotest.(check bool) "no rid without ambient id" true
+            (Jsonx.member "rid" j1 = None);
+          Alcotest.(check bool) "ambient rid attached" true
+            (Jsonx.member "rid" j2 = Some (Jsonx.String "req-test"));
+          Alcotest.(check bool) "field payload" true
+            (Jsonx.member "k" j2 = Some (Jsonx.Int 2));
+          Alcotest.(check bool) "debug after level change" true
+            (Jsonx.member "event" (Jsonx.of_string l3)
+            = Some (Jsonx.String "test.debug"))
+      | ls -> Alcotest.failf "expected 3 log lines, got %d" (List.length ls))
+
+let test_log_no_sink_noop () =
+  Log.close ();
+  (* must be a no-op, not a crash, when no sink is installed *)
+  Log.emit "test.nowhere" [ ("x", Jsonx.Int 1) ];
+  Alcotest.(check bool) "disabled without sink" false (Log.enabled Log.Error)
+
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -198,6 +436,24 @@ let test_trace_event_export () =
   | _ -> Alcotest.fail "no traceEvents array");
   Span.clear ()
 
+let test_span_rid () =
+  Span.set_enabled true;
+  Span.clear ();
+  Ctx.with_rid "req-span" (fun () ->
+      Span.with_ "correlated" (fun () -> ignore (Sys.opaque_identity 1)));
+  Span.with_ "uncorrelated" (fun () -> ignore (Sys.opaque_identity 2));
+  Span.set_enabled false;
+  (match Span.records () with
+  | [ a; b ] ->
+      Alcotest.(check bool) "ambient rid captured" true
+        (a.Span.rid = Some "req-span");
+      Alcotest.(check bool) "no rid without ambient id" true (b.Span.rid = None)
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs));
+  let doc = Jsonx.to_string (Span.to_trace_json ()) in
+  Alcotest.(check bool) "rid exported in trace args" true
+    (contains doc "\"rid\":\"req-span\"");
+  Span.clear ()
+
 let () =
   Alcotest.run "graphio_obs"
     [
@@ -214,6 +470,21 @@ let () =
           Alcotest.test_case "histograms" `Quick test_histograms;
           Alcotest.test_case "snapshot JSON round trip" `Quick
             test_metrics_json_round_trip;
+          Alcotest.test_case "multi-domain hammer" `Quick
+            test_metrics_domain_safety;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "edge cases" `Quick test_quantile_edges;
+          QCheck_alcotest.to_alcotest quantile_vs_oracle_prop;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "exposition grammar" `Quick test_prometheus_render ] );
+      ( "ctx-log",
+        [
+          Alcotest.test_case "ambient request id" `Quick test_ctx;
+          Alcotest.test_case "event log emit" `Quick test_log_emit;
+          Alcotest.test_case "no sink is a no-op" `Quick test_log_no_sink_noop;
         ] );
       ( "spans",
         [
@@ -222,5 +493,6 @@ let () =
           Alcotest.test_case "nested spans" `Quick test_spans_nested;
           Alcotest.test_case "exception safety" `Quick test_spans_exception_safe;
           Alcotest.test_case "chrome trace export" `Quick test_trace_event_export;
+          Alcotest.test_case "request id on spans" `Quick test_span_rid;
         ] );
     ]

@@ -240,6 +240,60 @@ let test_cache_warms_across_clients () =
        (Int64.bits_of_float (get_float "bound" first))
        (Int64.bits_of_float (get_float "bound" second)))
 
+(* A full telemetry round trip over the wire: the success reply carries a
+   request id, and {"op":"metrics"} exposes non-zero latency quantiles, a
+   Prometheus rendering, and freshly sampled GC gauges — live, without
+   restarting the server. *)
+let test_metrics_exposition () =
+  with_server @@ fun transport ->
+  let c = Client.connect transport in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let reply = Jsonx.of_string (Client.rpc c {|{"spec":"fft:4","m":4}|}) in
+      (match get "rid" reply with
+      | Jsonx.String rid ->
+          Alcotest.(check bool) "rid has the req- prefix" true
+            (String.length rid > 4 && String.sub rid 0 4 = "req-")
+      | _ -> Alcotest.fail "success reply carries no rid");
+      let m = Jsonx.of_string (Client.rpc c {|{"op":"metrics","id":"m1"}|}) in
+      (match (get "ok" m, get "id" m, get "op" m) with
+      | Jsonx.Bool true, Jsonx.String "m1", Jsonx.String "metrics" -> ()
+      | _ -> Alcotest.failf "metrics reply wrong: %s" (Jsonx.to_string m));
+      let latency = get "latency" m in
+      let count =
+        match get "count" latency with
+        | Jsonx.Int n -> n
+        | _ -> Alcotest.fail "latency.count not an int"
+      in
+      Alcotest.(check bool) "at least one observation" true (count >= 1);
+      List.iter
+        (fun q ->
+          let v = get_float q latency in
+          Alcotest.(check bool) (q ^ " is positive") true (v > 0.0))
+        [ "p50_s"; "p95_s"; "p99_s" ];
+      (match get "prometheus" m with
+      | Jsonx.String text ->
+          let has needle =
+            let nh = String.length text and nn = String.length needle in
+            let rec scan i =
+              i + nn <= nh && (String.sub text i nn = needle || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool) "histogram exposed" true
+            (has "# TYPE server_request_seconds histogram");
+          Alcotest.(check bool) "+Inf bucket present" true
+            (has "server_request_seconds_bucket{le=\"+Inf\"}");
+          Alcotest.(check bool) "gc gauges sampled" true
+            (has "runtime_gc_heap_words")
+      | _ -> Alcotest.fail "no prometheus rendering");
+      let snap = Metrics.of_json (get "metrics" m) in
+      match Metrics.find snap "runtime.gc.heap_words" with
+      | Some (Metrics.Gauge words) ->
+          Alcotest.(check bool) "heap gauge non-zero" true (words > 0.0)
+      | _ -> Alcotest.fail "runtime gauges missing from snapshot")
+
 (* ------------------------------------------------------------------ *)
 (* Protocol parsing (no server needed)                                 *)
 (* ------------------------------------------------------------------ *)
@@ -278,6 +332,7 @@ let () =
             test_malformed_requests_survive;
           Alcotest.test_case "stats and ping" `Quick test_stats_and_ping;
           Alcotest.test_case "edgelist queries" `Quick test_edgelist_queries;
+          Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
           Alcotest.test_case "cache warms across clients" `Quick
             test_cache_warms_across_clients;
         ] );
