@@ -918,6 +918,64 @@ let serve () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Recognizer: closed-form spectrum dispatch vs forced numeric solve   *)
+(* ------------------------------------------------------------------ *)
+
+let recognize () =
+  let cases =
+    if !quick then
+      [
+        ("butterfly fft:7", Fft.build 7);
+        ("hypercube bhk:8", Bhk.build 8);
+        ("path path:256", Sequences.independent_chains ~count:1 ~length:256);
+        ("grid grid:12:12", Stencil.grid ~rows:12 ~cols:12);
+      ]
+    else
+      [
+        ("butterfly fft:8", Fft.build 8);
+        ("hypercube bhk:10", Bhk.build 10);
+        ("path path:1024", Sequences.independent_chains ~count:1 ~length:1024);
+        ("grid grid:24:24", Stencil.grid ~rows:24 ~cols:24);
+      ]
+  in
+  let m = 8 in
+  let r =
+    Report.create
+      ~title:"recognize: closed-form spectrum dispatch vs numeric eigensolve (Thm 5)"
+      ~columns:[ "graph"; "n"; "tier"; "closed (s)"; "numeric (s)"; "speedup"; "agree" ]
+  in
+  let fields = ref [] in
+  List.iter
+    (fun (name, g) ->
+      let closed_o, closed_s =
+        time (fun () -> Solver.bound ~method_:Solver.Standard g ~m)
+      in
+      let numeric_o, numeric_s =
+        time (fun () ->
+            Solver.bound ~method_:Solver.Standard ~closed_form:false g ~m)
+      in
+      let cb = closed_o.Solver.result.Spectral_bound.bound
+      and nb = numeric_o.Solver.result.Spectral_bound.bound in
+      let agree = Float.abs (cb -. nb) <= 1e-6 *. (1.0 +. Float.abs nb) in
+      let slug = String.map (fun c -> if c = ' ' then '_' else c) name in
+      fields :=
+        (slug ^ "_speedup", Graphio_obs.Jsonx.Float (numeric_s /. closed_s))
+        :: (slug ^ "_closed_s", Graphio_obs.Jsonx.Float closed_s)
+        :: (slug ^ "_numeric_s", Graphio_obs.Jsonx.Float numeric_s)
+        :: !fields;
+      Report.add_row r
+        [ name; Report.cell_int (Dag.n_vertices g);
+          Solver.tier_name closed_o.Solver.tier; Report.cell_float closed_s;
+          Report.cell_float numeric_s;
+          Report.cell_float (numeric_s /. closed_s); string_of_bool agree ])
+    cases;
+  Report.note r
+    "closed rows pay recognition (linear) instead of an eigensolve (cubic dense)";
+  Report.note r "'agree' checks the dispatched bound against the numeric bound";
+  emit r;
+  extra_json := List.rev !fields
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -996,6 +1054,7 @@ let sections =
     ("sandwich", sandwich);
     ("batch", batch);
     ("serve", serve);
+    ("recognize", recognize);
     ("bechamel", bechamel);
   ]
 

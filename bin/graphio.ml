@@ -91,6 +91,18 @@ let obs_term =
         { metrics; metrics_out; trace; log; log_level })
     $ metrics $ metrics_out $ trace $ log $ log_level)
 
+(* Escape hatch for the closed-form dispatch tier: recognized graphs
+   (butterfly/hypercube/path/grid) normally answer from the exact
+   lib/spectra multiset; this forces the numeric eigensolve instead.
+   Offered on every subcommand that evaluates bounds. *)
+let no_closed_form_arg =
+  Arg.(
+    value & flag
+    & info [ "no-closed-form" ]
+        ~doc:
+          "Disable the closed-form spectrum dispatch: always run the \
+           numeric eigensolve, even on recognized graph families.")
+
 (* Deterministic fault injection (testing only): the plan activates named
    sites across cache/server/pool; with no plan the sites stay inert.
    Offered on the subcommands that exercise those subsystems. *)
@@ -180,7 +192,7 @@ let generate_cmd =
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name faults obs =
+let bound spec file m h p method_name no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let g = load_graph ~spec ~file in
@@ -191,7 +203,7 @@ let bound spec file m h p method_name faults obs =
     | other ->
         raise (Invalid_argument (Printf.sprintf "unknown method %S" other))
   in
-  let o = Solver.bound ~method_ ~h ~p g ~m in
+  let o = Solver.bound ~method_ ~h ~p ~closed_form:(not no_closed_form) g ~m in
   let b = o.Solver.result in
   Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" (Dag.n_vertices g)
     (Dag.n_edges g) (Dag.max_out_degree g);
@@ -199,11 +211,18 @@ let bound spec file m h p method_name faults obs =
     (match method_ with Solver.Normalized -> "normalized" | Solver.Standard -> "standard")
     (match method_ with Solver.Normalized -> if p > 1 then "6" else "4" | Solver.Standard -> "5")
     (if p > 1 then Printf.sprintf " with p=%d processors" p else "");
-  Printf.printf "eigen backend: %s (h=%d)\n"
-    (match o.Solver.backend with
-    | Graphio_la.Eigen.Dense -> "dense Householder+QL"
-    | Graphio_la.Eigen.Sparse_filtered -> "Chebyshev-filtered block iteration")
-    (Array.length o.Solver.eigenvalues);
+  (match o.Solver.tier with
+  | Solver.Closed_form family ->
+      Printf.printf "spectrum: closed form, recognized %s (h=%d)\n"
+        (Graphio_recognize.Recognize.name family)
+        (Array.length o.Solver.eigenvalues)
+  | Solver.Numeric ->
+      Printf.printf "eigen backend: %s (h=%d)\n"
+        (match o.Solver.backend with
+        | Graphio_la.Eigen.Dense -> "dense Householder+QL"
+        | Graphio_la.Eigen.Sparse_filtered ->
+            "Chebyshev-filtered block iteration")
+        (Array.length o.Solver.eigenvalues));
   Printf.printf "lower bound on non-trivial I/O: %.6g (best k = %d, raw = %.6g)\n"
     b.Spectral_bound.bound b.Spectral_bound.best_k b.Spectral_bound.best_raw
 
@@ -225,7 +244,7 @@ let bound_cmd =
     Term.(
       ret
         (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
-        $ faults_arg $ obs_term))
+        $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -525,7 +544,7 @@ let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
   | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
-let batch path njobs h dense_threshold cache_dir faults obs =
+let batch path njobs h dense_threshold cache_dir no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let lines = In_channel.with_open_text path In_channel.input_lines in
@@ -542,7 +561,10 @@ let batch path njobs h dense_threshold cache_dir faults obs =
   let cache =
     Option.map (fun dir -> Graphio_cache.Spectrum.create ~dir ()) cache_dir
   in
-  let run pool = Solver.bound_batch ?cache ?pool ~h ?dense_threshold jobs in
+  let run pool =
+    Solver.bound_batch ?cache ?pool ~h ?dense_threshold
+      ~closed_form:(not no_closed_form) jobs
+  in
   let results =
     if njobs = 1 then run None
     else
@@ -568,6 +590,7 @@ let batch path njobs h dense_threshold cache_dir faults obs =
                 ("best_k", Int b.Spectral_bound.best_k);
                 ("best_raw", Float b.Spectral_bound.best_raw);
                 ("backend", String (backend_name o.Solver.backend));
+                ("tier", String (Solver.tier_name o.Solver.tier));
                 ("cache_hit", Bool r.Solver.cache_hit);
                 ("wall_s", Float r.Solver.wall_s);
               ])))
@@ -604,7 +627,7 @@ let batch_cmd =
     Term.(
       ret
         (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
-        $ faults_arg $ obs_term))
+        $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -637,8 +660,8 @@ let tcp_arg =
   Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
          ~doc:"Use TCP instead of the Unix socket.")
 
-let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap faults
-    obs =
+let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap
+    no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let transport = transport_of_args ~socket ~tcp in
@@ -660,6 +683,7 @@ let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap faults
       timeout_s = timeout;
       h;
       dense_threshold;
+      closed_form = not no_closed_form;
     }
   in
   let ready () =
@@ -708,7 +732,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
-        $ timeout $ cache_dir $ cache_cap $ faults_arg $ obs_term))
+        $ timeout $ cache_dir $ cache_cap $ no_closed_form_arg $ faults_arg
+        $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)

@@ -2,6 +2,7 @@ open Graphio_graph
 open Graphio_la
 
 type method_ = Normalized | Standard
+type tier = Closed_form of Graphio_recognize.Recognize.family | Numeric
 
 type outcome = {
   result : Spectral_bound.t;
@@ -9,9 +10,14 @@ type outcome = {
   backend : Eigen.backend;
   eigenvalues : float array;
   solve_stats : Eigen.stats option;
+  tier : tier;
 }
 
+let tier_name = function Closed_form _ -> "closed-form" | Numeric -> "numeric"
+
 let c_bounds = Graphio_obs.Metrics.counter "core.solver.bounds"
+let c_closed_form =
+  Graphio_obs.Metrics.counter "core.solver.closed_form_hits"
 let h_bound_seconds = Graphio_obs.Metrics.histogram "core.solver.bound_seconds"
 
 let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
@@ -43,8 +49,56 @@ let spectrum ?method_ ?h ?dense_threshold ?tol ?seed ?pool g =
   in
   (eigenvalues, backend)
 
+(* ------------------------------------------------------------------ *)
+(* Closed-form dispatch tier                                           *)
+
+(* When the graph is a recognized Section 5 family, the exact Laplacian
+   spectrum comes from {!Graphio_spectra} and no eigensolve runs at all
+   (zero matvecs).  [Standard] always applies (the closed forms are the
+   standard [L] of the undirected support, scaled here by
+   [1/max_out_degree] exactly as [spectrum_full] scales the numeric
+   spectrum).  [Normalized] applies only when every vertex with outgoing
+   edges shares one out-degree [d]: then [L~ = L/d] exactly; otherwise
+   the query falls through to the numeric tier. *)
+let closed_form_spectrum ~method_ ~h g =
+  match
+    Graphio_obs.Span.with_ "solver.recognize" (fun () ->
+        Graphio_recognize.Recognize.recognize g)
+  with
+  | None -> None
+  | Some family -> (
+      let scale =
+        match method_ with
+        | Standard ->
+            let dmax = Dag.max_out_degree g in
+            Some (if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax)
+        | Normalized -> (
+            match Graphio_recognize.Recognize.uniform_out_degree g with
+            | Some d -> Some (1.0 /. float_of_int d)
+            | None -> None)
+      in
+      match scale with
+      | None -> None
+      | Some scale ->
+          let n = Dag.n_vertices g in
+          let eigenvalues =
+            Graphio_spectra.Multiset.smallest
+              (Graphio_recognize.Recognize.spectrum family) ~h:(min h n)
+            |> Array.map (fun l -> scale *. Float.max l 0.0)
+          in
+          Some (family, eigenvalues))
+
+let record_closed_form ~family ~cache_hit =
+  Graphio_obs.Metrics.incr c_closed_form;
+  Graphio_obs.Log.emit "solver.closed_form"
+    [
+      ( "family",
+        Graphio_obs.Jsonx.String (Graphio_recognize.Recognize.name family) );
+      ("cache_hit", Graphio_obs.Jsonx.Bool cache_hit);
+    ]
+
 let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?on_iteration ?pool g ~m =
+    ?on_iteration ?pool ?(closed_form = true) g ~m =
   Graphio_obs.Metrics.time h_bound_seconds (fun () ->
       Graphio_obs.Span.with_ "solver.bound" (fun () ->
           Graphio_obs.Metrics.incr c_bounds;
@@ -56,17 +110,37 @@ let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
               backend = Eigen.Dense;
               eigenvalues = [||];
               solve_stats = None;
+              tier = Numeric;
             }
           else begin
-            let eigenvalues, backend, solve_stats =
-              spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration
-                ?pool g
+            let closed =
+              if closed_form then closed_form_spectrum ~method_ ~h g else None
             in
-            let result =
-              Graphio_obs.Span.with_ "solver.maximize" (fun () ->
-                  Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
-            in
-            { result; method_; backend; eigenvalues; solve_stats }
+            match closed with
+            | Some (family, eigenvalues) ->
+                record_closed_form ~family ~cache_hit:false;
+                let result =
+                  Graphio_obs.Span.with_ "solver.maximize" (fun () ->
+                      Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
+                in
+                {
+                  result;
+                  method_;
+                  backend = Eigen.Dense;
+                  eigenvalues;
+                  solve_stats = None;
+                  tier = Closed_form family;
+                }
+            | None ->
+                let eigenvalues, backend, solve_stats =
+                  spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed
+                    ?on_iteration ?pool g
+                in
+                let result =
+                  Graphio_obs.Span.with_ "solver.maximize" (fun () ->
+                      Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
+                in
+                { result; method_; backend; eigenvalues; solve_stats; tier = Numeric }
           end))
 
 let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
@@ -183,6 +257,21 @@ let spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag =
     params = Graphio_cache.Spectrum.params_digest ~dense_threshold ~tol ~seed;
   }
 
+(* Closed-form entries live under their own keys — the uppercase method
+   tag and a canonical parameter digest (the closed form depends on none
+   of the numeric solver knobs).  A [--no-closed-form] run therefore never
+   reads bits a closed-form run cached, and vice versa: the differential
+   battery's two tiers stay independent even under a shared disk cache. *)
+let closed_form_key ~h ~method_ dag =
+  {
+    Graphio_cache.Spectrum.fingerprint = Dag.fingerprint dag;
+    method_tag = Char.uppercase_ascii (method_char method_);
+    h;
+    params =
+      Graphio_cache.Spectrum.params_digest ~dense_threshold:None ~tol:None
+        ~seed:None;
+  }
+
 let resolve_cache = function
   | Some cache -> cache
   | None ->
@@ -196,9 +285,32 @@ let resolve_cache = function
    populates both tiers.  [from_cache] tells the caller whether an
    eigensolve was paid. *)
 let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
-    ~method_ dag =
-  if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false)
-  else begin
+    ?(closed_form = true) ~method_ dag =
+  if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false, Numeric)
+  else
+    match
+      if closed_form then closed_form_spectrum ~method_ ~h dag else None
+    with
+    | Some (family, eigenvalues) -> (
+        (* the closed form is recomputed (it is cheap and deterministic);
+           the cache is still consulted under the closed-form key so a
+           repeat query reports a cache hit and a warm disk tier keeps
+           replies bitwise-stable across processes *)
+        let key = closed_form_key ~h ~method_ dag in
+        match Graphio_cache.Spectrum.find cache key with
+        | Some e ->
+            record_closed_form ~family ~cache_hit:true;
+            ( e.Graphio_cache.Spectrum.eigenvalues,
+              Eigen.Dense,
+              None,
+              true,
+              Closed_form family )
+        | None ->
+            Graphio_cache.Spectrum.add cache key
+              { Graphio_cache.Spectrum.eigenvalues; dense = true };
+            record_closed_form ~family ~cache_hit:false;
+            (eigenvalues, Eigen.Dense, None, false, Closed_form family))
+    | None -> begin
     let key = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag in
     let log_spectrum ~cache_hit =
       if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
@@ -221,7 +333,8 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
           (if e.Graphio_cache.Spectrum.dense then Eigen.Dense
            else Eigen.Sparse_filtered),
           None,
-          true )
+          true,
+          Numeric )
     | None ->
         let eigenvalues, backend, stats =
           spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration
@@ -230,8 +343,8 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
         Graphio_cache.Spectrum.add cache key
           { Graphio_cache.Spectrum.eigenvalues; dense = backend = Eigen.Dense };
         log_spectrum ~cache_hit:false;
-        (eigenvalues, backend, stats, false)
-  end
+        (eigenvalues, backend, stats, false, Numeric)
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
@@ -258,7 +371,8 @@ let c_batch_misses = Graphio_obs.Metrics.counter "core.solver.batch_cache_misses
 let h_batch_job_seconds =
   Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
 
-let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
+let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
+    ?(closed_form = true) jobs =
   Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
       let cache = resolve_cache cache in
       let nj = Array.length jobs in
@@ -290,16 +404,23 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
          codec), so results don't depend on pool size or cache warmth.
          [spectra.(r)] also records the eigensolve wall time, attributed
          to the representative job. *)
-      let spectra = Array.make n_reps ([||], Eigen.Dense, None, false, 0.0) in
+      let spectra =
+        Array.make n_reps ([||], Eigen.Dense, None, false, Numeric, 0.0)
+      in
       let solve ?pool r =
         let j = jobs.(reps.(r)) in
         let t0 = Graphio_obs.Clock.now_ns () in
-        let eigenvalues, backend, stats, from_cache =
+        let eigenvalues, backend, stats, from_cache, tier =
           spectrum_cached ~cache ?pool ~h ?dense_threshold ?tol ?seed
-            ~method_:j.method_ j.dag
+            ~closed_form ~method_:j.method_ j.dag
         in
         spectra.(r) <-
-          (eigenvalues, backend, stats, from_cache, Graphio_obs.Clock.elapsed_s t0)
+          ( eigenvalues,
+            backend,
+            stats,
+            from_cache,
+            tier,
+            Graphio_obs.Clock.elapsed_s t0 )
       in
       (match pool with
       | Some pool when n_reps > 1 ->
@@ -315,7 +436,7 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
           done);
       let solved = ref 0 in
       Array.iter
-        (fun (_, _, _, from_cache, _) -> if not from_cache then incr solved)
+        (fun (_, _, _, from_cache, _, _) -> if not from_cache then incr solved)
         spectra;
       Graphio_obs.Metrics.add c_batch_jobs nj;
       Graphio_obs.Metrics.add c_batch_misses !solved;
@@ -329,7 +450,7 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
           (fun i j ->
             let t0 = Graphio_obs.Clock.now_ns () in
             let rep = Hashtbl.find rep_of_key keys.(i) in
-            let eigenvalues, backend, solve_stats, from_cache, solve_s =
+            let eigenvalues, backend, solve_stats, from_cache, tier, solve_s =
               spectra.(Hashtbl.find slot_of_rep rep)
             in
             let n = Dag.n_vertices j.dag in
@@ -342,7 +463,15 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
             in
             {
               job = j;
-              outcome = { result; method_ = j.method_; backend; eigenvalues; solve_stats };
+              outcome =
+                {
+                  result;
+                  method_ = j.method_;
+                  backend;
+                  eigenvalues;
+                  solve_stats;
+                  tier;
+                };
               cache_hit;
               wall_s;
             })
@@ -354,14 +483,14 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed jobs =
       results)
 
 let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?on_iteration job =
+    ?on_iteration ?(closed_form = true) job =
   Graphio_obs.Span.with_ "solver.bound_cached" (fun () ->
       Graphio_obs.Metrics.incr c_bounds;
       let cache = resolve_cache cache in
       let t0 = Graphio_obs.Clock.now_ns () in
-      let eigenvalues, backend, solve_stats, from_cache =
+      let eigenvalues, backend, solve_stats, from_cache, tier =
         spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
-          ?seed ~method_:job.method_ job.dag
+          ?seed ~closed_form ~method_:job.method_ job.dag
       in
       let result =
         Spectral_bound.compute ~n:(Dag.n_vertices job.dag) ~m:job.m ?p:job.p
@@ -375,12 +504,20 @@ let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
           ("m", Graphio_obs.Jsonx.Int job.m);
           ("bound", Graphio_obs.Jsonx.Float result.Spectral_bound.bound);
           ("cache_hit", Graphio_obs.Jsonx.Bool from_cache);
+          ("tier", Graphio_obs.Jsonx.String (tier_name tier));
           ("wall_s", Graphio_obs.Jsonx.Float wall_s);
         ];
       {
         job;
         outcome =
-          { result; method_ = job.method_; backend; eigenvalues; solve_stats };
+          {
+            result;
+            method_ = job.method_;
+            backend;
+            eigenvalues;
+            solve_stats;
+            tier;
+          };
         cache_hit = from_cache;
         wall_s;
       })

@@ -14,14 +14,28 @@ type method_ =
   | Normalized  (** Theorem 4: eigenvalues of the out-degree normalized [L̃] *)
   | Standard  (** Theorem 5: eigenvalues of [L], scaled by [1/max_out_degree] *)
 
+type tier =
+  | Closed_form of Graphio_recognize.Recognize.family
+      (** the spectrum came from the exact {!Graphio_spectra} multiset of a
+          recognized family — no eigensolve, zero matvecs *)
+  | Numeric  (** the spectrum came from a numeric eigensolve (or the cache
+                 of one) *)
+
+val tier_name : tier -> string
+(** ["closed-form"] or ["numeric"] — the string used in batch JSON lines,
+    server replies and [solver.bound] events. *)
+
 type outcome = {
   result : Spectral_bound.t;
   method_ : method_;
   backend : Graphio_la.Eigen.backend;
+      (** which eigensolver produced the spectrum; reported as [Dense] (and
+          meaningless) when [tier] is [Closed_form] *)
   eigenvalues : float array;  (** the (scaled) eigenvalues fed to the maximization *)
   solve_stats : Graphio_la.Eigen.stats option;
       (** iterative-eigensolver work summary (matvecs, sweeps, locked and
           padded counts); [None] when the dense path ran *)
+  tier : tier;  (** which dispatch tier answered *)
 }
 
 val bound :
@@ -33,6 +47,7 @@ val bound :
   ?seed:int ->
   ?on_iteration:Graphio_la.Convergence.callback ->
   ?pool:Graphio_par.Pool.t ->
+  ?closed_form:bool ->
   Graphio_graph.Dag.t ->
   m:int ->
   outcome
@@ -40,13 +55,25 @@ val bound :
     method is [Normalized] (the paper's main Theorem 4 instrument).
     Graphs with no edges yield a 0 bound.
 
+    With [closed_form] (default [true]), graphs recognized by
+    {!Graphio_recognize.Recognize} answer from the exact
+    {!Graphio_spectra} multiset instead of a numeric eigensolve —
+    [outcome.tier] reports which tier ran, the
+    [core.solver.closed_form_hits] counter increments, and a
+    [solver.closed_form] event is emitted.  For [Normalized] the closed
+    form additionally requires a uniform out-degree over non-sink vertices
+    (then [L~ = L/d] exactly); other recognized graphs fall through to the
+    numeric tier.  Pass [closed_form:false] (the CLI's
+    [--no-closed-form]) to force the numeric pipeline.
+
     The whole pipeline runs inside nested {!Graphio_obs.Span} spans
-    ([solver.bound] over [solver.laplacian], [solver.eigensolve],
-    [solver.maximize]) and is timed into the [core.solver.bound_seconds]
-    histogram; [on_iteration] streams eigensolver convergence progress
-    when the sparse path is taken.  [pool] parallelizes the sparse
-    eigensolve's matvecs across domains; the result is bitwise-identical
-    with or without it (see {!Graphio_la.Csr.matvec_into}). *)
+    ([solver.bound] over [solver.recognize], [solver.laplacian],
+    [solver.eigensolve], [solver.maximize]) and is timed into the
+    [core.solver.bound_seconds] histogram; [on_iteration] streams
+    eigensolver convergence progress when the sparse path is taken.
+    [pool] parallelizes the sparse eigensolve's matvecs across domains;
+    the result is bitwise-identical with or without it (see
+    {!Graphio_la.Csr.matvec_into}). *)
 
 val spectrum :
   ?method_:method_ ->
@@ -142,6 +169,7 @@ val bound_batch :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?closed_form:bool ->
   batch_job array ->
   batch_result array
 (** [bound_batch jobs] evaluates every job and returns results in input
@@ -165,6 +193,11 @@ val bound_batch :
     codec).  Only [cache_hit] / [wall_s] attribution moves with ordering
     and warmth (the first job of each spectrum class pays any solve).
 
+    With [closed_form] (default [true]) recognized graphs answer from the
+    closed-form tier exactly as in {!bound}; closed-form spectra are cached
+    under their own keys (uppercase method tag, canonical parameters), so
+    a [closed_form:false] run never reads them back.
+
     Observability: runs inside a [solver.bound_batch] span and maintains
     [core.solver.batch_jobs], [core.solver.batch_cache_hits],
     [core.solver.batch_cache_misses] and the per-job latency histogram
@@ -179,6 +212,7 @@ val bound_cached :
   ?tol:float ->
   ?seed:int ->
   ?on_iteration:Graphio_la.Convergence.callback ->
+  ?closed_form:bool ->
   batch_job ->
   batch_result
 (** One job through the same cached pipeline as {!bound_batch} — the
@@ -186,4 +220,5 @@ val bound_cached :
     {!Graphio_cache.Spectrum.ambient}; [on_iteration] fires per eigensolver
     sweep on cache misses taking the sparse path (the hook request
     deadlines cancel long solves through).  Runs inside a
-    [solver.bound_cached] span. *)
+    [solver.bound_cached] span; the [solver.bound] event carries a
+    ["tier"] field naming the dispatch tier that answered. *)

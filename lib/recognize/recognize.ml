@@ -1,0 +1,561 @@
+open Graphio_graph
+
+type family =
+  | Butterfly of int
+  | Hypercube of int
+  | Path of int
+  | Grid of int * int
+
+let equal (a : family) (b : family) = a = b
+
+let name = function
+  | Butterfly k -> Printf.sprintf "butterfly B_%d" k
+  | Hypercube l -> Printf.sprintf "hypercube Q_%d" l
+  | Path n -> Printf.sprintf "path P_%d" n
+  | Grid (r, c) -> Printf.sprintf "grid %dx%d" r c
+
+let pp fmt f = Format.pp_print_string fmt (name f)
+
+let n_vertices = function
+  | Butterfly k -> (k + 1) * (1 lsl k)
+  | Hypercube l -> 1 lsl l
+  | Path n -> n
+  | Grid (r, c) -> r * c
+
+let spectrum = function
+  | Butterfly k -> Graphio_spectra.Butterfly_spectra.spectrum k
+  | Hypercube l -> Graphio_spectra.Hypercube_spectra.spectrum l
+  | Path n -> Graphio_spectra.Basic_spectra.path n
+  | Grid (r, c) -> Graphio_spectra.Product_spectra.grid r c
+
+let uniform_out_degree g =
+  let n = Dag.n_vertices g in
+  let d = ref 0 in
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < n do
+    let dv = Dag.out_degree g !v in
+    if dv > 0 then
+      if !d = 0 then d := dv else if dv <> !d then ok := false;
+    incr v
+  done;
+  if !ok && !d > 0 then Some !d else None
+
+(* ------------------------------------------------------------------ *)
+(* Undirected support                                                  *)
+
+(* Sorted, per-vertex undirected neighbor arrays.  [None] if the DAG
+   contains a reciprocal pair u->v, v->u: the support Laplacian would then
+   weight that edge 2, which none of the closed forms model (a DAG built
+   through the cycle-checking builder cannot contain one, but [recognize]
+   must not assume its input's provenance). *)
+let undirected_adj g =
+  let n = Dag.n_vertices g in
+  let adj = Array.make n [||] in
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < n do
+    let ns = Array.append (Dag.succ g !v) (Dag.pred g !v) in
+    Array.sort compare ns;
+    for i = 1 to Array.length ns - 1 do
+      if ns.(i) = ns.(i - 1) then ok := false
+    done;
+    adj.(!v) <- ns;
+    incr v
+  done;
+  if !ok then Some adj else None
+
+(* BFS over the undirected support from [root]; fills [level] (-1 =
+   unreached) and returns the vertices in visit order. *)
+let bfs_levels adj level root =
+  let order = Queue.create () in
+  let out = ref [] in
+  level.(root) <- 0;
+  Queue.push root order;
+  while not (Queue.is_empty order) do
+    let v = Queue.pop order in
+    out := v :: !out;
+    Array.iter
+      (fun w ->
+        if level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.push w order
+        end)
+      adj.(v)
+  done;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Path P_n                                                            *)
+
+let recognize_path g adj n =
+  if n = 1 then if Dag.n_edges g = 0 then Some (Path 1) else None
+  else if Dag.n_edges g <> n - 1 then None
+  else begin
+    (* a connected graph with n-1 edges is a tree; a tree with maximum
+       degree 2 is a path *)
+    let max_deg = ref 0 in
+    Array.iter (fun ns -> max_deg := max !max_deg (Array.length ns)) adj;
+    if !max_deg > 2 then None
+    else begin
+      let level = Array.make n (-1) in
+      let visited = bfs_levels adj level 0 in
+      if Array.length visited = n then Some (Path n) else None
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hypercube Q_l                                                       *)
+
+let log2_exact n =
+  let l = ref 0 in
+  while 1 lsl !l < n do incr l done;
+  if 1 lsl !l = n then Some !l else None
+
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+let recognize_hypercube g adj n =
+  match log2_exact n with
+  | None -> None
+  | Some l ->
+      if l < 1 || Dag.n_edges g <> l * (1 lsl (l - 1)) then None
+      else if Array.exists (fun ns -> Array.length ns <> l) adj then None
+      else begin
+        let level = Array.make n (-1) in
+        let visited = bfs_levels adj level 0 in
+        if Array.length visited <> n then None
+        else begin
+          (* Greedy BFS labeling over {0,1}^l: the root is 0, its
+             neighbors the singleton bits in visit order, and a deeper
+             vertex ORs the labels of its lower-level neighbors.  Any
+             failure (wrong lower-neighbor count, wrong popcount) aborts;
+             a success is certified by the verification below, not by the
+             construction. *)
+          let labels = Array.make n (-1) in
+          labels.(0) <- 0;
+          let next_bit = ref 0 in
+          let ok = ref true in
+          Array.iter
+            (fun v ->
+              if !ok && level.(v) = 1 then begin
+                labels.(v) <- 1 lsl !next_bit;
+                incr next_bit
+              end
+              else if !ok && level.(v) >= 2 then begin
+                let acc = ref 0 and cnt = ref 0 in
+                Array.iter
+                  (fun w ->
+                    if level.(w) = level.(v) - 1 then begin
+                      acc := !acc lor labels.(w);
+                      incr cnt
+                    end)
+                  adj.(v);
+                if !cnt <> level.(v) || popcount !acc <> level.(v) then
+                  ok := false
+                else labels.(v) <- !acc
+              end)
+            visited;
+          if not !ok then None
+          else begin
+            (* verification: bijection onto {0,1}^l, every edge Hamming-1;
+               with the exact edge count this pins the graph to Q_l *)
+            let seen = Array.make n false in
+            Array.iter
+              (fun lab ->
+                if lab < 0 || lab >= n || seen.(lab) then ok := false
+                else seen.(lab) <- true)
+              labels;
+            if !ok then
+              Array.iteri
+                (fun v ns ->
+                  Array.iter
+                    (fun w ->
+                      if popcount (labels.(v) lxor labels.(w)) <> 1 then
+                        ok := false)
+                    ns)
+                adj;
+            if !ok then Some (Hypercube l) else None
+          end
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Grid P_r x P_c                                                      *)
+
+let recognize_grid g adj n =
+  if n < 6 then None (* a 1xc grid is a path and 2x2 is Q_2: caught earlier *)
+  else begin
+    (* corner-anchored coordinates: BFS levels from a degree-2 corner are
+       Manhattan distances, so a vertex's lower-level neighbors are its
+       lattice predecessors *)
+    let corner = ref (-1) in
+    Array.iteri
+      (fun v ns -> if !corner < 0 && Array.length ns = 2 then corner := v)
+      adj;
+    if !corner < 0 then None
+    else begin
+      let level = Array.make n (-1) in
+      let visited = bfs_levels adj level !corner in
+      if Array.length visited <> n then None
+      else begin
+        let ci = Array.make n (-1) and cj = Array.make n (-1) in
+        ci.(!corner) <- 0;
+        cj.(!corner) <- 0;
+        (* the corner's two neighbors seed the two axes; which one counts
+           rows vs columns is arbitrary (normalized to r <= c below) *)
+        let nbrs = adj.(!corner) in
+        ci.(nbrs.(0)) <- 0;
+        cj.(nbrs.(0)) <- 1;
+        ci.(nbrs.(1)) <- 1;
+        cj.(nbrs.(1)) <- 0;
+        let ok = ref true in
+        Array.iter
+          (fun v ->
+            if !ok && level.(v) >= 2 then begin
+              let lowers = ref [] in
+              Array.iter
+                (fun w ->
+                  if level.(w) = level.(v) - 1 then lowers := w :: !lowers)
+                adj.(v);
+              match !lowers with
+              | [ w ] ->
+                  (* boundary continuation: stay on the axis of the single
+                     lattice predecessor *)
+                  if ci.(w) = 0 then begin
+                    ci.(v) <- 0;
+                    cj.(v) <- cj.(w) + 1
+                  end
+                  else if cj.(w) = 0 then begin
+                    ci.(v) <- ci.(w) + 1;
+                    cj.(v) <- 0
+                  end
+                  else ok := false
+              | [ w1; w2 ] ->
+                  (* interior fill: predecessors (i-1,j) and (i,j-1) *)
+                  if abs (ci.(w1) - ci.(w2)) = 1 && abs (cj.(w1) - cj.(w2)) = 1
+                  then begin
+                    ci.(v) <- max ci.(w1) ci.(w2);
+                    cj.(v) <- max cj.(w1) cj.(w2)
+                  end
+                  else ok := false
+              | _ -> ok := false
+            end)
+          visited;
+        if not !ok then None
+        else begin
+          let r = 1 + Array.fold_left max 0 ci
+          and c = 1 + Array.fold_left max 0 cj in
+          if r < 2 || c < 2 || r * c <> n then None
+          else if Dag.n_edges g <> (r * (c - 1)) + (c * (r - 1)) then None
+          else begin
+            (* verification: (ci, cj) is a bijection onto [0,r) x [0,c)
+               and every edge is lattice-adjacent; with the exact edge
+               count this pins the graph to the r x c grid *)
+            let seen = Array.make n false in
+            for v = 0 to n - 1 do
+              if ci.(v) < 0 || ci.(v) >= r || cj.(v) < 0 || cj.(v) >= c then
+                ok := false
+              else begin
+                let slot = (ci.(v) * c) + cj.(v) in
+                if seen.(slot) then ok := false else seen.(slot) <- true
+              end
+            done;
+            if !ok then
+              Array.iteri
+                (fun v ns ->
+                  Array.iter
+                    (fun w ->
+                      if abs (ci.(v) - ci.(w)) + abs (cj.(v) - cj.(w)) <> 1
+                      then ok := false)
+                    ns)
+                adj;
+            if !ok then Some (Grid (min r c, max r c)) else None
+          end
+        end
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Butterfly B_k                                                       *)
+
+(* The unwrapped butterfly is recognized on the *directed* graph: (k+1)
+   levels of 2^k vertices, every non-source in-degree 2, every non-sink
+   out-degree 2, consecutive levels joined by disjoint K_{2,2} blocks.
+   Row labels are then constructed recursively — deleting level 0 of B_k
+   leaves two disjoint copies of B_{k-1} (the two classes of row bit 0),
+   stitched back through the level-0 blocks — and certified by the final
+   edge-by-edge check in [recognize_butterfly]. *)
+
+exception Reject
+
+let butterfly_k n =
+  let rec go k =
+    if k > 57 then None
+    else
+      let nk = (k + 1) * (1 lsl k) in
+      if nk = n then Some k else if nk > n then None else go (k + 1)
+  in
+  go 1
+
+(* [assign_rows g rows comp member ~prescribed level_sets] labels every
+   vertex of the sub-butterfly whose per-level vertex arrays are
+   [level_sets] with a row in [0, 2^k), k = levels - 1.  With [prescribed]
+   the level-0 vertices arrive already labeled and are left untouched.
+   [comp] and [member] are caller-provided scratch over the full vertex
+   space, entered and left as all -1 / all false.  Raises [Reject] when
+   the structure visibly deviates; the caller re-verifies the final
+   labeling edge by edge, so this construction only has to succeed on
+   genuine butterflies — it need not be sound against impostors.
+
+   Removing level 0 of B_k leaves two disjoint copies of B_{k-1} — the two
+   row classes of bit 0 — joined to level 0 through the K_{2,2} blocks.  A
+   block's two targets are twins taking the rows {2q, 2q+1}, and which
+   target takes which is free (a source twin swap is an automorphism of
+   the sub-butterfly below it), so component A can always be embedded as
+   the even class.  The labeling therefore flows strictly DOWN: component
+   A is labeled first (freely, or from the prescription), the blocks hand
+   component B its source rows, and B recurses fully prescribed.  Nothing
+   is ever stitched after the fact — reconciling two independently chosen
+   labelings would have to invert an arbitrary automorphism, whose
+   level-0 action is not just a translation-with-twin-swaps once k >= 4
+   (halfspace translations at every scale are automorphisms too). *)
+let rec assign_rows g rows comp member ~prescribed level_sets =
+  let k = Array.length level_sets - 1 in
+  if k = 0 then begin
+    if not prescribed then rows.(level_sets.(0).(0)) <- 0
+  end
+  else begin
+    let half = 1 lsl (k - 1) in
+    (* split levels 1..k into the two sub-butterflies *)
+    for c = 1 to k do
+      Array.iter (fun v -> member.(v) <- true) level_sets.(c)
+    done;
+    let bfs_component start id =
+      let q = Queue.create () in
+      comp.(start) <- id;
+      Queue.push start q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        let visit w =
+          if member.(w) && comp.(w) < 0 then begin
+            comp.(w) <- id;
+            Queue.push w q
+          end
+        in
+        Dag.iter_succ g v visit;
+        Dag.iter_pred g v visit
+      done
+    in
+    bfs_component level_sets.(1).(0) 0;
+    (match Array.find_opt (fun v -> comp.(v) < 0) level_sets.(1) with
+    | Some v -> bfs_component v 1
+    | None -> raise Reject);
+    let sub_levels id =
+      Array.init k (fun c ->
+          let vs =
+            Array.of_list
+              (List.filter
+                 (fun v -> comp.(v) = id)
+                 (Array.to_list level_sets.(c + 1)))
+          in
+          if Array.length vs <> half then raise Reject;
+          vs)
+    in
+    let levels_a = sub_levels 0 and levels_b = sub_levels 1 in
+    (* orient each level-0 block while the scratch still holds components *)
+    let blocks =
+      Array.map
+        (fun u ->
+          let xy = Dag.succ g u in
+          if Array.length xy <> 2 then raise Reject;
+          match (comp.(xy.(0)), comp.(xy.(1))) with
+          | 0, 1 -> (u, xy.(0), xy.(1))
+          | 1, 0 -> (u, xy.(1), xy.(0))
+          | _ -> raise Reject)
+        level_sets.(0)
+    in
+    (* release the scratch before recursing (the recursion reuses it) *)
+    for c = 1 to k do
+      Array.iter
+        (fun v ->
+          member.(v) <- false;
+          comp.(v) <- -1)
+        level_sets.(c)
+    done;
+    if prescribed then begin
+      (* both targets of a block inherit their sources' sub-row *)
+      Array.iter
+        (fun (u, x, y) ->
+          let p = rows.(u) in
+          if p < 0 || p >= 2 * half then raise Reject;
+          let q = p lsr 1 in
+          if rows.(x) >= 0 && rows.(x) <> q then raise Reject;
+          rows.(x) <- q;
+          rows.(y) <- q)
+        blocks;
+      assign_rows g rows comp member ~prescribed:true levels_a;
+      assign_rows g rows comp member ~prescribed:true levels_b
+    end
+    else begin
+      assign_rows g rows comp member ~prescribed:false levels_a;
+      (* hand B its source rows through the blocks; any per-pair choice
+         extends, so take the identity *)
+      Array.iter (fun (_, x, y) -> rows.(y) <- rows.(x)) blocks;
+      assign_rows g rows comp member ~prescribed:true levels_b
+    end;
+    (* embed: component A is the even row class *)
+    Array.iter
+      (fun vs -> Array.iter (fun v -> rows.(v) <- 2 * rows.(v)) vs)
+      levels_a;
+    Array.iter
+      (fun vs -> Array.iter (fun v -> rows.(v) <- (2 * rows.(v)) + 1) vs)
+      levels_b;
+    if not prescribed then begin
+      (* label level 0: a block's two sources are twins occupying rows
+         {r, r+1} in either order *)
+      let taken = Array.make (1 lsl k) false in
+      Array.iter
+        (fun (u, x, _) ->
+          let r = rows.(x) in
+          if not taken.(r) then begin
+            rows.(u) <- r;
+            taken.(r) <- true
+          end
+          else if r + 1 < Array.length taken && not taken.(r + 1) then begin
+            rows.(u) <- r + 1;
+            taken.(r + 1) <- true
+          end
+          else raise Reject)
+        blocks
+    end
+  end
+
+let recognize_butterfly g n =
+  match butterfly_k n with
+  | None -> None
+  | Some k ->
+      let cols = 1 lsl k in
+      if Dag.n_edges g <> k * (1 lsl (k + 1)) then None
+      else begin
+        let degrees_ok = ref true in
+        for v = 0 to n - 1 do
+          let din = Dag.in_degree g v and dout = Dag.out_degree g v in
+          if not ((din = 0 || din = 2) && (dout = 0 || dout = 2)) then
+            degrees_ok := false
+        done;
+        if not !degrees_ok then None
+        else begin
+          try
+            (* levels via Kahn's algorithm; both predecessors of a vertex
+               must share a level, every level must hold exactly 2^k *)
+            let level = Array.make n (-1) in
+            let indeg = Array.init n (fun v -> Dag.in_degree g v) in
+            let q = Queue.create () in
+            for v = 0 to n - 1 do
+              if indeg.(v) = 0 then begin
+                level.(v) <- 0;
+                Queue.push v q
+              end
+            done;
+            let processed = ref 0 in
+            while not (Queue.is_empty q) do
+              let v = Queue.pop q in
+              incr processed;
+              Dag.iter_succ g v (fun w ->
+                  (match level.(w) with
+                  | -1 -> level.(w) <- level.(v) + 1
+                  | lw -> if lw <> level.(v) + 1 then raise Reject);
+                  indeg.(w) <- indeg.(w) - 1;
+                  if indeg.(w) = 0 then Queue.push w q)
+            done;
+            if !processed <> n then raise Reject;
+            let counts = Array.make (k + 1) 0 in
+            for v = 0 to n - 1 do
+              let l = level.(v) in
+              if l < 0 || l > k then raise Reject;
+              counts.(l) <- counts.(l) + 1
+            done;
+            Array.iter (fun c -> if c <> cols then raise Reject) counts;
+            (* sinks only at level k (sources sit at level 0 by
+               construction); levels beyond k were rejected above *)
+            for v = 0 to n - 1 do
+              if Dag.out_degree g v = 0 && level.(v) <> k then raise Reject
+            done;
+            (* disjoint K_{2,2} blocks between consecutive levels *)
+            for v = 0 to n - 1 do
+              if Dag.out_degree g v = 2 then begin
+                let xy = Dag.succ g v in
+                if xy.(0) = xy.(1) then raise Reject;
+                let px = Dag.pred g xy.(0) and py = Dag.pred g xy.(1) in
+                if Array.length px <> 2 || Array.length py <> 2 then
+                  raise Reject;
+                Array.sort compare px;
+                Array.sort compare py;
+                if px <> py then raise Reject;
+                if not (Array.mem v px) then raise Reject;
+                let v' = if px.(0) = v then px.(1) else px.(0) in
+                if v' = v then raise Reject;
+                let xy' = Dag.succ g v' in
+                if
+                  not
+                    ((xy'.(0) = xy.(0) && xy'.(1) = xy.(1))
+                    || (xy'.(0) = xy.(1) && xy'.(1) = xy.(0)))
+                then raise Reject
+              end
+            done;
+            let level_sets =
+              Array.init (k + 1) (fun c ->
+                  let vs = ref [] in
+                  for v = n - 1 downto 0 do
+                    if level.(v) = c then vs := v :: !vs
+                  done;
+                  Array.of_list !vs)
+            in
+            let rows = Array.make n (-1) in
+            let comp = Array.make n (-1) in
+            let member = Array.make n false in
+            assign_rows g rows comp member ~prescribed:false level_sets;
+            (* verification: (level, row) is a bijection and every directed
+               edge is an FFT edge; with the exact edge count this pins the
+               graph to B_k *)
+            let seen = Array.make n false in
+            for v = 0 to n - 1 do
+              let r = rows.(v) in
+              if r < 0 || r >= cols then raise Reject;
+              let slot = (level.(v) * cols) + r in
+              if seen.(slot) then raise Reject else seen.(slot) <- true
+            done;
+            Dag.iter_edges g (fun u v ->
+                if level.(v) <> level.(u) + 1 then raise Reject;
+                let d = rows.(u) lxor rows.(v) in
+                if d <> 0 && d <> 1 lsl level.(u) then raise Reject);
+            Some (Butterfly k)
+          with Reject -> None
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let recognize g =
+  let n = Dag.n_vertices g in
+  if n = 0 then None
+  else
+    match undirected_adj g with
+    | None -> None
+    | Some adj -> (
+        match recognize_path g adj n with
+        | Some f -> Some f
+        | None -> (
+            match recognize_hypercube g adj n with
+            | Some f -> Some f
+            | None -> (
+                match recognize_grid g adj n with
+                | Some f -> Some f
+                | None -> recognize_butterfly g n)))

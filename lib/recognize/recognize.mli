@@ -1,0 +1,85 @@
+(** Structural recognition of the closed-form spectrum families.
+
+    The paper's Section 5 families — butterfly [B_k] (Theorem 7), hypercube
+    [Q_l] (Section 5.1), paths and their Cartesian products (grids) — have
+    exact Laplacian spectra in {!Graphio_spectra}.  This module decides, for
+    an arbitrary {!Graphio_graph.Dag.t}, whether its {e undirected support}
+    is one of those graphs, so the solver can answer from the closed form
+    instead of running a numeric eigensolve.
+
+    {2 Soundness contract}
+
+    A false positive here would silently corrupt every downstream bound, so
+    each recognizer ends in a full verification pass that is independent of
+    the heuristics used to construct the candidate labeling:
+
+    - {e path}: connected + [m = n-1] + max undirected degree 2 (a tree with
+      maximum degree 2 {e is} a path — no further certificate needed);
+    - {e hypercube}: a BFS labeling over [{0,1}^l] is built greedily, then
+      every vertex label is checked distinct and {e every} edge checked to be
+      Hamming-distance 1 with the exact [l 2^(l-1)] edge count;
+    - {e grid}: corner-anchored coordinates are built greedily from BFS
+      levels (Manhattan distance), then the [(row, col)] map is checked to
+      be a bijection onto [[0,r) × [0,c)] and {e every} edge checked
+      lattice-adjacent with the exact [r(c-1) + c(r-1)] edge count;
+    - {e butterfly}: the level/K_{2,2}-block structure is peeled recursively
+      (removing level 0 of [B_k] leaves two disjoint [B_{k-1}]s; the first
+      is labeled freely, the second inherits its source rows through the
+      level-0 blocks and is labeled fully prescribed, so no after-the-fact
+      stitching of independently labeled halves is needed), then the
+      [(level, row)] map is checked to be a bijection and {e every} directed
+      edge checked to be an FFT edge [(c, r) → (c+1, r xor b·2^c)] with the
+      exact [k 2^(k+1)] edge count.
+
+    The verification pass means heuristic failures can only produce false
+    {e negatives} (the solver falls back to the numeric tier, which is
+    always correct), never false positives.  The [test/recognize]
+    differential battery additionally checks, via QCheck, that relabeled
+    instances stay recognized and one-edge perturbations are rejected.
+
+    {2 Overlaps}
+
+    Small instances coincide: [P_1 = Q_0 = B_0], [P_2 = Q_1], and the
+    [2×2] grid is [C_4 = Q_2] (also the support of [B_1]).  Recognition
+    order is path, hypercube, grid, butterfly; since coinciding instances
+    are {e equal graphs} their spectra agree, so which name wins is
+    immaterial for the bound. *)
+
+type family =
+  | Butterfly of int  (** [B_k]: [(k+1) 2^k] vertices, [k >= 1] *)
+  | Hypercube of int  (** [Q_l]: [2^l] vertices, [l >= 1] *)
+  | Path of int  (** [P_n]: [n >= 1] vertices *)
+  | Grid of int * int  (** [r × c] grid with [2 <= r <= c] *)
+
+val recognize : Graphio_graph.Dag.t -> family option
+(** [recognize g] — the family whose (undirected support / directed
+    structure, for the butterfly) graph [g] is, or [None].  Cost is
+    [O((n + m) log n)]; a [Some] answer is certified by the full
+    verification pass described above.  DAGs containing a reciprocal edge
+    pair [u→v, v→u] are never recognized (their support Laplacian would
+    carry weight 2 on that edge, which the closed forms do not model). *)
+
+val spectrum : family -> Graphio_spectra.Multiset.t
+(** The exact standard-Laplacian spectrum of the family's undirected
+    support, straight from {!Graphio_spectra}: butterfly from
+    {!Graphio_spectra.Butterfly_spectra}, hypercube from
+    {!Graphio_spectra.Hypercube_spectra}, path from
+    {!Graphio_spectra.Basic_spectra}, grid from
+    {!Graphio_spectra.Product_spectra}. *)
+
+val n_vertices : family -> int
+(** Vertex count of the family instance. *)
+
+val uniform_out_degree : Graphio_graph.Dag.t -> int option
+(** [Some d] when every vertex with at least one outgoing edge has
+    out-degree exactly [d] (and at least one such vertex exists).  Then the
+    out-degree-normalized Laplacian is exactly [L/d], so the Theorem 4
+    spectrum is the closed form scaled by [1/d] — the condition under which
+    the solver may answer a [Normalized] query from the closed form. *)
+
+val name : family -> string
+(** Human-readable: ["butterfly B_4"], ["hypercube Q_6"], ["path P_17"],
+    ["grid 3x5"]. *)
+
+val equal : family -> family -> bool
+val pp : Format.formatter -> family -> unit

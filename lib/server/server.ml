@@ -10,6 +10,7 @@ type config = {
   timeout_s : float option;
   h : int;
   dense_threshold : int option;
+  closed_form : bool;
 }
 
 let default_config transport =
@@ -23,6 +24,7 @@ let default_config transport =
     timeout_s = None;
     h = 100;
     dense_threshold = None;
+    closed_form = true;
   }
 
 let c_requests = Metrics.counter "server.requests"
@@ -81,6 +83,7 @@ let query_reply ~id ~rid (r : Solver.batch_result) =
            ("best_k", Jsonx.Int b.Spectral_bound.best_k);
            ("best_raw", Jsonx.Float b.Spectral_bound.best_raw);
            ("backend", Jsonx.String (Protocol.backend_name o.Solver.backend));
+           ("tier", Jsonx.String (Solver.tier_name o.Solver.tier));
            ("cache_hit", Jsonx.Bool r.Solver.cache_hit);
            ("wall_s", Jsonx.Float r.Solver.wall_s);
          ]))
@@ -120,7 +123,7 @@ let answer_query cfg ?pool ~arrival_ns ~rid (q : Protocol.query) =
       let h = Option.value q.Protocol.h ~default:cfg.h in
       let r =
         Solver.bound_cached ~cache:cfg.cache ?pool ~h
-          ?dense_threshold:cfg.dense_threshold
+          ?dense_threshold:cfg.dense_threshold ~closed_form:cfg.closed_form
           ~on_iteration:(fun _ -> check_deadline ())
           job
       in

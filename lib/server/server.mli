@@ -51,11 +51,17 @@ type config = {
   timeout_s : float option;  (** default per-request deadline; [None] = no deadline *)
   h : int;  (** default eigenvalue cap (requests may override) *)
   dense_threshold : int option;  (** eigensolver crossover override (tests) *)
+  closed_form : bool;
+      (** dispatch recognized graphs to the closed-form spectrum tier
+          (see {!Graphio_recognize.Recognize}); the reply's ["tier"] field
+          reports which tier answered.  [false] forces every request
+          through the numeric pipeline ([graphio serve --no-closed-form]). *)
 }
 
 val default_config : transport -> config
 (** Pool of 1, a fresh default cache ({!Graphio_cache.Spectrum.ambient}
-    when configured, else memory-only), no timeout, [h = 100]. *)
+    when configured, else memory-only), no timeout, [h = 100], closed-form
+    dispatch on. *)
 
 val run : ?ready:(unit -> unit) -> config -> unit
 (** Bind, listen, serve until a shutdown request or signal, drain, clean

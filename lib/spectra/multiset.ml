@@ -2,8 +2,12 @@ type t = (float * int) array
 
 let of_list ?(merge_tol = 1e-9) pairs =
   List.iter
-    (fun (_, m) ->
-      if m < 0 then invalid_arg "Multiset.of_list: negative multiplicity")
+    (fun (v, m) ->
+      if m < 0 then invalid_arg "Multiset.of_list: negative multiplicity";
+      (* NaN is unordered under Float.compare's total order intent: it
+         would sort unpredictably and defeat the tolerance merge, yielding
+         a structurally valid but silently wrong multiset *)
+      if Float.is_nan v then invalid_arg "Multiset.of_list: NaN eigenvalue")
     pairs;
   let pairs = List.filter (fun (_, m) -> m > 0) pairs in
   let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) pairs in

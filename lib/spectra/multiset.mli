@@ -12,7 +12,8 @@ type t = private (float * int) array
 val of_list : ?merge_tol:float -> (float * int) list -> t
 (** Sorts, merges values closer than [merge_tol] (default [1e-9]), drops
     zero multiplicities.  Raises [Invalid_argument] on negative
-    multiplicities. *)
+    multiplicities and on NaN values (NaN would silently break the
+    sort-merge ordering and poison every downstream prefix sum). *)
 
 val of_array : ?merge_tol:float -> float array -> t
 (** From an explicit eigenvalue array (each value multiplicity 1 before

@@ -1,6 +1,8 @@
 open Graphio_graph
 
-let grammar = "fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED]"
+let grammar =
+  "fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, \
+   inner:D, er:N:P[:SEED]"
 
 exception Bad of string
 
@@ -23,6 +25,10 @@ let parse spec =
     match String.split_on_char ':' spec with
     | [ "fft"; l ] -> Ok (Fft.build (int_param "level count" l))
     | [ "bhk"; l ] -> Ok (Bhk.build (int_param "level count" l))
+    | [ "path"; n ] ->
+        Ok (Sequences.independent_chains ~count:1 ~length:(int_param "length" n))
+    | [ "grid"; r; c ] ->
+        Ok (Stencil.grid ~rows:(int_param "rows" r) ~cols:(int_param "cols" c))
     | [ "matmul"; n ] -> Ok (Matmul.build (int_param "size" n))
     | [ "matmul-binary"; n ] ->
         Ok (Matmul.build_binary_sums (int_param "size" n))

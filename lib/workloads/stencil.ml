@@ -25,6 +25,24 @@ let build ?(radius = 1) ~width ~steps () =
   done;
   Dag.Builder.build ~verify_acyclic:false b
 
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Stencil.grid: rows and cols must be >= 1";
+  let b = Dag.Builder.create ~capacity_hint:(rows * cols) () in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      ignore (Dag.Builder.add_vertex ~label:(Printf.sprintf "g%d_%d" i j) b)
+    done
+  done;
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = (i * cols) + j in
+      if i > 0 then Dag.Builder.add_edge b (v - cols) v;
+      if j > 0 then Dag.Builder.add_edge b (v - 1) v
+    done
+  done;
+  Dag.Builder.build ~verify_acyclic:false b
+
 let pyramid base =
   if base < 1 then invalid_arg "Stencil.pyramid: base must be >= 1";
   let b = Dag.Builder.create ~capacity_hint:(base * (base + 1) / 2) () in

@@ -19,6 +19,14 @@ val build : ?radius:int -> width:int -> steps:int -> unit -> Graphio_graph.Dag.t
 val vertex : width:int -> step:int -> cell:int -> int
 (** Vertex id of cell [cell] at timestep [step]. *)
 
+val grid : rows:int -> cols:int -> Graphio_graph.Dag.t
+(** The diamond DAG on the [rows x cols] lattice: cell [(i, j)] reads
+    [(i-1, j)] and [(i, j-1)] — dynamic programming over a table.  Its
+    undirected support is the [rows x cols] grid graph [P_rows □ P_cols],
+    so the standard-Laplacian spectrum has the
+    {!Graphio_spectra.Product_spectra.grid} closed form.  [rows, cols >= 1];
+    creation order topological. *)
+
 val pyramid : int -> Graphio_graph.Dag.t
 (** [pyramid base]: rows of [base, base−1, ..., 1] vertices; vertex [i] of
     row [r >= 1] has parents [i] and [i+1] of row [r−1].  [base >= 1]. *)

@@ -14,11 +14,11 @@ are the only nondeterministic field.
   > fft:5 m=4
   > EOF
   $ ../../bin/graphio.exe batch jobs.txt -j 2 | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
-  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"standard","h":100,"bound":31.999999999999858,"best_k":4,"best_raw":31.999999999999858,"backend":"dense","cache_hit":false,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":1,"method":"standard","h":100,"bound":18.499999999999851,"best_k":3,"best_raw":18.499999999999851,"backend":"dense","cache_hit":true,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":8,"p":1,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":-1.1368683772161603e-13,"backend":"dense","cache_hit":true,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":4,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":-8.0000000000000284,"backend":"dense","cache_hit":true,"wall_s":_}
-  {"spec":"fft:5","n":192,"edges":320,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-8.2226509339833935,"backend":"dense","cache_hit":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"standard","h":100,"bound":32,"best_k":4,"best_raw":32,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":1,"method":"standard","h":100,"bound":18.5,"best_k":3,"best_raw":18.5,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":8,"p":1,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":0,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":4,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":-8,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
+  {"spec":"fft:5","n":192,"edges":320,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-8.2226509339834948,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
 
 The output is identical with a sequential run (-j 1):
 
@@ -40,7 +40,7 @@ Malformed jobs files fail with one clean line and exit code 1:
 
   $ printf 'nope:3 m=4\n' > bad3.txt
   $ ../../bin/graphio.exe batch bad3.txt 2>&1 | head -1
-  graphio: bad3.txt:1: unknown graph spec "nope:3" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  graphio: bad3.txt:1: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
 
   $ printf '# only comments\n\n' > empty.txt
   $ ../../bin/graphio.exe batch empty.txt

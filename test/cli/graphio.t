@@ -3,7 +3,7 @@ The CLI computes spectral bounds on generated graphs:
   $ ../../bin/graphio.exe bound -g fft:6 -m 4
   graph: n=448 m_edges=768 max_out_degree=2
   method: normalized (Theorem 4)
-  eigen backend: dense Householder+QL (h=100)
+  spectrum: closed form, recognized butterfly B_6 (h=100)
   lower bound on non-trivial I/O: 0 (best k = 2, raw = -2.98193)
 
 Theorem 5 (standard Laplacian divided by max out-degree) is looser:
@@ -11,7 +11,7 @@ Theorem 5 (standard Laplacian divided by max out-degree) is looser:
   $ ../../bin/graphio.exe bound -g bhk:8 -m 4 --method standard
   graph: n=256 m_edges=1024 max_out_degree=8
   method: standard (Theorem 5)
-  eigen backend: dense Householder+QL (h=100)
+  spectrum: closed form, recognized hypercube Q_8 (h=100)
   lower bound on non-trivial I/O: 18.5 (best k = 3, raw = 18.5)
 
 The convex min-cut baseline:
@@ -44,7 +44,7 @@ Generation round-trips through files:
 Errors are reported cleanly, with exit code 1:
 
   $ ../../bin/graphio.exe bound -g nope:3 -m 4 2>&1 | head -2
-  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
 
   $ ../../bin/graphio.exe simulate -g matmul:8 -m 4 2>&1 | head -1
   graphio: Simulator.simulate: fast memory 4 too small for max in-degree 8
@@ -65,7 +65,9 @@ Errors are reported cleanly, with exit code 1:
 Observability: --metrics prints the counter table to stderr (stdout stays
 byte-identical), and --trace writes Chrome trace-event JSON:
 
-  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics --trace trace.json 2>&1 >/dev/null | grep -c "la.eigen"
+(fft:4 is recognized, so --no-closed-form keeps the eigensolver in play):
+
+  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --no-closed-form --metrics --trace trace.json 2>&1 >/dev/null | grep -c "la.eigen"
   6
   $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics 2>&1 >/dev/null | head -1
   == metrics ==

@@ -1,0 +1,49 @@
+Recognized graphs are served from the closed-form spectrum tier; the
+escape hatch --no-closed-form forces the numeric eigensolver.  The bound
+line must be identical either way:
+
+  $ ../../bin/graphio.exe bound -g fft:6 -m 4 | tail -1 > closed.txt
+  $ ../../bin/graphio.exe bound -g fft:6 -m 4 --no-closed-form | tail -1 > numeric.txt
+  $ diff closed.txt numeric.txt
+
+Only the spectrum provenance line differs:
+
+  $ ../../bin/graphio.exe bound -g fft:6 -m 4 | grep spectrum:
+  spectrum: closed form, recognized butterfly B_6 (h=100)
+  $ ../../bin/graphio.exe bound -g fft:6 -m 4 --no-closed-form | grep "eigen backend:"
+  eigen backend: dense Householder+QL (h=100)
+
+Every recognized family dispatches closed-form under the standard method:
+
+  $ ../../bin/graphio.exe bound -g bhk:6 -m 8 --method standard | grep spectrum:
+  spectrum: closed form, recognized hypercube Q_6 (h=64)
+  $ ../../bin/graphio.exe bound -g path:40 -m 3 --method standard | grep spectrum:
+  spectrum: closed form, recognized path P_40 (h=40)
+  $ ../../bin/graphio.exe bound -g grid:5:9 -m 4 --method standard | grep spectrum:
+  spectrum: closed form, recognized grid 5x9 (h=45)
+
+The hypercube and grid have non-uniform out-degree, so the normalized
+Laplacian has no exact closed form and those queries fall back to the
+numeric tier:
+
+  $ ../../bin/graphio.exe bound -g bhk:6 -m 8 | grep "eigen backend:"
+  eigen backend: dense Householder+QL (h=64)
+
+--metrics proves the dispatch: the closed-form run counts a hit and pays
+zero eigensolver work, the numeric run pays a dense solve and no hit:
+
+  $ ../../bin/graphio.exe bound -g fft:5 -m 4 --metrics 2>&1 >/dev/null \
+  >   | grep -E "closed_form_hits|la.eigen.dense_solves|la.csr.matvecs"
+  core.solver.closed_form_hits    1
+  la.csr.matvecs                  0
+  la.eigen.dense_solves           0
+  $ ../../bin/graphio.exe bound -g fft:5 -m 4 --no-closed-form --metrics 2>&1 >/dev/null \
+  >   | grep -E "closed_form_hits|la.eigen.dense_solves"
+  core.solver.closed_form_hits    0
+  la.eigen.dense_solves           1
+
+An unrecognized graph never counts a hit, with or without the flag:
+
+  $ ../../bin/graphio.exe bound -g strassen:2 -m 4 --metrics 2>&1 >/dev/null \
+  >   | grep closed_form_hits
+  core.solver.closed_form_hits    0

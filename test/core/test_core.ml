@@ -117,7 +117,10 @@ let test_solver_closed_form_agrees_with_numeric () =
   List.iter
     (fun l ->
       let g = Fft.build l in
-      let numeric = (Solver.bound ~method_:Solver.Standard g ~m:8).Solver.result in
+      let numeric =
+        (Solver.bound ~method_:Solver.Standard ~closed_form:false g ~m:8)
+          .Solver.result
+      in
       let closed =
         Solver.bound_of_spectrum
           ~spectrum:(Butterfly_spectra.spectrum l)
@@ -133,7 +136,10 @@ let test_solver_hypercube_closed_form () =
   List.iter
     (fun l ->
       let g = Bhk.build l in
-      let numeric = (Solver.bound ~method_:Solver.Standard g ~m:4).Solver.result in
+      let numeric =
+        (Solver.bound ~method_:Solver.Standard ~closed_form:false g ~m:4)
+          .Solver.result
+      in
       let closed =
         Solver.bound_of_spectrum
           ~spectrum:(Hypercube_spectra.spectrum l)
@@ -165,8 +171,8 @@ let test_solver_sparse_path_agrees_with_dense () =
   (* low dense_threshold routes the whole pipeline through the
      Chebyshev-filtered solver: the bound must match the dense default *)
   let g = Fft.build 6 in
-  let dense = Solver.bound ~h:16 g ~m:8 in
-  let sparse = Solver.bound ~h:16 ~dense_threshold:0 g ~m:8 in
+  let dense = Solver.bound ~h:16 ~closed_form:false g ~m:8 in
+  let sparse = Solver.bound ~h:16 ~dense_threshold:0 ~closed_form:false g ~m:8 in
   Alcotest.(check bool) "dense backend default" true
     (dense.Solver.backend = Graphio_la.Eigen.Dense);
   Alcotest.(check bool) "sparse backend forced" true
@@ -176,7 +182,9 @@ let test_solver_sparse_path_agrees_with_dense () =
     sparse.Solver.result.Spectral_bound.bound;
   (* and through a domain pool, bitwise against the sequential sparse run *)
   Graphio_par.Pool.with_pool ~size:2 (fun pool ->
-      let pooled = Solver.bound ~h:16 ~dense_threshold:0 ~pool g ~m:8 in
+      let pooled =
+        Solver.bound ~h:16 ~dense_threshold:0 ~closed_form:false ~pool g ~m:8
+      in
       Alcotest.(check bool) "pooled bitwise equal" true
         (Array.for_all2
            (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))

@@ -70,16 +70,27 @@ let test_sandwich_traced_programs () =
 
 let test_backends_agree_on_fft () =
   let g = Fft.build 6 in
-  (* force both paths over the same Laplacian *)
-  let dense = (Solver.bound ~dense_threshold:100_000 g ~m:8).Solver.result in
-  let lanczos = (Solver.bound ~dense_threshold:10 g ~m:8).Solver.result in
+  (* force both numeric paths over the same Laplacian (closed_form:false:
+     the recognizer would otherwise answer before either backend runs) *)
+  let dense =
+    (Solver.bound ~dense_threshold:100_000 ~closed_form:false g ~m:8)
+      .Solver.result
+  in
+  let lanczos =
+    (Solver.bound ~dense_threshold:10 ~closed_form:false g ~m:8).Solver.result
+  in
   Alcotest.(check (float 1.0)) "bounds agree"
     dense.Spectral_bound.bound lanczos.Spectral_bound.bound
 
 let test_backends_agree_on_bhk () =
   let g = Bhk.build 9 in
-  let dense = (Solver.bound ~dense_threshold:100_000 g ~m:8).Solver.result in
-  let lanczos = (Solver.bound ~dense_threshold:10 g ~m:8).Solver.result in
+  let dense =
+    (Solver.bound ~dense_threshold:100_000 ~closed_form:false g ~m:8)
+      .Solver.result
+  in
+  let lanczos =
+    (Solver.bound ~dense_threshold:10 ~closed_form:false g ~m:8).Solver.result
+  in
   Alcotest.(check (float 1.0)) "bounds agree"
     dense.Spectral_bound.bound lanczos.Spectral_bound.bound
 
@@ -88,7 +99,9 @@ let test_closed_form_vs_lanczos_butterfly () =
   let l = 7 in
   let g = Fft.build l in
   let lanczos =
-    (Solver.bound ~method_:Solver.Standard ~dense_threshold:10 g ~m:8).Solver.result
+    (Solver.bound ~method_:Solver.Standard ~dense_threshold:10
+       ~closed_form:false g ~m:8)
+      .Solver.result
   in
   let closed =
     Solver.bound_of_spectrum

@@ -164,9 +164,14 @@ let prop_bound_differential =
     QCheck2.Gen.(pair (int_range 30 60) (int_range 1 1000))
     (fun (n, seed) ->
       let g = Er.gnp ~n ~p:0.15 ~seed in
-      let reference = Solver.bound ~h:10 ~dense_threshold:0 g ~m:4 in
+      let reference =
+        Solver.bound ~h:10 ~dense_threshold:0 ~closed_form:false g ~m:4
+      in
       Pool.with_pool ~size:2 (fun pool ->
-          let pooled = Solver.bound ~h:10 ~dense_threshold:0 ~pool g ~m:4 in
+          let pooled =
+            Solver.bound ~h:10 ~dense_threshold:0 ~closed_form:false ~pool g
+              ~m:4
+          in
           reference.Solver.result = pooled.Solver.result
           && bits_equal reference.Solver.eigenvalues pooled.Solver.eigenvalues))
 
@@ -261,10 +266,12 @@ let batch_jobs () =
 (* dense_threshold 24 sends bhk4 (n=16) dense and the ffts (n>=32) through
    the iterative path, covering both backends in one batch *)
 (* the explicit disabled cache keeps these in-batch-dedup assertions
-   hermetic even when GRAPHIO_CACHE_DIR is exported *)
+   hermetic even when GRAPHIO_CACHE_DIR is exported; closed_form:false keeps
+   the recognized fft/bhk jobs on the numeric eigensolve path these
+   dedup/determinism assertions exist to exercise *)
 let run_batch ?pool jobs =
   Solver.bound_batch ~cache:Graphio_cache.Spectrum.disabled ?pool ~h:8
-    ~dense_threshold:24 jobs
+    ~dense_threshold:24 ~closed_form:false jobs
 
 let same_outcome msg (a : Solver.batch_result) (b : Solver.batch_result) =
   Alcotest.(check bool) (msg ^ ": same result") true
@@ -330,7 +337,7 @@ let test_batch_matches_single_bounds () =
       let j = r.Solver.job in
       let single =
         Solver.bound ~method_:j.Solver.method_ ~h:8 ~dense_threshold:24
-          ?p:j.Solver.p j.Solver.dag ~m:j.Solver.m
+          ~closed_form:false ?p:j.Solver.p j.Solver.dag ~m:j.Solver.m
       in
       Alcotest.(check bool) "batch result equals Solver.bound" true
         (single.Solver.result = r.Solver.outcome.Solver.result))

@@ -1,0 +1,373 @@
+(* The differential battery behind the closed-form dispatch tier.
+
+   The recognizer ends in a full structural verification, so a false
+   positive is impossible by construction — what this battery pins down
+   empirically is everything else:
+
+   - completeness: every builder instance of every family, over the whole
+     solver-feasible size range, IS recognized (sweep + QCheck relabeling);
+   - agreement: the closed-form spectrum and bound match the numeric
+     pipeline on every instance, for both Theorems 4 and 5;
+   - zero work: a recognized bound performs no eigensolve at all (matvec
+     and solve counters are flat);
+   - no misrecognition: one-edge perturbations of family instances are
+     rejected (QCheck negatives), as are the non-family workloads. *)
+
+open Graphio_core
+open Graphio_workloads
+module R = Graphio_recognize.Recognize
+module Metrics = Graphio_obs.Metrics
+module Dag = Graphio_graph.Dag
+module Er = Graphio_graph.Er
+
+let family : R.family Alcotest.testable = Alcotest.testable R.pp R.equal
+
+let path n = Sequences.independent_chains ~count:1 ~length:n
+
+(* ------------------------------------------------------------------ *)
+(* Recognition of builder instances                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_recognize_families () =
+  (* B_1's support is C_4 = Q_2 and Q_1 = P_2: on coinciding instances the
+     earlier recognizer wins, and the spectra agree because the graphs are
+     equal (checked in the sweep below). *)
+  let cases =
+    [ ("fft 1", Fft.build 1, R.Hypercube 2);
+      ("fft 2", Fft.build 2, R.Butterfly 2);
+      ("fft 5", Fft.build 5, R.Butterfly 5);
+      ("bhk 1", Bhk.build 1, R.Path 2);
+      ("bhk 2", Bhk.build 2, R.Hypercube 2);
+      ("bhk 6", Bhk.build 6, R.Hypercube 6);
+      ("path 1", path 1, R.Path 1);
+      ("path 2", path 2, R.Path 2);
+      ("path 17", path 17, R.Path 17);
+      ("grid 2x3", Stencil.grid ~rows:2 ~cols:3, R.Grid (2, 3));
+      ("grid 5x3", Stencil.grid ~rows:5 ~cols:3, R.Grid (3, 5));
+      ("grid 4x4", Stencil.grid ~rows:4 ~cols:4, R.Grid (4, 4)) ]
+  in
+  List.iter
+    (fun (name, g, expected) ->
+      Alcotest.(check (option family)) name (Some expected) (R.recognize g))
+    cases
+
+let test_rejects_non_families () =
+  let cases =
+    [ ("matmul 3", Matmul.build 3);
+      ("strassen 2", Strassen.build 2);
+      ("inner 8", Inner_product.build 8);
+      ("er 30", Er.gnp ~n:30 ~p:0.2 ~seed:3);
+      ("3-point stencil", Stencil.build ~width:5 ~steps:3 ());
+      ("pyramid", Stencil.pyramid 5);
+      ("two chains", Sequences.independent_chains ~count:2 ~length:5);
+      ("edgeless", Dag.of_edges ~n:10 []);
+      ("empty", Dag.of_edges ~n:0 []) ]
+  in
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check (option family)) name None (R.recognize g))
+    cases
+
+let test_reciprocal_edges_rejected () =
+  (* a reciprocal pair doubles the support weight, which no closed form
+     models — must not be recognized even though the support looks like P_3
+     (of_edges would reject the cycle, so drive the builder directly) *)
+  let b = Dag.Builder.create () in
+  for _ = 0 to 2 do
+    ignore (Dag.Builder.add_vertex b)
+  done;
+  Dag.Builder.add_edge b 0 1;
+  Dag.Builder.add_edge b 1 0;
+  Dag.Builder.add_edge b 1 2;
+  let g = Dag.Builder.build ~verify_acyclic:false b in
+  Alcotest.(check (option family)) "reciprocal pair" None (R.recognize g)
+
+let test_uniform_out_degree () =
+  Alcotest.(check (option int)) "fft" (Some 2) (R.uniform_out_degree (Fft.build 3));
+  Alcotest.(check (option int)) "chain" (Some 1) (R.uniform_out_degree (path 9));
+  Alcotest.(check (option int)) "bhk not uniform" None
+    (R.uniform_out_degree (Bhk.build 3));
+  Alcotest.(check (option int)) "edgeless" None
+    (R.uniform_out_degree (Dag.of_edges ~n:4 []))
+
+(* ------------------------------------------------------------------ *)
+(* Differential sweep: closed form vs numeric                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every butterfly, hypercube, path and grid instance the numeric solver
+   can comfortably diagonalize.  The dense backend is forced on the
+   numeric side so the comparison tolerance reflects dense eigensolver
+   accuracy, not iterative convergence. *)
+let sweep_instances () =
+  List.concat
+    [ List.map (fun k -> (Printf.sprintf "fft %d" k, Fft.build k)) [ 1; 2; 3; 4; 5; 6 ];
+      List.map (fun l -> (Printf.sprintf "bhk %d" l, Bhk.build l)) [ 1; 2; 3; 4; 5; 6; 7 ];
+      List.map (fun n -> (Printf.sprintf "path %d" n, path n)) [ 1; 2; 3; 5; 17; 64 ];
+      List.map
+        (fun (r, c) -> (Printf.sprintf "grid %dx%d" r c, Stencil.grid ~rows:r ~cols:c))
+        [ (2, 3); (3, 3); (3, 5); (4, 6); (5, 5) ] ]
+
+let check_closed_vs_numeric name ~method_ ~require_closed g =
+  let m = 8 and h = 24 in
+  let closed = Solver.bound ~method_ ~h g ~m in
+  let numeric =
+    Solver.bound ~method_ ~h ~dense_threshold:1_000_000 ~closed_form:false g ~m
+  in
+  Alcotest.(check bool) (name ^ ": numeric tier") true
+    (numeric.Solver.tier = Solver.Numeric);
+  match closed.Solver.tier with
+  | Solver.Numeric ->
+      if require_closed then
+        Alcotest.failf "%s: expected the closed-form tier to answer" name
+  | Solver.Closed_form _ ->
+      let ev_c = closed.Solver.eigenvalues
+      and ev_n = numeric.Solver.eigenvalues in
+      Alcotest.(check int) (name ^ ": eigenvalue count") (Array.length ev_n)
+        (Array.length ev_c);
+      Array.iteri
+        (fun i c ->
+          if Float.abs (c -. ev_n.(i)) > 1e-8 then
+            Alcotest.failf "%s: eigenvalue %d: closed %.12g vs numeric %.12g"
+              name i c ev_n.(i))
+        ev_c;
+      let b_c = closed.Solver.result.Spectral_bound.bound
+      and b_n = numeric.Solver.result.Spectral_bound.bound in
+      if Float.abs (b_c -. b_n) > 1e-6 *. Float.max 1.0 (Float.abs b_n) then
+        Alcotest.failf "%s: bound: closed %.12g vs numeric %.12g" name b_c b_n;
+      Alcotest.(check int) (name ^ ": best_k")
+        numeric.Solver.result.Spectral_bound.best_k
+        closed.Solver.result.Spectral_bound.best_k
+
+let test_sweep_standard () =
+  (* Theorem 5's closed form applies to every recognized graph *)
+  List.iter
+    (fun (name, g) ->
+      check_closed_vs_numeric name ~method_:Solver.Standard ~require_closed:true g)
+    (sweep_instances ())
+
+let test_sweep_normalized () =
+  (* Theorem 4's closed form needs a uniform out-degree: true for the
+     butterflies (d = 2) and chains (d = 1), false for BHK and the grid
+     diamond DAG — those must fall back to the (always correct) numeric
+     tier, which the sweep still cross-checks *)
+  List.iter
+    (fun (name, g) ->
+      let require_closed = R.uniform_out_degree g <> None in
+      check_closed_vs_numeric name ~method_:Solver.Normalized ~require_closed g)
+    (sweep_instances ())
+
+let test_normalized_fallback_is_numeric () =
+  let g = Bhk.build 4 in
+  let o = Solver.bound ~method_:Solver.Normalized g ~m:8 in
+  Alcotest.(check bool) "bhk normalized falls back" true
+    (o.Solver.tier = Solver.Numeric);
+  let o = Solver.bound ~method_:Solver.Standard g ~m:8 in
+  Alcotest.(check bool) "bhk standard stays closed" true
+    (match o.Solver.tier with Solver.Closed_form _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Zero eigensolver work on the closed path                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_form_zero_matvecs () =
+  let matvecs = Metrics.counter "la.csr.matvecs" in
+  let dense = Metrics.counter "la.eigen.dense_solves" in
+  let sparse = Metrics.counter "la.eigen.sparse_solves" in
+  let hits = Metrics.counter "core.solver.closed_form_hits" in
+  List.iter
+    (fun (name, g) ->
+      let mv0 = Metrics.counter_value matvecs
+      and d0 = Metrics.counter_value dense
+      and s0 = Metrics.counter_value sparse
+      and h0 = Metrics.counter_value hits in
+      (* dense_threshold 0 would route a numeric solve through the matvec
+         counter, so a flat counter proves the eigensolver never ran *)
+      let o = Solver.bound ~method_:Solver.Standard ~dense_threshold:0 g ~m:8 in
+      Alcotest.(check bool) (name ^ ": closed tier") true
+        (match o.Solver.tier with Solver.Closed_form _ -> true | _ -> false);
+      Alcotest.(check bool) (name ^ ": no solve stats") true
+        (o.Solver.solve_stats = None);
+      Alcotest.(check int) (name ^ ": zero matvecs") mv0
+        (Metrics.counter_value matvecs);
+      Alcotest.(check int) (name ^ ": zero dense solves") d0
+        (Metrics.counter_value dense);
+      Alcotest.(check int) (name ^ ": zero sparse solves") s0
+        (Metrics.counter_value sparse);
+      Alcotest.(check int) (name ^ ": hit counted") (h0 + 1)
+        (Metrics.counter_value hits))
+    [ ("fft 5", Fft.build 5); ("path 40", path 40);
+      ("grid 6x7", Stencil.grid ~rows:6 ~cols:7) ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: relabeling invariance and perturbation rejection            *)
+(* ------------------------------------------------------------------ *)
+
+(* a deterministic permutation of [0, n) from a seed (Fisher–Yates over a
+   splitmix-ish stream — no Random state shared with QCheck) *)
+let permutation ~seed n =
+  let s = ref (Int64.of_int (seed lxor 0x9e3779b9)) in
+  let next () =
+    s := Int64.mul (Int64.add !s 0x9e3779b97f4a7c15L) 0xbf58476d1ce4e5b9L;
+    Int64.to_int (Int64.shift_right_logical !s 33)
+  in
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = next () mod (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+(* Relabeled copy.  Directed structure is preserved, so the result is the
+   same DAG under a different vertex numbering. *)
+let relabel ~seed g =
+  let n = Dag.n_vertices g in
+  let p = permutation ~seed n in
+  Dag.of_edges ~n (List.map (fun (u, v) -> (p.(u), p.(v))) (Dag.edges g))
+
+(* Family instances whose names are unambiguous (B_1, Q_1, Q_2 coincide
+   with other families and are covered by the unit cases above). *)
+let gen_instance =
+  QCheck2.Gen.(
+    oneof
+      [ (let* k = int_range 2 4 in
+         return (R.Butterfly k, Fft.build k));
+        (let* l = int_range 3 6 in
+         return (R.Hypercube l, Bhk.build l));
+        (let* n = int_range 3 48 in
+         return (R.Path n, path n));
+        (let* r = int_range 2 6 in
+         let* c = int_range 3 6 in
+         if r * c < 6 then assert false
+         else return (R.Grid (min r c, max r c), Stencil.grid ~rows:r ~cols:c)) ])
+
+let prop_relabeled_still_recognized =
+  QCheck2.Test.make ~name:"relabeled instances stay recognized" ~count:60
+    QCheck2.Gen.(pair gen_instance (int_range 0 10_000))
+    (fun ((fam, g), seed) -> R.recognize (relabel ~seed g) = Some fam)
+
+(* Perturbations stay DAGs: builder vertex order is topological for every
+   generator above, so adding u -> v with u < v cannot close a cycle. *)
+let add_one_edge ~seed g =
+  let n = Dag.n_vertices g in
+  let s = ref (seed lxor 0x5bd1e995) in
+  let next bound =
+    s := (!s * 1103515245) + 12345;
+    (!s lsr 7) mod bound
+  in
+  let rec pick tries =
+    if tries = 0 then None
+    else
+      let u = next n and v = next n in
+      let u, v = (min u v, max u v) in
+      if u <> v && (not (Dag.has_edge g u v)) && not (Dag.has_edge g v u) then
+        Some (Dag.of_edges ~n ((u, v) :: Dag.edges g))
+      else pick (tries - 1)
+  in
+  pick 64
+
+let remove_one_edge ~seed g =
+  let edges = Dag.edges g in
+  let m = List.length edges in
+  if m = 0 then None
+  else
+    let drop = (seed * 7919) mod m in
+    Some (Dag.of_edges ~n:(Dag.n_vertices g)
+            (List.filteri (fun i _ -> i <> drop) edges))
+
+let perturbation_prop ~count name gen perturb =
+  QCheck2.Test.make ~name ~count
+    QCheck2.Gen.(pair gen (int_range 0 100_000))
+    (fun (g, seed) ->
+      match perturb ~seed g with
+      | None -> QCheck2.assume_fail ()
+      | Some g' -> R.recognize g' = None)
+
+(* The size floors below exclude the coinciding tiny instances for which a
+   one-edge perturbation legitimately IS another family (e.g. Q_2 minus an
+   edge is P_4, and P_4 plus the closing chord is C_4 = Q_2). *)
+
+let prop_butterfly_perturbed_rejected =
+  perturbation_prop ~count:40 "butterfly +/- one edge is not recognized"
+    QCheck2.Gen.(
+      let* k = int_range 2 4 in
+      return (Fft.build k))
+    (fun ~seed g ->
+      if seed land 1 = 0 then add_one_edge ~seed g else remove_one_edge ~seed g)
+
+let prop_hypercube_perturbed_rejected =
+  perturbation_prop ~count:40 "hypercube +/- one edge is not recognized"
+    QCheck2.Gen.(
+      let* l = int_range 3 6 in
+      return (Bhk.build l))
+    (fun ~seed g ->
+      if seed land 1 = 0 then add_one_edge ~seed g else remove_one_edge ~seed g)
+
+let prop_path_with_chord_rejected =
+  perturbation_prop ~count:40 "path plus a chord is not recognized"
+    QCheck2.Gen.(
+      let* n = int_range 5 48 in
+      return (path n))
+    add_one_edge
+
+let prop_grid_minus_edge_rejected =
+  perturbation_prop ~count:40 "grid minus one edge is not recognized"
+    QCheck2.Gen.(
+      let* r = int_range 2 6 in
+      let* c = int_range 3 6 in
+      return (Stencil.grid ~rows:r ~cols:c))
+    remove_one_edge
+
+(* closed-form and numeric agree on relabeled instances too: recognition is
+   what dispatches, so the differential must survive renumbering *)
+let prop_relabeled_bound_agrees =
+  QCheck2.Test.make ~name:"relabeled closed-form bound matches numeric" ~count:20
+    QCheck2.Gen.(pair gen_instance (int_range 0 10_000))
+    (fun ((_, g), seed) ->
+      let g = relabel ~seed g in
+      let closed = Solver.bound ~method_:Solver.Standard ~h:16 g ~m:8 in
+      let numeric =
+        Solver.bound ~method_:Solver.Standard ~h:16 ~dense_threshold:1_000_000
+          ~closed_form:false g ~m:8
+      in
+      (match closed.Solver.tier with
+      | Solver.Closed_form _ -> true
+      | Solver.Numeric -> false)
+      &&
+      let b_c = closed.Solver.result.Spectral_bound.bound
+      and b_n = numeric.Solver.result.Spectral_bound.bound in
+      Float.abs (b_c -. b_n) <= 1e-6 *. Float.max 1.0 (Float.abs b_n))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_relabeled_still_recognized;
+      prop_butterfly_perturbed_rejected;
+      prop_hypercube_perturbed_rejected;
+      prop_path_with_chord_rejected;
+      prop_grid_minus_edge_rejected;
+      prop_relabeled_bound_agrees ]
+
+let () =
+  Alcotest.run "graphio_recognize"
+    [
+      ( "recognize",
+        [
+          Alcotest.test_case "builder families recognized" `Quick
+            test_recognize_families;
+          Alcotest.test_case "non-families rejected" `Quick
+            test_rejects_non_families;
+          Alcotest.test_case "reciprocal edges rejected" `Quick
+            test_reciprocal_edges_rejected;
+          Alcotest.test_case "uniform out-degree" `Quick test_uniform_out_degree;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "standard sweep" `Quick test_sweep_standard;
+          Alcotest.test_case "normalized sweep" `Quick test_sweep_normalized;
+          Alcotest.test_case "normalized fallback" `Quick
+            test_normalized_fallback_is_numeric;
+          Alcotest.test_case "zero matvecs" `Quick test_closed_form_zero_matvecs;
+        ] );
+      ("properties", props);
+    ]

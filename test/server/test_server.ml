@@ -19,7 +19,7 @@ let with_server ?(pool_size = 3) ?timeout_s ?(cache = Graphio_cache.Spectrum.dis
   let transport = Server.Unix_socket path in
   let cfg =
     { Server.transport; pool_size; cache; timeout_s; h = 16;
-      dense_threshold = Some 24 }
+      dense_threshold = Some 24; closed_form = true }
   in
   let listening = Atomic.make false in
   let server =
@@ -240,6 +240,46 @@ let test_cache_warms_across_clients () =
        (Int64.bits_of_float (get_float "bound" first))
        (Int64.bits_of_float (get_float "bound" second)))
 
+(* A recognized graph served twice over a shared cache: both replies come
+   from the closed-form tier, echo their own request id, carry distinct
+   server-side rids, the second is a cache hit, and the bound is bitwise
+   identical across the two serves. *)
+let test_closed_form_served_twice () =
+  with_server ~cache:(Graphio_cache.Spectrum.create ()) @@ fun transport ->
+  let ask id =
+    let c = Client.connect transport in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Jsonx.of_string
+          (Client.rpc c
+             (Printf.sprintf
+                {|{"spec":"fft:5","m":8,"method":"standard","id":"%s"}|} id)))
+  in
+  let first = ask "cf1" and second = ask "cf2" in
+  List.iter
+    (fun (name, reply) ->
+      match get "tier" reply with
+      | Jsonx.String "closed-form" -> ()
+      | _ -> Alcotest.failf "%s reply not closed-form: %s" name (Jsonx.to_string reply))
+    [ ("first", first); ("second", second) ];
+  (match (get "id" first, get "id" second) with
+  | Jsonx.String "cf1", Jsonx.String "cf2" -> ()
+  | _ -> Alcotest.fail "request ids not echoed");
+  let rid reply =
+    match get "rid" reply with
+    | Jsonx.String r -> r
+    | _ -> Alcotest.fail "reply carries no rid"
+  in
+  Alcotest.(check bool) "rids are per-request" true (rid first <> rid second);
+  (match get "cache_hit" second with
+  | Jsonx.Bool true -> ()
+  | _ -> Alcotest.fail "second serve should hit the warm cache");
+  Alcotest.(check bool) "closed-form bound bitwise stable" true
+    (Int64.equal
+       (Int64.bits_of_float (get_float "bound" first))
+       (Int64.bits_of_float (get_float "bound" second)))
+
 (* A full telemetry round trip over the wire: the success reply carries a
    request id, and {"op":"metrics"} exposes non-zero latency quantiles, a
    Prometheus rendering, and freshly sampled GC gauges — live, without
@@ -333,6 +373,8 @@ let () =
           Alcotest.test_case "stats and ping" `Quick test_stats_and_ping;
           Alcotest.test_case "edgelist queries" `Quick test_edgelist_queries;
           Alcotest.test_case "metrics exposition" `Quick test_metrics_exposition;
+          Alcotest.test_case "closed form served twice" `Quick
+            test_closed_form_served_twice;
           Alcotest.test_case "cache warms across clients" `Quick
             test_cache_warms_across_clients;
         ] );

@@ -35,6 +35,13 @@ let test_multiset_rejects_negative () =
     (Invalid_argument "Multiset.of_list: negative multiplicity") (fun () ->
       ignore (Multiset.of_list [ (1.0, -1) ]))
 
+let test_multiset_rejects_nan () =
+  (* NaN would sort unpredictably under the tolerance merge, producing a
+     structurally valid but silently wrong multiset *)
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Multiset.of_list: NaN eigenvalue") (fun () ->
+      ignore (Multiset.of_list [ (1.0, 1); (Float.nan, 2) ]))
+
 let test_multiset_of_array_roundtrip () =
   let values = [| 3.0; 1.0; 2.0; 1.0 |] in
   let m = Multiset.of_array values in
@@ -347,9 +354,55 @@ let prop_multiset_sum_prefix =
       let direct = Array.fold_left ( +. ) 0.0 (Array.sub a 0 k) in
       Float.abs (Multiset.smallest_sum m ~k -. direct) < 1e-9)
 
+(* Random undirected simple graph on [n] vertices as a DAG edge list
+   (u < v), dense enough to usually be interesting, from a deterministic
+   QCheck-driven coin per candidate edge. *)
+let gen_graph =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun n ->
+    list_repeat (n * (n - 1) / 2) (int_range 0 2) >>= fun coins ->
+    let edges = ref [] and i = ref 0 in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if List.nth coins !i > 0 then edges := (u, v) :: !edges;
+        incr i
+      done
+    done;
+    return (n, !edges))
+
+let prop_cartesian_sum_is_kronecker_sum =
+  (* Product_spectra.cartesian_sum must agree with the numerically
+     diagonalized Kronecker sum L_A (x) I + I (x) L_B — the identity the
+     grid/torus/hypercube closed forms all lean on. *)
+  QCheck2.Test.make ~name:"cartesian_sum equals Kronecker-sum spectrum"
+    ~count:100
+    QCheck2.Gen.(pair gen_graph gen_graph)
+    (fun ((na, ea), (nb, eb)) ->
+      let la = laplacian_of_edges na ea and lb = laplacian_of_edges nb eb in
+      let kron =
+        Mat.init (na * nb) (na * nb) (fun i j ->
+            let ia = i / nb and ib = i mod nb in
+            let ja = j / nb and jb = j mod nb in
+            (if ib = jb then la.(ia).(ja) else 0.0)
+            +. if ia = ja then lb.(ib).(jb) else 0.0)
+      in
+      let numeric = Tql.symmetric_eigenvalues kron in
+      let closed =
+        Multiset.to_array
+          (Product_spectra.cartesian_sum
+             (Multiset.of_array (Tql.symmetric_eigenvalues la))
+             (Multiset.of_array (Tql.symmetric_eigenvalues lb)))
+      in
+      Array.length closed = Array.length numeric
+      && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-7) closed numeric)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_multiset_smallest_sorted; prop_multiset_sum_prefix ]
+    [
+      prop_multiset_smallest_sorted;
+      prop_multiset_sum_prefix;
+      prop_cartesian_sum_is_kronecker_sum;
+    ]
 
 let () =
   Alcotest.run "graphio_spectra"
@@ -360,6 +413,7 @@ let () =
           Alcotest.test_case "merging close values" `Quick test_multiset_merging_values;
           Alcotest.test_case "drops zero multiplicity" `Quick test_multiset_drops_zero_mult;
           Alcotest.test_case "rejects negative" `Quick test_multiset_rejects_negative;
+          Alcotest.test_case "rejects NaN" `Quick test_multiset_rejects_nan;
           Alcotest.test_case "of_array roundtrip" `Quick test_multiset_of_array_roundtrip;
           Alcotest.test_case "merge and scale" `Quick test_multiset_merge_scale;
           Alcotest.test_case "sum bounds" `Quick test_multiset_sum_exceeds;

@@ -401,7 +401,10 @@ let contains_substring hay needle =
    test derives its cases FROM the grammar string: adding a family to
    the parser without updating the grammar (or vice versa) fails here. *)
 let test_spec_grammar_forms_parse () =
-  let subst = [ ("L", "3"); ("N", "2"); ("D", "4"); ("P", "0.2"); ("SEED", "7") ] in
+  let subst =
+    [ ("L", "3"); ("N", "2"); ("R", "2"); ("C", "3"); ("D", "4");
+      ("P", "0.2"); ("SEED", "7") ]
+  in
   let expand form =
     (* "er:N:P[:SEED]" -> both the bare and the optional-suffix form *)
     match String.index_opt form '[' with
