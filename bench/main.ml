@@ -38,6 +38,20 @@ let emit report =
    corrupt benchmark timings. *)
 let time f = Graphio_obs.Clock.time f
 
+let counter_of snapshot name =
+  match Graphio_obs.Metrics.find snapshot name with
+  | Some (Graphio_obs.Metrics.Counter v) -> v
+  | _ -> 0
+
+(* Matvec counts come from the process-wide [la.eigen.matvecs] counter;
+   deltas around a run attribute them to it (single-threaded sections
+   only — the counter is global). *)
+let with_matvecs f =
+  let before = counter_of (Graphio_obs.Metrics.snapshot ()) "la.eigen.matvecs" in
+  let x, dt = time f in
+  let after = counter_of (Graphio_obs.Metrics.snapshot ()) "la.eigen.matvecs" in
+  (x, dt, after - before)
+
 (* Eigensolve once per (graph, method), reuse across M values. *)
 let spectral_bounds g ~ms =
   let eigenvalues, _ = Solver.spectrum g in
@@ -725,14 +739,20 @@ let batch () =
       ls
   in
   let jobs = Array.of_list (jobs_of Fft.build ls_fft @ jobs_of Bhk.build ls_bhk) in
-  let _, seq_s = time (fun () -> ignore (Solver.bound_batch jobs)) in
+  (* the closed-form tier would answer every FFT/BHK job without a single
+     matvec (and the recorded matvec counts would all be 0): force the
+     numeric tier so the sweep actually measures the eigensolver and its
+     parallel scaling *)
+  let run pool =
+    Solver.bound_batch ?pool ~dense_threshold:100 ~closed_form:false jobs
+  in
+  let _, seq_s, seq_matvecs = with_matvecs (fun () -> run None) in
   let j = max 1 !njobs in
-  let results, par_s =
-    time (fun () ->
-        if j = 1 then Solver.bound_batch jobs
+  let results, par_s, par_matvecs =
+    with_matvecs (fun () ->
+        if j = 1 then run None
         else
-          Graphio_par.Pool.with_pool ~size:j (fun pool ->
-              Solver.bound_batch ~pool jobs))
+          Graphio_par.Pool.with_pool ~size:j (fun pool -> run (Some pool)))
   in
   let hits = Array.fold_left (fun a r -> if r.Solver.cache_hit then a + 1 else a) 0 results in
   let ncores = Domain.recommended_domain_count () in
@@ -750,8 +770,12 @@ let batch () =
   Report.add_row r [ "sequential (s)"; Report.cell_float seq_s ];
   Report.add_row r [ Printf.sprintf "pool j=%d (s)" j; Report.cell_float par_s ];
   Report.add_row r [ "speedup"; Report.cell_float speedup ];
+  Report.add_row r [ "matvecs (sequential)"; Report.cell_int seq_matvecs ];
+  Report.add_row r [ Printf.sprintf "matvecs (pool j=%d)" j; Report.cell_int par_matvecs ];
   Report.note r
     "same bounds either way (bitwise-deterministic parallel matvec); speedup tracks physical cores";
+  Report.note r
+    "equal matvec counts: the pool changes who runs the matvec, never how many run";
   emit r;
   extra_json :=
     [
@@ -761,6 +785,8 @@ let batch () =
       ("seq_s", Graphio_obs.Jsonx.Float seq_s);
       ("par_s", Graphio_obs.Jsonx.Float par_s);
       ("speedup", Graphio_obs.Jsonx.Float speedup);
+      ("seq_matvecs", Graphio_obs.Jsonx.Int seq_matvecs);
+      ("par_matvecs", Graphio_obs.Jsonx.Int par_matvecs);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -976,6 +1002,157 @@ let recognize () =
   extra_json := List.rev !fields
 
 (* ------------------------------------------------------------------ *)
+(* Eigensolver hot path: CSR kernel, adaptive degree, warm starts      *)
+(* ------------------------------------------------------------------ *)
+
+(* Three workload families through the sparse eigensolver, four sub-runs
+   each:
+     1. old kernel (float arrays), fixed degree 20   - the reference
+     2. new kernel (Bigarray CSR),  fixed degree 20  - must be bitwise
+        identical to 1 at identical matvec count; only wall time may move
+     3. new kernel, auto degree, cold                - fewer matvecs at
+        equal bound accuracy
+     4. new kernel, auto degree, warm-started from a donor solve at a
+        smaller h (the cross-h Ritz reuse the cache tier performs)
+   The per-family matvec counts are deterministic (fixed seed, bitwise
+   matvec) — scripts/check_eigen_baseline.sh pins the quick-mode counts
+   against bench/eigen_baseline.json in CI. *)
+
+let perturbed_grid ~rows ~cols =
+  let b = Dag.Builder.create ~capacity_hint:(rows * cols) () in
+  for _ = 1 to rows * cols do
+    ignore (Dag.Builder.add_vertex b)
+  done;
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = (i * cols) + j in
+      if i > 0 then Dag.Builder.add_edge b (v - cols) v;
+      if j > 0 then Dag.Builder.add_edge b (v - 1) v;
+      (* every 7th cell gains a diagonal shortcut: still a DAG (edges only
+         increase the row-major index), no longer a recognizable grid *)
+      if i < rows - 1 && j < cols - 1 && v mod 7 = 0 then
+        Dag.Builder.add_edge b v (v + cols + 1)
+    done
+  done;
+  Dag.Builder.build b
+
+let eigen () =
+  let open Graphio_la in
+  let families =
+    if !quick then
+      [ ("bhk", Bhk.build 8);
+        ("grid_perturbed", perturbed_grid ~rows:16 ~cols:16);
+        ("random_dag", Er.gnp ~n:300 ~p:0.03 ~seed:7) ]
+    else
+      [ ("bhk", Bhk.build 9);
+        ("grid_perturbed", perturbed_grid ~rows:24 ~cols:24);
+        ("random_dag", Er.gnp ~n:600 ~p:0.02 ~seed:7) ]
+  in
+  let h = if !quick then 32 else 64 in
+  let h_donor = if !quick then 24 else 48 in
+  let solve ?kernel ?init ?(want_vectors = false) ~degree ~h lap =
+    (* dense_threshold 0: always the sparse path — that is the hot path
+       under measurement *)
+    Eigen.smallest ~h ~dense_threshold:0 ~filter_degree:degree ?kernel ?init
+      ~want_vectors lap
+  in
+  let matvecs s =
+    match s.Eigen.stats with Some st -> st.Eigen.matvecs | None -> 0
+  in
+  let bitwise_equal a b =
+    Array.length a = Array.length b
+    && begin
+         let ok = ref true in
+         Array.iteri
+           (fun i x ->
+             if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+               ok := false)
+           a;
+         !ok
+       end
+  in
+  let r =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "eigen: matvec kernel / adaptive degree / warm start (sparse path, h=%d)"
+           h)
+      ~columns:
+        [ "family"; "n"; "old (s)"; "new (s)"; "bitwise"; "fixed mv";
+          "auto mv"; "warm mv"; "auto red"; "warm red"; "accurate" ]
+  in
+  let fields = ref [] in
+  List.iter
+    (fun (name, g) ->
+      let lap = Laplacian.standard g in
+      let n = Dag.n_vertices g in
+      let old_s, old_t =
+        time (fun () ->
+            solve ~kernel:Csr.Arrays ~degree:(Filtered.Fixed 20) ~h lap)
+      in
+      let new_s, new_t =
+        time (fun () ->
+            solve ~kernel:Csr.Bigarray_blocked ~degree:(Filtered.Fixed 20) ~h
+              lap)
+      in
+      let bitwise =
+        bitwise_equal old_s.Eigen.values new_s.Eigen.values
+        && matvecs old_s = matvecs new_s
+      in
+      let auto_s = solve ~degree:Filtered.Auto ~h lap in
+      (* the warm run replays what the cache tier does on a cross-h hit:
+         a donor solve at a smaller h leaves its locked Ritz vectors, the
+         full-h solve starts from them instead of random vectors *)
+      let donor = solve ~degree:Filtered.Auto ~want_vectors:true ~h:h_donor lap in
+      let warm_s =
+        solve ~degree:Filtered.Auto ?init:donor.Eigen.vectors ~h lap
+      in
+      let fixed_mv = matvecs new_s
+      and auto_mv = matvecs auto_s
+      and warm_mv = matvecs warm_s in
+      let reduction v =
+        if fixed_mv = 0 then 0.0
+        else 1.0 -. (float_of_int v /. float_of_int fixed_mv)
+      in
+      (* equal-accuracy check: the bound computed from each variant's
+         spectrum must agree with the fixed-degree cold reference *)
+      let bound_of s =
+        let eigenvalues = Array.map (Float.max 0.0) s.Eigen.values in
+        (Spectral_bound.compute ~n ~m:16 ~eigenvalues ()).Spectral_bound.bound
+      in
+      let b_ref = bound_of new_s in
+      let agree b = Float.abs (b -. b_ref) <= 1e-4 *. (1.0 +. Float.abs b_ref) in
+      let accurate = agree (bound_of auto_s) && agree (bound_of warm_s) in
+      Report.add_row r
+        [ name; Report.cell_int n; Report.cell_float old_t;
+          Report.cell_float new_t; string_of_bool bitwise;
+          Report.cell_int fixed_mv; Report.cell_int auto_mv;
+          Report.cell_int warm_mv;
+          Printf.sprintf "%.0f%%" (100.0 *. reduction auto_mv);
+          Printf.sprintf "%.0f%%" (100.0 *. reduction warm_mv);
+          string_of_bool accurate ];
+      fields :=
+        (name ^ "_accuracy_ok", Graphio_obs.Jsonx.Bool accurate)
+        :: (name ^ "_warm_reduction", Graphio_obs.Jsonx.Float (reduction warm_mv))
+        :: (name ^ "_auto_reduction", Graphio_obs.Jsonx.Float (reduction auto_mv))
+        :: (name ^ "_warm_matvecs", Graphio_obs.Jsonx.Int warm_mv)
+        :: (name ^ "_auto_matvecs", Graphio_obs.Jsonx.Int auto_mv)
+        :: (name ^ "_fixed_matvecs", Graphio_obs.Jsonx.Int fixed_mv)
+        :: (name ^ "_kernel_bitwise", Graphio_obs.Jsonx.Bool bitwise)
+        :: (name ^ "_new_wall_s", Graphio_obs.Jsonx.Float new_t)
+        :: (name ^ "_old_wall_s", Graphio_obs.Jsonx.Float old_t)
+        :: !fields)
+    families;
+  Report.note r
+    "'bitwise': new-kernel spectrum identical to the old kernel bit for bit, at the same matvec count";
+  Report.note r
+    "'auto/warm red': matvecs saved vs the fixed-degree cold solve at equal bound accuracy";
+  Report.note r
+    "warm runs include only the warm solve; the donor is the earlier cross-h solve the cache already holds";
+  emit r;
+  extra_json := List.rev !fields
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1055,13 +1232,9 @@ let sections =
     ("batch", batch);
     ("serve", serve);
     ("recognize", recognize);
+    ("eigen", eigen);
     ("bechamel", bechamel);
   ]
-
-let counter_of snapshot name =
-  match Graphio_obs.Metrics.find snapshot name with
-  | Some (Graphio_obs.Metrics.Counter v) -> v
-  | _ -> 0
 
 let () =
   let rec parse acc = function

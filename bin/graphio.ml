@@ -103,6 +103,47 @@ let no_closed_form_arg =
           "Disable the closed-form spectrum dispatch: always run the \
            numeric eigensolve, even on recognized graph families.")
 
+(* Chebyshev filter degree policy for sparse eigensolves: the adaptive
+   tuner by default, or a pinned integer degree.  Offered on every
+   subcommand that can reach the sparse numeric tier. *)
+let filter_degree_conv =
+  let parse s =
+    match Graphio_la.Filtered.degree_of_string s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "%S: expected auto or an integer degree >= 2" s))
+  in
+  let print ppf d =
+    Format.pp_print_string ppf (Graphio_la.Filtered.degree_name d)
+  in
+  Arg.conv (parse, print)
+
+let filter_degree_arg =
+  Arg.(
+    value
+    & opt filter_degree_conv Graphio_la.Filtered.Auto
+    & info [ "filter-degree" ] ~docv:"POLICY"
+        ~doc:
+          "Chebyshev filter degree for sparse eigensolves: $(b,auto) \
+           (re-tuned every sweep from the observed residual decay, the \
+           default) or a fixed integer >= 2.")
+
+(* Ritz warm starts are on by default for the cached tiers (batch/serve):
+   a cache miss seeds its initial block from locked Ritz vectors of a
+   related solve at a different h.  The flag opts out, restoring bitwise
+   determinism across cache states. *)
+let no_warm_start_arg =
+  Arg.(
+    value & flag
+    & info [ "no-warm-start" ]
+        ~doc:
+          "Never seed a sparse eigensolve from cached Ritz vectors of a \
+           related solve (different $(b,h), same graph/method): warm \
+           starts reach the same bounds to solver tolerance but are not \
+           bitwise-identical to cold solves.")
+
 (* Deterministic fault injection (testing only): the plan activates named
    sites across cache/server/pool; with no plan the sites stay inert.
    Offered on the subcommands that exercise those subsystems. *)
@@ -192,7 +233,7 @@ let generate_cmd =
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name no_closed_form faults obs =
+let bound spec file m h p method_name filter_degree no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let g = load_graph ~spec ~file in
@@ -203,7 +244,10 @@ let bound spec file m h p method_name no_closed_form faults obs =
     | other ->
         raise (Invalid_argument (Printf.sprintf "unknown method %S" other))
   in
-  let o = Solver.bound ~method_ ~h ~p ~closed_form:(not no_closed_form) g ~m in
+  let o =
+    Solver.bound ~method_ ~h ~p ~filter_degree
+      ~closed_form:(not no_closed_form) g ~m
+  in
   let b = o.Solver.result in
   Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" (Dag.n_vertices g)
     (Dag.n_edges g) (Dag.max_out_degree g);
@@ -244,7 +288,7 @@ let bound_cmd =
     Term.(
       ret
         (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
-        $ no_closed_form_arg $ faults_arg $ obs_term))
+        $ filter_degree_arg $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -544,7 +588,8 @@ let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
   | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
-let batch path njobs h dense_threshold cache_dir no_closed_form faults obs =
+let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
+    no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let lines = In_channel.with_open_text path In_channel.input_lines in
@@ -562,8 +607,8 @@ let batch path njobs h dense_threshold cache_dir no_closed_form faults obs =
     Option.map (fun dir -> Graphio_cache.Spectrum.create ~dir ()) cache_dir
   in
   let run pool =
-    Solver.bound_batch ?cache ?pool ~h ?dense_threshold
-      ~closed_form:(not no_closed_form) jobs
+    Solver.bound_batch ?cache ?pool ~h ?dense_threshold ~filter_degree
+      ~warm_start:(not no_warm_start) ~closed_form:(not no_closed_form) jobs
   in
   let results =
     if njobs = 1 then run None
@@ -592,6 +637,7 @@ let batch path njobs h dense_threshold cache_dir no_closed_form faults obs =
                 ("backend", String (backend_name o.Solver.backend));
                 ("tier", String (Solver.tier_name o.Solver.tier));
                 ("cache_hit", Bool r.Solver.cache_hit);
+                ("warm_start", Bool o.Solver.warm_start);
                 ("wall_s", Float r.Solver.wall_s);
               ])))
     results
@@ -627,7 +673,8 @@ let batch_cmd =
     Term.(
       ret
         (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
-        $ no_closed_form_arg $ faults_arg $ obs_term))
+        $ filter_degree_arg $ no_warm_start_arg $ no_closed_form_arg
+        $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -661,7 +708,7 @@ let tcp_arg =
          ~doc:"Use TCP instead of the Unix socket.")
 
 let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap
-    no_closed_form faults obs =
+    filter_degree no_warm_start no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
   let transport = transport_of_args ~socket ~tcp in
@@ -684,6 +731,8 @@ let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap
       h;
       dense_threshold;
       closed_form = not no_closed_form;
+      warm_start = not no_warm_start;
+      filter_degree;
     }
   in
   let ready () =
@@ -732,8 +781,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
-        $ timeout $ cache_dir $ cache_cap $ no_closed_form_arg $ faults_arg
-        $ obs_term))
+        $ timeout $ cache_dir $ cache_cap $ filter_degree_arg
+        $ no_warm_start_arg $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -811,6 +860,12 @@ let render_top ~rate snap =
   let total = hits + misses in
   line "cache      hits %-9d misses %-6d hit-rate %s" hits misses
     (if total = 0 then "-" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int hits /. float_of_int total));
+  line "solver     closed-form %-4d warm-starts %-4d filter-degree %s"
+    (snap_counter snap "core.solver.closed_form_hits")
+    (snap_counter snap "core.solver.warm_start_hits")
+    (match snap_gauge snap "la.eigen.filter_degree" with
+    | 0.0 -> "-"
+    | d -> Printf.sprintf "%.0f" d);
   line "pool       size %-9.0f queue %-7.0f steals %d"
     (snap_gauge snap "par.pool.size")
     (snap_gauge snap "par.pool.queue_depth")

@@ -7,9 +7,18 @@ type key = {
 
 type entry = { eigenvalues : float array; dense : bool }
 
+(* Warm-start records deliberately drop [h] from the key: the whole point
+   is that a solve at one [h] can seed a solve at another.  One record per
+   (fingerprint, method, params) triple, holding the locked Ritz vectors
+   of the largest-h solve seen (keep-max-h: a bigger donor block is
+   strictly more useful — the consumer truncates or pads as needed). *)
+type ritz_key = { fingerprint : int64; method_tag : char; params : int64 }
+type ritz = { n : int; h : int; vectors : float array array }
+
 type t = {
   mutex : Mutex.t;
   mem : (key, entry) Lru.t;
+  ritz_mem : (ritz_key, ritz) Lru.t;
   dir : string option;
   disabled : bool;
 }
@@ -61,7 +70,7 @@ let fnv1a_int64 acc v =
   done;
   !acc
 
-let params_digest ~dense_threshold ~tol ~seed =
+let params_digest ~dense_threshold ~tol ~seed ~filter_degree =
   let acc = fnv_offset in
   let acc =
     fnv1a_int64 acc
@@ -73,7 +82,11 @@ let params_digest ~dense_threshold ~tol ~seed =
     fnv1a_int64 acc
       (match tol with None -> -1L | Some t -> Int64.bits_of_float t)
   in
-  fnv1a_int64 acc (match seed with None -> -1L | Some s -> Int64.of_int s)
+  let acc =
+    fnv1a_int64 acc (match seed with None -> -1L | Some s -> Int64.of_int s)
+  in
+  fnv1a_int64 acc
+    (match filter_degree with None -> -1L | Some d -> Int64.of_int d)
 
 (* ---------------------------- disk format ---------------------------- *)
 
@@ -90,7 +103,7 @@ let params_digest ~dense_threshold ~tol ~seed =
 let magic = "GIOSPC\x00\x01"
 let header_len = 34
 
-let encode key entry =
+let encode (key : key) entry =
   let count = Array.length entry.eigenvalues in
   let len = header_len + (8 * count) + 8 in
   let b = Bytes.create len in
@@ -111,7 +124,7 @@ let encode key entry =
 (* Returns [None] for any record that cannot be trusted end-to-end:
    truncated, wrong magic/version, checksum mismatch, or a key that does
    not match the query (a renamed or stale file). *)
-let decode key b =
+let decode (key : key) b =
   let len = Bytes.length b in
   if len < header_len + 8 then None
   else if Bytes.sub_string b 0 8 <> magic then None
@@ -139,10 +152,79 @@ let decode key b =
         in
         Some { eigenvalues; dense }
 
-let file_of_key ~dir key =
+let file_of_key ~dir (key : key) =
   Filename.concat dir
     (Printf.sprintf "spec-%016Lx-%c-%d-%016Lx.bin" key.fingerprint
        key.method_tag key.h key.params)
+
+(* Ritz (warm-start) record layout — same discipline as spectrum records
+   (versioned magic, embedded key, trailing FNV-1a checksum, temp+rename
+   publish), but keyed without [h]:
+     0  magic   "GIORTZ\x00\x01"
+     8  fingerprint : int64
+    16  params      : int64
+    24  method_tag  : byte
+    25  h           : int32  (block size stored, data not key)
+    29  n           : int32  (vector length)
+    33  count       : int32  (number of vectors; = h today)
+    37  count * n * 8 bytes of IEEE-754 bit patterns, vector-major
+    end checksum    : int64 *)
+let ritz_magic = "GIORTZ\x00\x01"
+let ritz_header_len = 37
+
+let encode_ritz (key : ritz_key) (r : ritz) =
+  let count = Array.length r.vectors in
+  let len = ritz_header_len + (8 * count * r.n) + 8 in
+  let b = Bytes.create len in
+  Bytes.blit_string ritz_magic 0 b 0 8;
+  Bytes.set_int64_le b 8 key.fingerprint;
+  Bytes.set_int64_le b 16 key.params;
+  Bytes.set b 24 key.method_tag;
+  Bytes.set_int32_le b 25 (Int32.of_int r.h);
+  Bytes.set_int32_le b 29 (Int32.of_int r.n);
+  Bytes.set_int32_le b 33 (Int32.of_int count);
+  Array.iteri
+    (fun j v ->
+      let base = ritz_header_len + (8 * j * r.n) in
+      Array.iteri
+        (fun i x -> Bytes.set_int64_le b (base + (8 * i)) (Int64.bits_of_float x))
+        v)
+    r.vectors;
+  Bytes.set_int64_le b (len - 8) (fnv1a_bytes b (len - 8));
+  b
+
+let decode_ritz (key : ritz_key) b =
+  let len = Bytes.length b in
+  if len < ritz_header_len + 8 then None
+  else if Bytes.sub_string b 0 8 <> ritz_magic then None
+  else
+    let stored_sum = Bytes.get_int64_le b (len - 8) in
+    if not (Int64.equal stored_sum (fnv1a_bytes b (len - 8))) then None
+    else if Graphio_fault.hit f_checksum <> Graphio_fault.Pass then None
+    else
+      let h = Int32.to_int (Bytes.get_int32_le b 25) in
+      let n = Int32.to_int (Bytes.get_int32_le b 29) in
+      let count = Int32.to_int (Bytes.get_int32_le b 33) in
+      if count < 0 || n < 0 || len <> ritz_header_len + (8 * count * n) + 8 then
+        None
+      else if
+        (not (Int64.equal (Bytes.get_int64_le b 8) key.fingerprint))
+        || (not (Int64.equal (Bytes.get_int64_le b 16) key.params))
+        || Bytes.get b 24 <> key.method_tag
+      then None
+      else
+        let vectors =
+          Array.init count (fun j ->
+              let base = ritz_header_len + (8 * j * n) in
+              Array.init n (fun i ->
+                  Int64.float_of_bits (Bytes.get_int64_le b (base + (8 * i)))))
+        in
+        Some { n; h; vectors }
+
+let file_of_ritz_key ~dir (key : ritz_key) =
+  Filename.concat dir
+    (Printf.sprintf "ritz-%016Lx-%c-%016Lx.bin" key.fingerprint key.method_tag
+       key.params)
 
 let read_file path =
   match open_in_bin path with
@@ -250,6 +332,9 @@ let create ?(capacity = 128) ?dir () =
       Lru.create ~capacity
         ~on_evict:(fun _ _ -> Graphio_obs.Metrics.incr c_evictions)
         ();
+    (* Ritz blocks weigh h*n floats each, so the memory tier stays small
+       relative to the spectrum tier; the disk tier holds the rest. *)
+    ritz_mem = Lru.create ~capacity:(max 2 (capacity / 16)) ();
     dir;
     disabled = false;
   }
@@ -258,6 +343,7 @@ let disabled =
   {
     mutex = Mutex.create ();
     mem = Lru.create ~capacity:0 ();
+    ritz_mem = Lru.create ~capacity:0 ();
     dir = None;
     disabled = true;
   }
@@ -307,7 +393,7 @@ let disk_find t key =
 
 (* Debug-level cache events carry the key fingerprint so a request's
    cache interactions line up with its solver.spectrum event in the log. *)
-let log_lookup ~tier key =
+let log_lookup ~tier (key : key) =
   if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
     Graphio_obs.Log.emit ~level:Graphio_obs.Log.Debug "cache.lookup"
       [
@@ -358,6 +444,77 @@ let add t key entry =
                       (Printf.sprintf "%016Lx" key.fingerprint) );
                 ]
             end)
+
+(* ------------------------- warm-start records ------------------------- *)
+
+let c_ritz_hits = Graphio_obs.Metrics.counter "cache.ritz_hits"
+let c_ritz_misses = Graphio_obs.Metrics.counter "cache.ritz_misses"
+let c_ritz_writes = Graphio_obs.Metrics.counter "cache.ritz_writes"
+
+let disk_find_ritz t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = file_of_ritz_key ~dir key in
+      if not (Sys.file_exists path) then None
+      else
+        match read_file path with
+        | None ->
+            Graphio_obs.Metrics.incr c_disk_errors;
+            None
+        | Some bytes -> (
+            match decode_ritz key bytes with
+            | Some r -> Some r
+            | None ->
+                (* same trust policy as spectrum records: corrupt or stale
+                   is evicted and recomputed, never served *)
+                Graphio_obs.Metrics.incr c_disk_errors;
+                (try Sys.remove path with Sys_error _ -> ());
+                None))
+
+let find_ritz t key =
+  if t.disabled then None
+  else
+    locked t (fun () ->
+        match Lru.find t.ritz_mem key with
+        | Some r ->
+            Graphio_obs.Metrics.incr c_ritz_hits;
+            Some r
+        | None -> (
+            match disk_find_ritz t key with
+            | Some r ->
+                Graphio_obs.Metrics.incr c_ritz_hits;
+                Lru.add t.ritz_mem key r;
+                Some r
+            | None ->
+                Graphio_obs.Metrics.incr c_ritz_misses;
+                None))
+
+let add_ritz t key r =
+  if not t.disabled then
+    locked t (fun () ->
+        (* keep-max-h: only replace a record when the donor block grew.
+           The disk tier is consulted so a fresh process never clobbers a
+           larger record left by an earlier run. *)
+        let existing =
+          match Lru.find t.ritz_mem key with
+          | Some _ as e -> e
+          | None -> disk_find_ritz t key
+        in
+        let keep =
+          match existing with
+          | Some ex -> ex.n <> r.n || r.h > ex.h
+          | None -> true
+        in
+        if keep then begin
+          Lru.add t.ritz_mem key r;
+          match t.dir with
+          | None -> ()
+          | Some dir ->
+              if write_file (file_of_ritz_key ~dir key) (encode_ritz key r)
+              then Graphio_obs.Metrics.incr c_ritz_writes
+              else Graphio_obs.Metrics.incr c_disk_errors
+        end)
 
 let length t = locked t (fun () -> Lru.length t.mem)
 let drop_memory t = locked t (fun () -> Lru.clear t.mem)

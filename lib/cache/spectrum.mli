@@ -57,6 +57,22 @@ type entry = {
   dense : bool;  (** which eigensolver backend produced it *)
 }
 
+type ritz_key = {
+  fingerprint : int64;
+  method_tag : char;
+  params : int64;  (** {!params_digest}, same as the spectrum key *)
+}
+(** Warm-start key: deliberately {e without} [h], so a solve at one [h]
+    can seed its initial block from the locked Ritz vectors of a solve at
+    a different [h] on the same graph/method/params
+    (docs/PERFORMANCE.md). *)
+
+type ritz = {
+  n : int;  (** vector length (graph vertex count) *)
+  h : int;  (** the [h] of the donor solve *)
+  vectors : float array array;  (** locked Ritz vectors, ascending *)
+}
+
 type t
 
 val create : ?capacity:int -> ?dir:string -> unit -> t
@@ -77,10 +93,17 @@ val ambient : unit -> t option
     capacity.  Evaluated once, at first use. *)
 
 val params_digest :
-  dense_threshold:int option -> tol:float option -> seed:int option -> int64
+  dense_threshold:int option ->
+  tol:float option ->
+  seed:int option ->
+  filter_degree:int option ->
+  int64
 (** Digest of the solver parameters that influence the computed spectrum
     bits beyond [(graph, method, h)].  [None] means the solver default, so
-    all default-parameter callers share entries. *)
+    all default-parameter callers share entries.  [filter_degree] is the
+    Chebyshev degree when fixed ([None] for the default [Auto] policy —
+    the auto-tuner is deterministic, so all [Auto] callers share
+    entries). *)
 
 val find : t -> key -> entry option
 (** Memory tier first (promoting on hit), then the disk tier (promoting
@@ -89,6 +112,18 @@ val find : t -> key -> entry option
 
 val add : t -> key -> entry -> unit
 (** Insert into the memory tier and (when configured) persist to disk. *)
+
+val find_ritz : t -> ritz_key -> ritz option
+(** Warm-start lookup: the dedicated (small) memory tier first, then the
+    disk tier — same trust policy as {!find} (checksummed records,
+    corrupt/stale evicted).  Counted in [cache.ritz_hits] /
+    [cache.ritz_misses]. *)
+
+val add_ritz : t -> ritz_key -> ritz -> unit
+(** Store a donor block under keep-max-h: an existing record with the same
+    [n] and an [h] at least as large is kept (a bigger block is strictly
+    more useful; the consumer truncates or pads).  Counted in
+    [cache.ritz_writes]. *)
 
 val length : t -> int
 (** Memory-tier entry count (test hook). *)

@@ -11,6 +11,7 @@ type outcome = {
   eigenvalues : float array;
   solve_stats : Eigen.stats option;
   tier : tier;
+  warm_start : bool;
 }
 
 let tier_name = function Closed_form _ -> "closed-form" | Numeric -> "numeric"
@@ -18,10 +19,11 @@ let tier_name = function Closed_form _ -> "closed-form" | Numeric -> "numeric"
 let c_bounds = Graphio_obs.Metrics.counter "core.solver.bounds"
 let c_closed_form =
   Graphio_obs.Metrics.counter "core.solver.closed_form_hits"
+let c_warm_hits = Graphio_obs.Metrics.counter "core.solver.warm_start_hits"
 let h_bound_seconds = Graphio_obs.Metrics.histogram "core.solver.bound_seconds"
 
 let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
-    ?on_iteration ?pool g =
+    ?filter_degree ?kernel ?init ?want_vectors ?on_iteration ?pool g =
   let laplacian =
     Graphio_obs.Span.with_ "solver.laplacian" (fun () ->
         match method_ with
@@ -30,7 +32,8 @@ let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
   in
   let spec =
     Graphio_obs.Span.with_ "solver.eigensolve" (fun () ->
-        Eigen.smallest ~h ?dense_threshold ?tol ?seed ?on_iteration ?pool laplacian)
+        Eigen.smallest ~h ?dense_threshold ?tol ?seed ?filter_degree ?kernel
+          ?init ?want_vectors ?on_iteration ?pool laplacian)
   in
   let scale =
     match method_ with
@@ -39,12 +42,15 @@ let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
         let dmax = Dag.max_out_degree g in
         if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax
   in
+  (* Eigenvectors are unaffected by the Theorem 5 scaling (L and L/dmax
+     share them), so the warm-start donor block needs no rescaling. *)
   ( Array.map (fun l -> scale *. Float.max l 0.0) spec.Eigen.values,
     spec.Eigen.backend,
-    spec.Eigen.stats )
+    spec.Eigen.stats,
+    spec.Eigen.vectors )
 
 let spectrum ?method_ ?h ?dense_threshold ?tol ?seed ?pool g =
-  let eigenvalues, backend, _ =
+  let eigenvalues, backend, _, _ =
     spectrum_full ?method_ ?h ?dense_threshold ?tol ?seed ?pool g
   in
   (eigenvalues, backend)
@@ -98,7 +104,7 @@ let record_closed_form ~family ~cache_hit =
     ]
 
 let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?on_iteration ?pool ?(closed_form = true) g ~m =
+    ?filter_degree ?kernel ?on_iteration ?pool ?(closed_form = true) g ~m =
   Graphio_obs.Metrics.time h_bound_seconds (fun () ->
       Graphio_obs.Span.with_ "solver.bound" (fun () ->
           Graphio_obs.Metrics.incr c_bounds;
@@ -111,6 +117,7 @@ let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
               eigenvalues = [||];
               solve_stats = None;
               tier = Numeric;
+              warm_start = false;
             }
           else begin
             let closed =
@@ -130,17 +137,26 @@ let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
                   eigenvalues;
                   solve_stats = None;
                   tier = Closed_form family;
+                  warm_start = false;
                 }
             | None ->
-                let eigenvalues, backend, solve_stats =
+                let eigenvalues, backend, solve_stats, _ =
                   spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed
-                    ?on_iteration ?pool g
+                    ?filter_degree ?kernel ?on_iteration ?pool g
                 in
                 let result =
                   Graphio_obs.Span.with_ "solver.maximize" (fun () ->
                       Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
                 in
-                { result; method_; backend; eigenvalues; solve_stats; tier = Numeric }
+                {
+                  result;
+                  method_;
+                  backend;
+                  eigenvalues;
+                  solve_stats;
+                  tier = Numeric;
+                  warm_start = false;
+                }
           end))
 
 let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
@@ -249,12 +265,28 @@ let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
 
 let method_char = function Normalized -> 'n' | Standard -> 's'
 
-let spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag =
+(* [Auto] is the solver default and its tuner is deterministic, so it
+   shares the canonical digest slot ([None]); only a pinned [Fixed d]
+   separates cache entries. *)
+let degree_digest = function
+  | None | Some Filtered.Auto -> None
+  | Some (Filtered.Fixed d) -> Some d
+
+let spectrum_key ?dense_threshold ?tol ?seed ?filter_degree ~h ~method_ dag =
   {
     Graphio_cache.Spectrum.fingerprint = Dag.fingerprint dag;
     method_tag = method_char method_;
     h;
-    params = Graphio_cache.Spectrum.params_digest ~dense_threshold ~tol ~seed;
+    params =
+      Graphio_cache.Spectrum.params_digest ~dense_threshold ~tol ~seed
+        ~filter_degree:(degree_digest filter_degree);
+  }
+
+let ritz_key_of (key : Graphio_cache.Spectrum.key) : Graphio_cache.Spectrum.ritz_key =
+  {
+    fingerprint = key.Graphio_cache.Spectrum.fingerprint;
+    method_tag = key.Graphio_cache.Spectrum.method_tag;
+    params = key.Graphio_cache.Spectrum.params;
   }
 
 (* Closed-form entries live under their own keys — the uppercase method
@@ -269,7 +301,7 @@ let closed_form_key ~h ~method_ dag =
     h;
     params =
       Graphio_cache.Spectrum.params_digest ~dense_threshold:None ~tol:None
-        ~seed:None;
+        ~seed:None ~filter_degree:None;
   }
 
 let resolve_cache = function
@@ -283,10 +315,20 @@ let resolve_cache = function
    eigenvalue array (bitwise identical to the solve that produced it —
    the disk codec round-trips IEEE bit patterns); a miss solves and
    populates both tiers.  [from_cache] tells the caller whether an
-   eigensolve was paid. *)
+   eigensolve was paid.
+
+   With [warm_start], a miss additionally consults the Ritz store under
+   the h-less key (fingerprint, method, params): a donor block from a
+   solve at a different [h] seeds the new solve's initial subspace
+   (truncated or padded by Filtered), and the new solve's locked Ritz
+   vectors are stored back under keep-max-h.  A warm-started solve
+   converges to the same spectrum within tolerance but takes a different
+   FP path than a cold one — the documented, flag-gated relaxation of
+   the bitwise-determinism contract (docs/PERFORMANCE.md). *)
 let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
-    ?(closed_form = true) ~method_ dag =
-  if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false, Numeric)
+    ?filter_degree ?kernel ?(warm_start = false) ?(closed_form = true) ~method_
+    dag =
+  if Dag.n_vertices dag = 0 then ([||], Eigen.Dense, None, false, Numeric, false)
   else
     match
       if closed_form then closed_form_spectrum ~method_ ~h dag else None
@@ -304,15 +346,16 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
               Eigen.Dense,
               None,
               true,
-              Closed_form family )
+              Closed_form family,
+              false )
         | None ->
             Graphio_cache.Spectrum.add cache key
               { Graphio_cache.Spectrum.eigenvalues; dense = true };
             record_closed_form ~family ~cache_hit:false;
-            (eigenvalues, Eigen.Dense, None, false, Closed_form family))
+            (eigenvalues, Eigen.Dense, None, false, Closed_form family, false))
     | None -> begin
-    let key = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_ dag in
-    let log_spectrum ~cache_hit =
+    let key = spectrum_key ?dense_threshold ?tol ?seed ?filter_degree ~h ~method_ dag in
+    let log_spectrum ~cache_hit ~warm =
       if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
         Graphio_obs.Log.emit ~level:Graphio_obs.Log.Debug "solver.spectrum"
           [
@@ -324,26 +367,45 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
               Graphio_obs.Jsonx.String (String.make 1 (method_char method_)) );
             ("h", Graphio_obs.Jsonx.Int h);
             ("cache_hit", Graphio_obs.Jsonx.Bool cache_hit);
+            ("warm_start", Graphio_obs.Jsonx.Bool warm);
           ]
     in
     match Graphio_cache.Spectrum.find cache key with
     | Some e ->
-        log_spectrum ~cache_hit:true;
+        log_spectrum ~cache_hit:true ~warm:false;
         ( e.Graphio_cache.Spectrum.eigenvalues,
           (if e.Graphio_cache.Spectrum.dense then Eigen.Dense
            else Eigen.Sparse_filtered),
           None,
           true,
-          Numeric )
+          Numeric,
+          false )
     | None ->
-        let eigenvalues, backend, stats =
-          spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?on_iteration
-            ?pool dag
+        let rkey = ritz_key_of key in
+        let n = Dag.n_vertices dag in
+        let init, warm =
+          if warm_start then
+            match Graphio_cache.Spectrum.find_ritz cache rkey with
+            | Some r when r.Graphio_cache.Spectrum.n = n ->
+                Graphio_obs.Metrics.incr c_warm_hits;
+                (Some r.Graphio_cache.Spectrum.vectors, true)
+            | _ -> (None, false)
+          else (None, false)
+        in
+        let eigenvalues, backend, stats, vectors =
+          spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed ?filter_degree
+            ?kernel ?init ~want_vectors:warm_start ?on_iteration ?pool dag
         in
         Graphio_cache.Spectrum.add cache key
           { Graphio_cache.Spectrum.eigenvalues; dense = backend = Eigen.Dense };
-        log_spectrum ~cache_hit:false;
-        (eigenvalues, backend, stats, false, Numeric)
+        (if warm_start then
+           match (vectors, backend) with
+           | Some vs, Eigen.Sparse_filtered when Array.length vs > 0 ->
+               Graphio_cache.Spectrum.add_ritz cache rkey
+                 { Graphio_cache.Spectrum.n; h = Array.length vs; vectors = vs }
+           | _ -> ());
+        log_spectrum ~cache_hit:false ~warm;
+        (eigenvalues, backend, stats, false, Numeric, warm)
       end
 
 (* ------------------------------------------------------------------ *)
@@ -372,7 +434,7 @@ let h_batch_job_seconds =
   Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
 
 let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?(closed_form = true) jobs =
+    ?filter_degree ?kernel ?warm_start ?(closed_form = true) jobs =
   Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
       let cache = resolve_cache cache in
       let nj = Array.length jobs in
@@ -381,7 +443,10 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
          share one physical eigenvalue array.  The key hashes the graph
          structure ({!Dag.fingerprint}), so structurally equal graphs
          built independently still share. *)
-      let key_of j = spectrum_key ?dense_threshold ?tol ?seed ~h ~method_:j.method_ j.dag in
+      let key_of j =
+        spectrum_key ?dense_threshold ?tol ?seed ?filter_degree ~h
+          ~method_:j.method_ j.dag
+      in
       let keys = Array.map key_of jobs in
       let rep_of_key = Hashtbl.create (max nj 16) in
       let reps = ref [] in
@@ -405,14 +470,15 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
          [spectra.(r)] also records the eigensolve wall time, attributed
          to the representative job. *)
       let spectra =
-        Array.make n_reps ([||], Eigen.Dense, None, false, Numeric, 0.0)
+        Array.make n_reps ([||], Eigen.Dense, None, false, Numeric, false, 0.0)
       in
       let solve ?pool r =
         let j = jobs.(reps.(r)) in
         let t0 = Graphio_obs.Clock.now_ns () in
-        let eigenvalues, backend, stats, from_cache, tier =
+        let eigenvalues, backend, stats, from_cache, tier, warm =
           spectrum_cached ~cache ?pool ~h ?dense_threshold ?tol ?seed
-            ~closed_form ~method_:j.method_ j.dag
+            ?filter_degree ?kernel ?warm_start ~closed_form ~method_:j.method_
+            j.dag
         in
         spectra.(r) <-
           ( eigenvalues,
@@ -420,6 +486,7 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
             stats,
             from_cache,
             tier,
+            warm,
             Graphio_obs.Clock.elapsed_s t0 )
       in
       (match pool with
@@ -436,7 +503,7 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
           done);
       let solved = ref 0 in
       Array.iter
-        (fun (_, _, _, from_cache, _, _) -> if not from_cache then incr solved)
+        (fun (_, _, _, from_cache, _, _, _) -> if not from_cache then incr solved)
         spectra;
       Graphio_obs.Metrics.add c_batch_jobs nj;
       Graphio_obs.Metrics.add c_batch_misses !solved;
@@ -450,7 +517,8 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
           (fun i j ->
             let t0 = Graphio_obs.Clock.now_ns () in
             let rep = Hashtbl.find rep_of_key keys.(i) in
-            let eigenvalues, backend, solve_stats, from_cache, tier, solve_s =
+            let eigenvalues, backend, solve_stats, from_cache, tier, warm, solve_s
+                =
               spectra.(Hashtbl.find slot_of_rep rep)
             in
             let n = Dag.n_vertices j.dag in
@@ -471,6 +539,7 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
                   eigenvalues;
                   solve_stats;
                   tier;
+                  warm_start = warm;
                 };
               cache_hit;
               wall_s;
@@ -483,14 +552,15 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
       results)
 
 let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?on_iteration ?(closed_form = true) job =
+    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true) job =
   Graphio_obs.Span.with_ "solver.bound_cached" (fun () ->
       Graphio_obs.Metrics.incr c_bounds;
       let cache = resolve_cache cache in
       let t0 = Graphio_obs.Clock.now_ns () in
-      let eigenvalues, backend, solve_stats, from_cache, tier =
+      let eigenvalues, backend, solve_stats, from_cache, tier, warm =
         spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
-          ?seed ~closed_form ~method_:job.method_ job.dag
+          ?seed ?filter_degree ?kernel ?warm_start ~closed_form
+          ~method_:job.method_ job.dag
       in
       let result =
         Spectral_bound.compute ~n:(Dag.n_vertices job.dag) ~m:job.m ?p:job.p
@@ -505,6 +575,7 @@ let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
           ("bound", Graphio_obs.Jsonx.Float result.Spectral_bound.bound);
           ("cache_hit", Graphio_obs.Jsonx.Bool from_cache);
           ("tier", Graphio_obs.Jsonx.String (tier_name tier));
+          ("warm_start", Graphio_obs.Jsonx.Bool warm);
           ("wall_s", Graphio_obs.Jsonx.Float wall_s);
         ];
       {
@@ -517,6 +588,7 @@ let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
             eigenvalues;
             solve_stats;
             tier;
+            warm_start = warm;
           };
         cache_hit = from_cache;
         wall_s;

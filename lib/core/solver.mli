@@ -36,6 +36,12 @@ type outcome = {
       (** iterative-eigensolver work summary (matvecs, sweeps, locked and
           padded counts); [None] when the dense path ran *)
   tier : tier;  (** which dispatch tier answered *)
+  warm_start : bool;
+      (** this outcome's eigensolve was seeded from cached Ritz vectors of
+          a related solve (same graph/method/params, different [h]) — the
+          provenance bit for the flag-gated bitwise-determinism
+          relaxation; always [false] on cache hits, closed-form answers
+          and cold solves *)
 }
 
 val bound :
@@ -45,6 +51,8 @@ val bound :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?filter_degree:Graphio_la.Filtered.degree ->
+  ?kernel:Graphio_la.Csr.kernel ->
   ?on_iteration:Graphio_la.Convergence.callback ->
   ?pool:Graphio_par.Pool.t ->
   ?closed_form:bool ->
@@ -169,6 +177,9 @@ val bound_batch :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?filter_degree:Graphio_la.Filtered.degree ->
+  ?kernel:Graphio_la.Csr.kernel ->
+  ?warm_start:bool ->
   ?closed_form:bool ->
   batch_job array ->
   batch_result array
@@ -198,6 +209,15 @@ val bound_batch :
     under their own keys (uppercase method tag, canonical parameters), so
     a [closed_form:false] run never reads them back.
 
+    With [warm_start] (default [false] here; the CLI turns it on for
+    [batch]/[serve]), a cache miss taking the sparse path seeds its
+    initial block from locked Ritz vectors cached under the same
+    (fingerprint, method, params) at a {e different} [h] — counted in
+    [core.solver.warm_start_hits] and reported per result in
+    [outcome.warm_start].  Warm-started solves reach the same bounds to
+    solver tolerance but are {e not} bitwise-identical to cold ones; keep
+    the default off where the bitwise contract matters.
+
     Observability: runs inside a [solver.bound_batch] span and maintains
     [core.solver.batch_jobs], [core.solver.batch_cache_hits],
     [core.solver.batch_cache_misses] and the per-job latency histogram
@@ -211,6 +231,9 @@ val bound_cached :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?filter_degree:Graphio_la.Filtered.degree ->
+  ?kernel:Graphio_la.Csr.kernel ->
+  ?warm_start:bool ->
   ?on_iteration:Graphio_la.Convergence.callback ->
   ?closed_form:bool ->
   batch_job ->

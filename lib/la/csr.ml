@@ -144,6 +144,104 @@ let matvec ?pool m x =
   matvec_into ?pool m x y;
   y
 
+(* Unboxed Bigarray mirror of the CSR layout.  Values stay float64; the
+   two index arrays drop to int32, halving index-memory traffic on the
+   matvec, and every access in the inner loop is unchecked.  The per-row
+   accumulation is the same left-to-right order as [row_range] above, so
+   both kernels produce bitwise-identical results (docs/PERFORMANCE.md). *)
+module Ba = struct
+  type mat = {
+    rows : int;
+    cols : int;
+    row_ptr : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    col_idx : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    values : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  }
+
+  let dims m = (m.rows, m.cols)
+  let nnz m = Bigarray.Array1.dim m.values
+  let int32_limit = Int32.to_int Int32.max_int
+
+  let of_csr (m : t) =
+    let n = Array.length m.values in
+    if n > int32_limit then
+      invalid_arg
+        (Printf.sprintf
+           "Csr.Ba.of_csr: %d stored entries overflow int32 indexing (max %d)"
+           n int32_limit);
+    if m.cols > int32_limit then
+      invalid_arg
+        (Printf.sprintf
+           "Csr.Ba.of_csr: %d columns overflow int32 indexing (max %d)" m.cols
+           int32_limit);
+    let row_ptr =
+      Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (m.rows + 1)
+    in
+    let col_idx = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n in
+    let values = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    for i = 0 to m.rows do
+      Bigarray.Array1.unsafe_set row_ptr i (Int32.of_int m.row_ptr.(i))
+    done;
+    for k = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set col_idx k (Int32.of_int m.col_idx.(k));
+      Bigarray.Array1.unsafe_set values k m.values.(k)
+    done;
+    { rows = m.rows; cols = m.cols; row_ptr; col_idx; values }
+
+  let row_range m x y lo hi =
+    for i = lo to hi - 1 do
+      let k0 = Int32.to_int (Bigarray.Array1.unsafe_get m.row_ptr i) in
+      let k1 = Int32.to_int (Bigarray.Array1.unsafe_get m.row_ptr (i + 1)) in
+      let acc = ref 0.0 in
+      for k = k0 to k1 - 1 do
+        let j = Int32.to_int (Bigarray.Array1.unsafe_get m.col_idx k) in
+        acc :=
+          !acc
+          +. (Bigarray.Array1.unsafe_get m.values k *. Array.unsafe_get x j)
+      done;
+      Array.unsafe_set y i !acc
+    done
+
+  (* Sequential cache block: a fixed row count, so chunk geometry is a
+     function of the row count alone — the same contract the pool keeps. *)
+  let block_rows = 256
+
+  let matvec_into ?pool m x y =
+    if Array.length x <> m.cols || Array.length y <> m.rows then
+      invalid_arg "Csr.Ba.matvec: dimension mismatch";
+    Graphio_obs.Metrics.incr c_matvecs;
+    Graphio_obs.Metrics.add c_flops (nnz m);
+    match pool with
+    | None ->
+        let i = ref 0 in
+        while !i < m.rows do
+          row_range m x y !i (min m.rows (!i + block_rows));
+          i := !i + block_rows
+        done
+    | Some pool ->
+        Graphio_par.Pool.parallel_for pool ~lo:0 ~hi:m.rows (fun i ->
+            row_range m x y i (i + 1))
+
+  let matvec ?pool m x =
+    let y = Array.make m.rows 0.0 in
+    matvec_into ?pool m x y;
+    y
+end
+
+type kernel = Arrays | Bigarray_blocked
+
+let default_kernel = Bigarray_blocked
+let kernel_name = function Arrays -> "arrays" | Bigarray_blocked -> "bigarray"
+
+(* Close over the selected kernel once: the Bigarray conversion happens a
+   single time per solve, not per matvec. *)
+let matvec_fn ?pool ?(kernel = default_kernel) m =
+  match kernel with
+  | Arrays -> fun x y -> matvec_into ?pool m x y
+  | Bigarray_blocked ->
+      let ba = Ba.of_csr m in
+      fun x y -> Ba.matvec_into ?pool ba x y
+
 let scale c m = { m with values = Array.map (fun v -> c *. v) m.values }
 
 let transpose m =

@@ -63,3 +63,41 @@ val row_iter : t -> int -> (int -> float -> unit) -> unit
     [i]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Unboxed Bigarray CSR kernel: float64 values, int32 row pointers and
+    column indices, unchecked inner-loop accesses, sequential path
+    cache-blocked in fixed-size row chunks.  Per-row summation order is
+    identical to the [float array] kernel, so results are bitwise equal
+    (the old kernel stays available as the reference oracle). *)
+module Ba : sig
+  type mat
+
+  val of_csr : t -> mat
+  (** Raises [Invalid_argument] when the entry count or column count
+      exceeds int32 indexing range, instead of silently wrapping. *)
+
+  val dims : mat -> int * int
+  val nnz : mat -> int
+
+  val matvec_into : ?pool:Graphio_par.Pool.t -> mat -> float array -> float array -> unit
+  (** Same contract as {!matvec_into}: bitwise identical across pool
+      sizes and to the [float array] kernel. *)
+
+  val matvec : ?pool:Graphio_par.Pool.t -> mat -> float array -> float array
+end
+
+type kernel = Arrays | Bigarray_blocked
+(** Matvec kernel selector threaded through the eigensolvers: [Arrays] is
+    the original [float array] path (reference oracle), [Bigarray_blocked]
+    the unboxed kernel above.  Both produce bitwise-identical spectra. *)
+
+val default_kernel : kernel
+(** [Bigarray_blocked]. *)
+
+val kernel_name : kernel -> string
+
+val matvec_fn :
+  ?pool:Graphio_par.Pool.t -> ?kernel:kernel -> t ->
+  (float array -> float array -> unit)
+(** Specialise a matvec closure for [m] under the chosen kernel; the
+    Bigarray conversion (if any) happens once, here, not per matvec. *)

@@ -12,6 +12,7 @@ type spectrum = {
   backend : backend;
   exact : bool;
   stats : stats option;
+  vectors : float array array option;
 }
 
 let default_dense_threshold = 1024
@@ -26,13 +27,20 @@ let smallest_dense ?(h = 100) a =
       let values = Tql.symmetric_eigenvalues a in
       Graphio_obs.Metrics.incr c_dense;
       let take = min h rows in
-      { values = Array.sub values 0 take; backend = Dense; exact = true; stats = None })
+      {
+        values = Array.sub values 0 take;
+        backend = Dense;
+        exact = true;
+        stats = None;
+        vectors = None;
+      })
 
 let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
-    ?on_iteration ?pool m =
+    ?filter_degree ?kernel ?init ?want_vectors ?on_iteration ?pool m =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Eigen.smallest: matrix not square";
-  if rows = 0 then { values = [||]; backend = Dense; exact = true; stats = None }
+  if rows = 0 then
+    { values = [||]; backend = Dense; exact = true; stats = None; vectors = None }
   else if rows <= dense_threshold then smallest_dense ~h (Csr.to_dense m)
   else
     Graphio_obs.Span.with_ "eigen.filtered" (fun () ->
@@ -43,7 +51,10 @@ let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
            an I/O bound while shortening the convergence tail on clustered
            spectra. *)
         let tol = match tol with Some t -> t | None -> 1e-5 in
-        let result = Filtered.smallest_csr ?seed ?on_iteration ?pool ~tol m ~h in
+        let result =
+          Filtered.smallest_csr ?seed ?degree:filter_degree ?kernel ?init
+            ?want_vectors ?on_iteration ?pool ~tol m ~h
+        in
         Graphio_obs.Metrics.incr c_sparse;
         {
           values = result.Filtered.values;
@@ -58,4 +69,5 @@ let smallest ?(h = 100) ?(dense_threshold = default_dense_threshold) ?tol ?seed
                   Array.length result.Filtered.values - result.Filtered.padded;
                 padded = result.Filtered.padded;
               };
+          vectors = result.Filtered.vectors;
         })

@@ -38,6 +38,10 @@ type spectrum = {
   stats : stats option;
       (** iterative-solver work summary; [None] on the dense path, which
           has no iteration structure to report *)
+  vectors : float array array option;
+      (** Ritz vectors matching [values], materialized only when
+          [want_vectors] was set on the sparse path ([None] otherwise and
+          always on the dense path) — the warm-start donor block *)
 }
 
 val default_dense_threshold : int
@@ -48,6 +52,10 @@ val smallest :
   ?dense_threshold:int ->
   ?tol:float ->
   ?seed:int ->
+  ?filter_degree:Filtered.degree ->
+  ?kernel:Csr.kernel ->
+  ?init:float array array ->
+  ?want_vectors:bool ->
   ?on_iteration:Convergence.callback ->
   ?pool:Graphio_par.Pool.t ->
   Csr.t ->
@@ -58,8 +66,11 @@ val smallest :
     values are reported as computed.  [on_iteration] receives a
     {!Convergence.progress} snapshot per sweep when the sparse path is
     taken (the dense path never calls it).  [pool] parallelizes the sparse
-    path's matvecs across domains — bitwise-identical values either way;
-    the dense path ignores it.  Raises [Invalid_argument] if [m] is not
+    path's matvecs across domains and [kernel] selects the matvec kernel —
+    bitwise-identical values either way; the dense path ignores both.
+    [filter_degree], [init] (warm-start donor block) and [want_vectors]
+    are forwarded to {!Filtered.smallest_csr} on the sparse path and
+    ignored on the dense one.  Raises [Invalid_argument] if [m] is not
     square. *)
 
 val smallest_dense : ?h:int -> Mat.t -> spectrum

@@ -7,6 +7,19 @@ type result = {
   padded : int;
 }
 
+type degree = Auto | Fixed of int
+
+let degree_name = function
+  | Auto -> "auto"
+  | Fixed d -> string_of_int d
+
+let degree_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Some Auto
+  | s -> ( match int_of_string_opt s with
+      | Some d when d >= 2 -> Some (Fixed d)
+      | _ -> None)
+
 (* Degree-[d] Chebyshev filter applied to one vector, in place:
    x <- T_d((A - c I)/e) x  with  c = (up + cut)/2, e = (up - cut)/2.
    T_d is <= 1 in magnitude on [cut, up] and grows like
@@ -76,22 +89,122 @@ let c_matvecs = Graphio_obs.Metrics.counter "la.eigen.matvecs"
 let c_restarts = Graphio_obs.Metrics.counter "la.eigen.restarts"
 let c_locked = Graphio_obs.Metrics.counter "la.eigen.locked"
 let c_padded = Graphio_obs.Metrics.counter "la.eigen.padded"
+let g_degree = Graphio_obs.Metrics.gauge "la.eigen.filter_degree"
 
-let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
-    ?(seed = 0x5eed) ?(want_vectors = false) ?on_iteration ~matvec ~upper_bound
-    ~n ~h () =
+let min_auto_degree = 4
+let max_auto_degree = 80
+
+(* Auto-tuned filter degree for the next sweep.
+
+   Every sweep costs b*(1 + d) matvecs (Rayleigh-Ritz plus filter) and
+   the Chebyshev log-damping of the blocking component is linear in d
+   (cosh(d arccosh t) for t = (c - theta)/e > 1), so damping per matvec
+   is a constant of t: stretching the same total damping over more
+   sweeps only adds Rayleigh-Ritz overhead, while overshooting past the
+   lock threshold wastes whole multiples of it.  The tuner therefore
+   right-sizes each sweep to the damping that remains: solve
+   cosh(d arccosh t) = rho for rho = blocking_res / threshold (the decay
+   still needed to lock the blocking vector), i.e.
+   d = arccosh(2 rho) / arccosh t.
+
+   A correction from the previous sweep absorbs what the
+   single-component bound misses (clustered spectra damp slower; interval
+   estimates from a random block flatter t): the sweep promised
+   rho_pred = cosh(d_prev arccosh t_prev) but delivered r_prev/r, and
+   the ratio of the two log-decays rescales the estimate, clamped to
+   [0.5, 3].
+
+   Both estimates are unreliable on the first sweep — Ritz values of a
+   random block overestimate badly, and a weakly filtered guard zone
+   makes the cut selection land inside clusters (collapsing t), so an
+   under-sized opening filter sends the whole solve into a thrashing
+   regime the single-component bound cannot predict.  The opening filter
+   is therefore pinned at [first_degree_cap], the old fixed default,
+   which empirically cleans the block enough for the gap scan; each
+   subsequent sweep may at most triple its predecessor.  The adaptive
+   win comes from the later sweeps: once the blocking residual is close
+   to the lock threshold, the remaining damping is small and the
+   right-sized closing filters are far shallower than a fixed degree
+   keeps paying.
+
+   A warm-started block (seeded from a donor solve's locked Ritz
+   vectors) is the exception to the opening pin: its first Rayleigh-Ritz
+   already locks a prefix, the guard zone is genuinely separated, and
+   the spread estimate is honest — so when anything is locked before the
+   first filter, d_need is trusted immediately.
+
+   A residual that grew across a sweep normally asks for a deeper
+   filter, but when the spread has also collapsed (t below
+   [collapsed_spread]) it is evidence of cluster thrash: the cut sits
+   inside an eigenvalue cluster straddling the block boundary, no degree
+   separates what the interval cannot, and deep filters only rotate the
+   basis and bounce the residual further.  The tuner retreats to the
+   opening degree there — frequent Rayleigh-Ritz rounds give the gap
+   scan (and ultimately the stall detector) their chance at minimal
+   cost.
+
+   The result is clamped to [min_auto_degree, max_auto_degree] and is a
+   pure function of the solve trajectory — deterministic for a fixed
+   seed and operator (docs/PERFORMANCE.md). *)
+let first_degree_cap = 20
+
+let collapsed_spread = 1.05
+
+let auto_degree ~prev ~locked ~blocking_res ~threshold ~c ~e ~theta_block =
+  let t = Float.max ((c -. theta_block) /. e) (1.0 +. 1e-9) in
+  let rho = Float.max (blocking_res /. Float.max threshold 1e-300) 2.0 in
+  let d_need = Float.acosh (4.0 *. rho) /. Float.acosh t in
+  let scale, cap =
+    match prev with
+    | Some (d_prev, t_prev, r_prev)
+      when blocking_res > 0.0 && r_prev > 0.0 && Float.is_finite r_prev ->
+        let actual = r_prev /. blocking_res in
+        if actual > 1.0 then
+          let predicted =
+            Float.cosh (float_of_int d_prev *. Float.acosh t_prev)
+          in
+          let scale =
+            Float.min 3.0 (Float.max 0.5 (log predicted /. log actual))
+          in
+          (scale, 3 * d_prev)
+        else if t < collapsed_spread then
+          (1.0, first_degree_cap) (* cluster thrash: retreat, let RR work *)
+        else (3.0, 3 * d_prev) (* residual refused to shrink: filter much deeper *)
+    | Some (d_prev, _, _) -> (1.0, 3 * d_prev)
+    | None when locked > 0 -> (1.0, max_auto_degree) (* warm start: trust d_need *)
+    | None -> (infinity, first_degree_cap) (* pin the opening filter at the cap *)
+  in
+  let d = int_of_float (Float.ceil (Float.min (d_need *. scale) 1e6)) in
+  (max min_auto_degree (min max_auto_degree (min cap d)), t)
+
+let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = Auto) ?guard
+    ?(seed = 0x5eed) ?(want_vectors = false) ?init ?on_iteration ~matvec
+    ~upper_bound ~n ~h () =
   if n <= 0 then invalid_arg "Filtered.smallest: n must be positive";
   if h <= 0 then invalid_arg "Filtered.smallest: h must be positive";
   if not (Float.is_finite upper_bound) then
     invalid_arg "Filtered.smallest: upper_bound must be finite";
-  if degree < 2 then invalid_arg "Filtered.smallest: degree must be >= 2";
+  (match degree with
+  | Fixed d when d < 2 -> invalid_arg "Filtered.smallest: degree must be >= 2"
+  | _ -> ());
   let h = min h n in
   let guard = match guard with Some g -> max 2 g | None -> max 16 (h / 3) in
   let b = min n (h + guard) in
   let rng = Rng.create seed in
   let matvec_count = ref 0 in
   let up = Float.max upper_bound 1e-300 *. (1.0 +. 1e-10) in
-  let block = Array.init b (fun _ -> Rng.unit_vector rng n) in
+  (* Warm-start: seed leading columns from caller-provided vectors (locked
+     Ritz vectors of a related solve).  A larger donor block is truncated
+     to [b]; a smaller one is padded with the random tail.  Columns of the
+     wrong length are ignored rather than rejected — the donor may come
+     from a different graph revision via a stale cache. *)
+  let block =
+    Array.init b (fun j ->
+        match init with
+        | Some vs when j < Array.length vs && Array.length vs.(j) = n ->
+            Array.copy vs.(j)
+        | _ -> Rng.unit_vector rng n)
+  in
   orthonormalize_block rng block;
   let ax = Array.init b (fun _ -> Array.make n 0.0) in
   let theta = ref [||] in
@@ -116,6 +229,9 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
   let checkpoint_prefix = ref (-1) in
   let checkpoint_res = ref infinity in
   let stalled = ref false in
+  (* (degree, t, blocking residual) of the previous sweep, for the
+     observed-decay correction of the auto-tuner. *)
+  let prev_sweep = ref None in
   while (not !finished) && !iterations < max_iterations do
     incr iterations;
     (* Rayleigh-Ritz data: AX, H = X^T A X, G = (AX)^T AX. *)
@@ -209,8 +325,28 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
       let cut = Float.min (Float.max cut_raw (lo +. (1e-6 *. up))) (0.95 *. up) in
       let c = (up +. cut) /. 2.0
       and e = Float.max ((up -. cut) /. 2.0) (1e-12 *. up) in
+      let d, t =
+        match degree with
+        | Fixed d -> (d, Float.max ((c -. th.(!prefix)) /. e) (1.0 +. 1e-9))
+        | Auto ->
+            auto_degree ~prev:!prev_sweep ~locked:!prefix
+              ~blocking_res:!blocking_res ~threshold ~c ~e
+              ~theta_block:th.(!prefix)
+      in
+      Graphio_obs.Metrics.set g_degree (float_of_int d);
+      if Graphio_obs.Log.enabled Graphio_obs.Log.Debug then
+        Graphio_obs.Log.emit ~level:Graphio_obs.Log.Debug "solver.filter_degree"
+          [
+            ("sweep", Graphio_obs.Jsonx.Int !iterations);
+            ("degree", Graphio_obs.Jsonx.Int d);
+            ("locked", Graphio_obs.Jsonx.Int !prefix);
+            ("residual", Graphio_obs.Jsonx.Float !blocking_res);
+            ("spread", Graphio_obs.Jsonx.Float t);
+          ];
+      prev_sweep := Some (d, t, !blocking_res);
       for j = 0 to b - 1 do
-        block.(j) <- chebyshev_apply ~matvec ~matvec_count ~c ~e ~degree block.(j)
+        block.(j) <-
+          chebyshev_apply ~matvec ~matvec_count ~c ~e ~degree:d block.(j)
       done;
       orthonormalize_block rng block
     end
@@ -248,11 +384,12 @@ let smallest ?(tol = 1e-6) ?(max_iterations = 300) ?(degree = 20) ?guard
   Graphio_obs.Metrics.add c_padded padded;
   { values; vectors; iterations = !iterations; matvecs = !matvec_count; converged; padded }
 
-let smallest_csr ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors
-    ?on_iteration ?pool m ~h =
+let smallest_csr ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors ?init
+    ?on_iteration ?pool ?kernel m ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Filtered.smallest_csr: matrix not square";
-  smallest ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors ?on_iteration
-    ~matvec:(fun x y -> Csr.matvec_into ?pool m x y)
+  smallest ?tol ?max_iterations ?degree ?guard ?seed ?want_vectors ?init
+    ?on_iteration
+    ~matvec:(Csr.matvec_fn ?pool ?kernel m)
     ~upper_bound:(Csr.gershgorin_upper m)
     ~n:rows ~h ()

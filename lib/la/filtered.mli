@@ -40,13 +40,27 @@ type result = {
           filter no gap to exploit). *)
 }
 
+type degree = Auto | Fixed of int
+(** Chebyshev filter degree policy.  [Fixed d] uses [d] for every sweep;
+    [Auto] (the default) retunes each sweep from the current Ritz-value
+    spread and the observed residual-decay rate — clamped to [[4, 80]],
+    deterministic for a fixed seed and operator, logged via
+    [solver.filter_degree] debug events and the [la.eigen.filter_degree]
+    gauge (docs/PERFORMANCE.md). *)
+
+val degree_name : degree -> string
+
+val degree_of_string : string -> degree option
+(** ["auto"] or an integer [>= 2] (the CLI [--filter-degree] grammar). *)
+
 val smallest :
   ?tol:float ->
   ?max_iterations:int ->
-  ?degree:int ->
+  ?degree:degree ->
   ?guard:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?init:float array array ->
   ?on_iteration:Convergence.callback ->
   matvec:(float array -> float array -> unit) ->
   upper_bound:float ->
@@ -62,28 +76,36 @@ val smallest :
       CSR matrices: {!Csr.gershgorin_upper});
     - [tol] is the residual threshold relative to [upper_bound]
       (default [1e-6]);
-    - [degree] is the Chebyshev filter degree per iteration (default 20);
+    - [degree] is the Chebyshev filter degree policy (default [Auto]);
     - [guard] extra block vectors beyond [h] (default [max 16 (h/3)]);
     - [max_iterations] defaults to 300;
+    - [init] seeds the leading block columns (warm start): extra donor
+      columns are truncated, missing ones padded with the usual random
+      draws, then the whole block is re-orthonormalized.  A warm-started
+      run converges to the same spectrum but takes a different FP path,
+      so bitwise determinism holds only among runs with the same [init];
     - [on_iteration] is invoked once per filter sweep with a
       {!Convergence.progress} snapshot (sweep index, cumulative matvecs,
       converged Ritz prefix, first blocking residual).
 
-    Raises [Invalid_argument] on non-positive [n]/[h] or a non-finite
-    [upper_bound]. *)
+    Raises [Invalid_argument] on non-positive [n]/[h], a non-finite
+    [upper_bound], or [Fixed d] with [d < 2]. *)
 
 val smallest_csr :
   ?tol:float ->
   ?max_iterations:int ->
-  ?degree:int ->
+  ?degree:degree ->
   ?guard:int ->
   ?seed:int ->
   ?want_vectors:bool ->
+  ?init:float array array ->
   ?on_iteration:Convergence.callback ->
   ?pool:Graphio_par.Pool.t ->
+  ?kernel:Csr.kernel ->
   Csr.t ->
   h:int ->
   result
 (** Wrapper over a symmetric CSR matrix (upper bound via Gershgorin).
-    [pool] parallelizes the matvecs row-chunked across domains without
-    changing any result bitwise ({!Csr.matvec_into}). *)
+    [pool] parallelizes the matvecs row-chunked across domains and
+    [kernel] selects the matvec kernel ({!Csr.default_kernel} when
+    omitted); neither changes any result bitwise ({!Csr.matvec_fn}). *)

@@ -285,9 +285,9 @@ let smallest ?(tol = 1e-7) ?(max_restarts = 300) ?krylov_dim ?(seed = 0x5eed)
   }
 
 let smallest_csr ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration
-    ?pool m ~h =
+    ?pool ?kernel m ~h =
   let rows, cols = Csr.dims m in
   if rows <> cols then invalid_arg "Lanczos.smallest_csr: matrix not square";
   smallest ?tol ?max_restarts ?krylov_dim ?seed ?want_vectors ?on_iteration
-    ~matvec:(fun x y -> Csr.matvec_into ?pool m x y)
+    ~matvec:(Csr.matvec_fn ?pool ?kernel m)
     ~n:rows ~h ()

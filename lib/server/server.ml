@@ -11,6 +11,8 @@ type config = {
   h : int;
   dense_threshold : int option;
   closed_form : bool;
+  warm_start : bool;
+  filter_degree : Graphio_la.Filtered.degree;
 }
 
 let default_config transport =
@@ -25,6 +27,12 @@ let default_config transport =
     h = 100;
     dense_threshold = None;
     closed_form = true;
+    (* warm starts are on by default in the serve tier: a long-lived
+       server answering related queries at several h values is exactly
+       the reuse the Ritz store exists for (CLI --no-warm-start opts
+       out; see docs/PERFORMANCE.md for the determinism caveat) *)
+    warm_start = true;
+    filter_degree = Graphio_la.Filtered.Auto;
   }
 
 let c_requests = Metrics.counter "server.requests"
@@ -85,6 +93,7 @@ let query_reply ~id ~rid (r : Solver.batch_result) =
            ("backend", Jsonx.String (Protocol.backend_name o.Solver.backend));
            ("tier", Jsonx.String (Solver.tier_name o.Solver.tier));
            ("cache_hit", Jsonx.Bool r.Solver.cache_hit);
+           ("warm_start", Jsonx.Bool o.Solver.warm_start);
            ("wall_s", Jsonx.Float r.Solver.wall_s);
          ]))
 
@@ -124,6 +133,7 @@ let answer_query cfg ?pool ~arrival_ns ~rid (q : Protocol.query) =
       let r =
         Solver.bound_cached ~cache:cfg.cache ?pool ~h
           ?dense_threshold:cfg.dense_threshold ~closed_form:cfg.closed_form
+          ~warm_start:cfg.warm_start ~filter_degree:cfg.filter_degree
           ~on_iteration:(fun _ -> check_deadline ())
           job
       in

@@ -56,12 +56,22 @@ type config = {
           (see {!Graphio_recognize.Recognize}); the reply's ["tier"] field
           reports which tier answered.  [false] forces every request
           through the numeric pipeline ([graphio serve --no-closed-form]). *)
+  warm_start : bool;
+      (** seed sparse eigensolves from cached Ritz vectors of related
+          solves (same graph/method/params, different [h]); the reply's
+          ["warm_start"] field reports per-request provenance.  Warm
+          replies match cold ones to solver tolerance but not bitwise
+          ([graphio serve --no-warm-start] opts out;
+          docs/PERFORMANCE.md). *)
+  filter_degree : Graphio_la.Filtered.degree;
+      (** Chebyshev filter degree policy for sparse eigensolves
+          ([graphio serve --filter-degree auto|N]). *)
 }
 
 val default_config : transport -> config
 (** Pool of 1, a fresh default cache ({!Graphio_cache.Spectrum.ambient}
     when configured, else memory-only), no timeout, [h = 100], closed-form
-    dispatch on. *)
+    dispatch on, warm starts on, [Auto] filter degree. *)
 
 val run : ?ready:(unit -> unit) -> config -> unit
 (** Bind, listen, serve until a shutdown request or signal, drain, clean

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Guard the eigensolver hot path against regressions.
+#
+# Reads the quick-mode eigen section of a bench --json dump and compares
+# it against the committed baseline (bench/eigen_baseline.json):
+#
+#   - the Bigarray kernel must stay bitwise-equal to the reference
+#     float-array kernel (<family>_kernel_bitwise);
+#   - the spectral bounds computed from auto-degree and warm-started
+#     solves must still agree with the fixed-degree cold solve
+#     (<family>_accuracy_ok);
+#   - the fixed-degree matvec count must not grow (it is deterministic,
+#     so any growth is a solver regression, not noise);
+#   - the best adaptive count, min(auto, warm), must stay within 10% of
+#     the baseline — the auto-tuner and warm-start wins are the point of
+#     the hot path and must not quietly erode.
+#
+# Matvec counts are pure function of the solver code (no wall time, no
+# scheduling), so this guard is stable across machines.
+#
+# Usage: check_eigen_baseline.sh BENCH_JSON [BASELINE_JSON]
+set -euo pipefail
+
+bench_json=${1:?usage: check_eigen_baseline.sh BENCH_JSON [BASELINE_JSON]}
+baseline=${2:-$(dirname "$0")/../bench/eigen_baseline.json}
+
+field() { # field FILE KEY -> bare value (number or true/false)
+  grep -o "\"$2\":[^,}]*" "$1" | head -n1 | cut -d: -f2
+}
+
+fail=0
+for fam in bhk grid_perturbed random_dag; do
+  fixed=$(field "$bench_json" "${fam}_fixed_matvecs")
+  auto=$(field "$bench_json" "${fam}_auto_matvecs")
+  warm=$(field "$bench_json" "${fam}_warm_matvecs")
+  bitwise=$(field "$bench_json" "${fam}_kernel_bitwise")
+  accurate=$(field "$bench_json" "${fam}_accuracy_ok")
+  base_fixed=$(field "$baseline" "${fam}_fixed_matvecs")
+  base_best=$(field "$baseline" "${fam}_best_matvecs")
+
+  if [ -z "$fixed" ] || [ -z "$auto" ] || [ -z "$warm" ]; then
+    echo "FAIL $fam: eigen section missing from $bench_json"
+    fail=1
+    continue
+  fi
+  if [ "$bitwise" != "true" ]; then
+    echo "FAIL $fam: Bigarray kernel no longer bitwise-equal to the reference kernel"
+    fail=1
+  fi
+  if [ "$accurate" != "true" ]; then
+    echo "FAIL $fam: auto/warm bound disagrees with the cold fixed-degree bound"
+    fail=1
+  fi
+  if [ "$fixed" -gt "$base_fixed" ]; then
+    echo "FAIL $fam: fixed-degree matvecs regressed ($fixed > baseline $base_fixed)"
+    fail=1
+  fi
+  best=$auto
+  [ "$warm" -lt "$best" ] && best=$warm
+  # 10% slack, integer arithmetic: best <= base_best * 1.10
+  if [ $((best * 10)) -gt $((base_best * 11)) ]; then
+    echo "FAIL $fam: best adaptive matvecs regressed ($best > baseline $base_best + 10%)"
+    fail=1
+  fi
+  echo "ok   $fam: fixed $fixed (baseline $base_fixed), best $best (baseline $base_best), bitwise $bitwise"
+done
+
+exit $fail

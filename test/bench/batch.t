@@ -4,8 +4,8 @@ the --json trajectory.  Wall-clock values are machine-dependent, so only
 the deterministic lines and JSON fields are checked.
 
   $ ../../bench/main.exe --quick -j 2 --json bench.json batch | grep -E "^(jobs|spectrum)" | sed -E 's/ +$//'
-  jobs                 24
-  spectrum cache hits  12
+  jobs                  24
+  spectrum cache hits   12
 
   $ grep -o '"section":"batch"' bench.json
   "section":"batch"
@@ -18,6 +18,15 @@ the deterministic lines and JSON fields are checked.
   "par_s":
   "seq_s":
   "speedup":
+
+The section forces the numeric tier, so the recorded matvec counts are
+real work — and the pool changes who runs the matvecs, never how many
+run, so the sequential and pooled counts must agree exactly:
+
+  $ seq=$(grep -o '"seq_matvecs":[0-9]*' bench.json | cut -d: -f2)
+  $ par=$(grep -o '"par_matvecs":[0-9]*' bench.json | cut -d: -f2)
+  $ test -n "$seq" && test "$seq" -gt 0 && test "$seq" = "$par" && echo "equal and nonzero"
+  equal and nonzero
 
 -j rejects garbage:
 

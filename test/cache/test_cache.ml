@@ -150,16 +150,19 @@ let test_disabled_cache () =
     (Spectrum.find Spectrum.disabled (key 1) = None)
 
 let test_params_digest_discriminates () =
-  let d = Spectrum.params_digest in
-  let base = d ~dense_threshold:None ~tol:None ~seed:None in
+  let d ?dense_threshold ?tol ?seed ?filter_degree () =
+    Spectrum.params_digest ~dense_threshold ~tol ~seed ~filter_degree
+  in
+  let base = d () in
   Alcotest.(check bool) "dense_threshold changes digest" true
-    (d ~dense_threshold:(Some 24) ~tol:None ~seed:None <> base);
+    (d ~dense_threshold:24 () <> base);
   Alcotest.(check bool) "tol changes digest" true
-    (d ~dense_threshold:None ~tol:(Some 1e-9) ~seed:None <> base);
+    (d ~tol:1e-9 () <> base);
   Alcotest.(check bool) "seed changes digest" true
-    (d ~dense_threshold:None ~tol:None ~seed:(Some 3) <> base);
-  Alcotest.(check bool) "digest is stable" true
-    (d ~dense_threshold:None ~tol:None ~seed:None = base)
+    (d ~seed:3 () <> base);
+  Alcotest.(check bool) "fixed filter degree changes digest" true
+    (d ~filter_degree:12 () <> base);
+  Alcotest.(check bool) "digest is stable" true (d () = base)
 
 (* ------------------------------------------------------------------ *)
 (* Spectrum cache: disk tier                                           *)

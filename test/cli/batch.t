@@ -14,11 +14,11 @@ are the only nondeterministic field.
   > fft:5 m=4
   > EOF
   $ ../../bin/graphio.exe batch jobs.txt -j 2 | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
-  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"standard","h":100,"bound":32,"best_k":4,"best_raw":32,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":1,"method":"standard","h":100,"bound":18.5,"best_k":3,"best_raw":18.5,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":8,"p":1,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":0,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
-  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":4,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":-8,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
-  {"spec":"fft:5","n":192,"edges":320,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-8.2226509339834948,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"standard","h":100,"bound":32,"best_k":4,"best_raw":32,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":1,"method":"standard","h":100,"bound":18.5,"best_k":3,"best_raw":18.5,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":8,"p":1,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":0,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":4,"p":4,"method":"standard","h":100,"bound":0,"best_k":2,"best_raw":-8,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
+  {"spec":"fft:5","n":192,"edges":320,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-8.2226509339834948,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}
 
 The output is identical with a sequential run (-j 1):
 

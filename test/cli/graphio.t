@@ -68,7 +68,7 @@ byte-identical), and --trace writes Chrome trace-event JSON:
 (fft:4 is recognized, so --no-closed-form keeps the eigensolver in play):
 
   $ ../../bin/graphio.exe bound -g fft:4 -m 4 --no-closed-form --metrics --trace trace.json 2>&1 >/dev/null | grep -c "la.eigen"
-  6
+  7
   $ ../../bin/graphio.exe bound -g fft:4 -m 4 --metrics 2>&1 >/dev/null | head -1
   == metrics ==
   $ head -c 15 trace.json
@@ -84,7 +84,7 @@ stdout and stderr clean for pipelines:
   $ head -1 metrics.txt
   == metrics ==
   $ grep -c "la.eigen" metrics.txt
-  6
+  7
 
 DOT export:
 

@@ -16,9 +16,9 @@ works as the graph source:
   >   '{"edgelist":"graphio 1\nn 3 m 2\ne 0 1\ne 1 2\n","m":2,"method":"standard"}' \
   >   | ../../bin/graphio.exe client --socket srv.sock \
   >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
-  {"id":1,"ok":true,"rid":_,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.6666666666666661,"best_k":2,"best_raw":2.6666666666666661,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
-  {"id":2,"ok":true,"rid":_,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.6666666666666661,"best_k":2,"best_raw":2.6666666666666661,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
-  {"ok":true,"rid":_,"n":3,"edges":2,"m":2,"p":1,"method":"standard","h":3,"bound":0,"best_k":2,"best_raw":-7,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
+  {"id":1,"ok":true,"rid":_,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.6666666666666661,"best_k":2,"best_raw":2.6666666666666661,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}
+  {"id":2,"ok":true,"rid":_,"n":64,"edges":192,"m":2,"p":1,"method":"standard","h":64,"bound":2.6666666666666661,"best_k":2,"best_raw":2.6666666666666661,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
+  {"ok":true,"rid":_,"n":3,"edges":2,"m":2,"p":1,"method":"standard","h":3,"bound":0,"best_k":2,"best_raw":-7,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}
 
 Malformed requests get structured errors -- and the server survives them
 all, still answering on the same connection (the ping at the end):
@@ -65,7 +65,7 @@ previous server (or a batch run) populated:
   $ printf '{"spec":"bhk:5","m":4,"method":"standard"}\n' \
   >   | ../../bin/graphio.exe client --socket d1.sock \
   >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
-  {"ok":true,"rid":_,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.6,"backend":"dense","tier":"closed-form","cache_hit":false,"wall_s":_}
+  {"ok":true,"rid":_,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.6,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}
   $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket d1.sock
   {"ok":true,"op":"shutdown"}
   $ wait
@@ -75,7 +75,7 @@ previous server (or a batch run) populated:
   $ printf '{"spec":"bhk:5","m":4,"method":"standard"}\n' \
   >   | ../../bin/graphio.exe client --socket d2.sock \
   >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
-  {"ok":true,"rid":_,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.6,"backend":"dense","tier":"closed-form","cache_hit":true,"wall_s":_}
+  {"ok":true,"rid":_,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.6,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
   $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket d2.sock
   {"ok":true,"op":"shutdown"}
   $ wait

@@ -45,10 +45,11 @@ with --no-clear is pipeline-friendly:
   $ ../../bin/graphio.exe top --socket tel.sock --iterations 1 --no-clear > top.out
   $ grep -c 'graphio top' top.out
   1
-  $ grep -Eo '^(requests|latency|cache|pool|gc)' top.out
+  $ grep -Eo '^(requests|latency|cache|solver|pool|gc)' top.out
   requests
   latency
   cache
+  solver
   pool
   gc
 

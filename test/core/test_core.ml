@@ -190,6 +190,41 @@ let test_solver_sparse_path_agrees_with_dense () =
            (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
            sparse.Solver.eigenvalues pooled.Solver.eigenvalues))
 
+let test_solver_warm_start_accuracy () =
+  (* Ritz vectors cached by a donor solve at one h seed solves at other
+     h's on the same graph.  Warm bounds must agree with cold ones to
+     solver tolerance, the provenance bit must report the seeding, and
+     both directions of the donor-size mismatch (pad and truncate) must
+     work. *)
+  List.iter
+    (fun g ->
+      let cache = Graphio_cache.Spectrum.create () in
+      let solve ?(cache = cache) ~h ~warm_start () =
+        Solver.bound_cached ~cache ~h ~dense_threshold:0 ~warm_start
+          ~closed_form:false (Solver.job g ~m:8)
+      in
+      let cold_bound ~h =
+        (solve ~cache:Graphio_cache.Spectrum.disabled ~h ~warm_start:false ())
+          .Solver.outcome.Solver.result.Spectral_bound.bound
+      in
+      let donor = solve ~h:16 ~warm_start:true () in
+      Alcotest.(check bool) "donor is cold" false
+        donor.Solver.outcome.Solver.warm_start;
+      List.iter
+        (fun h ->
+          let warm = solve ~h ~warm_start:true () in
+          Alcotest.(check bool)
+            (Printf.sprintf "h=%d seeded" h)
+            true warm.Solver.outcome.Solver.warm_start;
+          let wb = warm.Solver.outcome.Solver.result.Spectral_bound.bound in
+          let cb = cold_bound ~h in
+          Alcotest.(check bool)
+            (Printf.sprintf "h=%d warm bound agrees with cold" h)
+            true
+            (Float.abs (wb -. cb) <= 1e-5 *. (1.0 +. Float.abs cb)))
+        [ 24 (* donor padded *); 8 (* donor truncated *) ])
+    [ Fft.build 6; Bhk.build 7; Er.gnp ~n:200 ~p:0.05 ~seed:11 ]
+
 (* ------------------------------------------------------------------ *)
 (* Analytic (Section 5)                                                *)
 (* ------------------------------------------------------------------ *)
@@ -703,6 +738,8 @@ let () =
           Alcotest.test_case "parallel weaker" `Quick test_solver_parallel_weaker;
           Alcotest.test_case "sparse path agrees with dense" `Quick
             test_solver_sparse_path_agrees_with_dense;
+          Alcotest.test_case "warm start accuracy" `Quick
+            test_solver_warm_start_accuracy;
         ] );
       ( "analytic",
         [

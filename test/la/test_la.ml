@@ -300,6 +300,53 @@ let test_csr_scale () =
   check_float "scaled" 6.0 (Csr.get (Csr.scale 3.0 m) 0 1)
 
 (* ------------------------------------------------------------------ *)
+(* Csr.Ba (unboxed Bigarray matvec kernel)                             *)
+(* ------------------------------------------------------------------ *)
+
+let bitwise_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let test_ba_matvec_edge_shapes () =
+  (* The shapes that break blocked kernels: empty rows (NaN-poisoned
+     scratch must still come out 0.0), 1x1, all-empty, dangling columns. *)
+  List.iter
+    (fun (rows, cols, trips) ->
+      let m = Csr.of_triplets ~rows ~cols trips in
+      let rng = Rng.create 3 in
+      let x = Array.init cols (fun _ -> Rng.gaussian rng) in
+      let y_ref = Csr.matvec m x in
+      let y_ba = Csr.Ba.matvec (Csr.Ba.of_csr m) x in
+      Alcotest.(check bool)
+        (Printf.sprintf "bitwise %dx%d nnz=%d" rows cols (List.length trips))
+        true (bitwise_equal y_ref y_ba))
+    [
+      (1, 1, []);
+      (1, 1, [ (0, 0, 2.5) ]);
+      (4, 4, [ (0, 1, 1.0); (0, 2, -2.0) ]);
+      (3, 7, [ (2, 6, 1.0) ]);
+      (5, 5, []);
+    ]
+
+let test_ba_of_csr_int32_guard () =
+  (* A CSR with more columns than int32 can index must be rejected at
+     conversion, not silently wrapped into negative indices. *)
+  let wide = Csr.of_triplets ~rows:1 ~cols:0x8000_0000 [] in
+  match Csr.Ba.of_csr wide with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "guard message prefix" "Csr.Ba.of_csr"
+        (String.sub msg 0 13)
+
+let test_ba_dims_nnz () =
+  let m = Csr.of_triplets ~rows:3 ~cols:5 [ (0, 1, 1.0); (2, 4, -1.0) ] in
+  let b = Csr.Ba.of_csr m in
+  Alcotest.(check (pair int int)) "dims" (3, 5) (Csr.Ba.dims b);
+  Alcotest.(check int) "nnz" 2 (Csr.Ba.nnz b)
+
+(* ------------------------------------------------------------------ *)
 (* Lanczos                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -464,6 +511,30 @@ let test_filtered_deterministic () =
   Alcotest.check (float_array_approx 0.0) "same seed" a.Filtered.values
     b.Filtered.values
 
+let test_filtered_warm_start_accuracy () =
+  (* Seeding from a donor solve at a different h must not change what the
+     solver converges to — only how fast.  Both directions: a smaller
+     donor block is padded with the usual random columns, a larger one is
+     truncated. *)
+  let m = laplacian_path 300 in
+  let donor = Filtered.smallest_csr m ~h:6 ~want_vectors:true ~tol:1e-8 in
+  let init =
+    match donor.Filtered.vectors with
+    | Some v -> v
+    | None -> Alcotest.fail "donor vectors missing"
+  in
+  let cold_up = Filtered.smallest_csr m ~h:10 ~tol:1e-8 in
+  let warm_up = Filtered.smallest_csr m ~h:10 ~tol:1e-8 ~init in
+  Alcotest.(check bool) "padded warm converged" true warm_up.Filtered.converged;
+  Alcotest.check (float_array_approx 1e-6) "padded warm matches cold"
+    cold_up.Filtered.values warm_up.Filtered.values;
+  let cold_down = Filtered.smallest_csr m ~h:4 ~tol:1e-8 in
+  let warm_down = Filtered.smallest_csr m ~h:4 ~tol:1e-8 ~init in
+  Alcotest.(check bool) "truncated warm converged" true
+    warm_down.Filtered.converged;
+  Alcotest.check (float_array_approx 1e-6) "truncated warm matches cold"
+    cold_down.Filtered.values warm_down.Filtered.values
+
 let test_filtered_hypercube_multiplicity_wall () =
   (* The stress case that defeats single-vector Krylov methods: the
      out-degree-normalized hypercube Laplacian has eigenvalue clusters far
@@ -604,6 +675,29 @@ let prop_csr_matvec_linear =
       let rhs = Vec.add (Csr.matvec m x) (Csr.matvec m y) in
       Vec.approx_equal ~tol:1e-6 lhs rhs)
 
+let prop_ba_matvec_bitwise =
+  QCheck2.Test.make ~name:"Bigarray kernel bitwise-equal to array kernel"
+    ~count:150
+    QCheck2.Gen.(triple (int_range 1 40) (int_range 1 40) (int_range 0 1_000_000))
+    (fun (rows, cols, seed) ->
+      let rng = Rng.create seed in
+      let triplets = ref [] in
+      for i = 0 to rows - 1 do
+        (* leave ~25% of rows empty; unreferenced columns come for free *)
+        if Rng.float rng > 0.25 then
+          for j = 0 to cols - 1 do
+            if Rng.float rng < 0.2 then begin
+              (* wide magnitude spread makes the accumulation order visible
+                 in the low bits, so reordering would be caught *)
+              let scale = Float.of_int (1 lsl Rng.int rng 20) in
+              triplets := (i, j, Rng.gaussian rng *. scale) :: !triplets
+            end
+          done
+      done;
+      let m = Csr.of_triplets ~rows ~cols !triplets in
+      let x = Array.init cols (fun _ -> Rng.gaussian rng) in
+      bitwise_equal (Csr.matvec m x) (Csr.Ba.matvec (Csr.Ba.of_csr m) x))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -613,6 +707,7 @@ let props =
       prop_ql_matches_jacobi;
       prop_gram_matrix_psd;
       prop_csr_matvec_linear;
+      prop_ba_matvec_bitwise;
     ]
 
 let () =
@@ -673,6 +768,14 @@ let () =
           Alcotest.test_case "gershgorin" `Quick test_csr_gershgorin;
           Alcotest.test_case "scale" `Quick test_csr_scale;
         ] );
+      ( "csr-ba",
+        [
+          Alcotest.test_case "edge shapes bitwise" `Quick
+            test_ba_matvec_edge_shapes;
+          Alcotest.test_case "int32 overflow guard" `Quick
+            test_ba_of_csr_int32_guard;
+          Alcotest.test_case "dims and nnz" `Quick test_ba_dims_nnz;
+        ] );
       ( "lanczos",
         [
           Alcotest.test_case "path graph" `Quick test_lanczos_path_graph;
@@ -691,6 +794,8 @@ let () =
           Alcotest.test_case "h >= n" `Quick test_filtered_h_ge_n;
           Alcotest.test_case "eigenvectors" `Quick test_filtered_vectors;
           Alcotest.test_case "deterministic" `Quick test_filtered_deterministic;
+          Alcotest.test_case "warm start accuracy" `Quick
+            test_filtered_warm_start_accuracy;
           Alcotest.test_case "hypercube multiplicity wall" `Slow
             test_filtered_hypercube_multiplicity_wall;
         ] );

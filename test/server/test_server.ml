@@ -18,8 +18,11 @@ let with_server ?(pool_size = 3) ?timeout_s ?(cache = Graphio_cache.Spectrum.dis
   let path = socket_path () in
   let transport = Server.Unix_socket path in
   let cfg =
+    (* warm_start off: these tests pin exact reply bytes, and warm-started
+       solves match cold ones only to tolerance, not bitwise *)
     { Server.transport; pool_size; cache; timeout_s; h = 16;
-      dense_threshold = Some 24; closed_form = true }
+      dense_threshold = Some 24; closed_form = true;
+      warm_start = false; filter_degree = Graphio_la.Filtered.Auto }
   in
   let listening = Atomic.make false in
   let server =
