@@ -2,6 +2,7 @@
 
    Subcommands:
      generate   build a workload graph and write it as an edge list
+     convert    stream a text edge list into the binary CSR store
      bound      spectral lower bound (Theorems 4/5/6)
      baseline   convex min-cut lower bound (Elango et al.)
      simulate   play a schedule in the two-level memory model
@@ -13,7 +14,8 @@
      top        live latency/cache/pool dashboard for a running serve
 
    Graphs are supplied either with --graph SPEC (generated on the fly) or
-   --file PATH (edge-list format, see Graphio_graph.Edgelist). *)
+   --file PATH (text edge-list format, see Graphio_graph.Edgelist, or a
+   binary store produced by convert — sniffed by magic). *)
 
 open Cmdliner
 open Graphio_graph
@@ -25,13 +27,20 @@ open Graphio_core
 
 let parse_spec = Graphio_workloads.Spec.parse
 
+(* [--file] accepts both formats: binary stores are sniffed by magic, so
+   every subcommand works on a [graphio convert]ed file.  Subcommands that
+   can avoid materializing the whole graph (bound) load the store
+   directly; the rest go through [to_dag]. *)
 let load_graph ~spec ~file =
   match (spec, file) with
   | Some s, None -> (
       match parse_spec s with
       | Ok g -> g
       | Error msg -> raise (Invalid_argument msg))
-  | None, Some path -> Edgelist.of_file path
+  | None, Some path ->
+      if Graphio_store.Store.is_store_file path then
+        Graphio_store.Store.to_dag (Graphio_store.Store.load path)
+      else Edgelist.of_file path
   | _ -> raise (Invalid_argument "provide exactly one of --graph or --file")
 
 let spec_arg =
@@ -199,6 +208,9 @@ let handle obs f =
   | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
       Printf.eprintf "graphio: %s\n" msg;
       exit 1
+  | exception Graphio_store.Store.Error e ->
+      Printf.eprintf "graphio: %s\n" (Graphio_store.Store.error_message e);
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -230,43 +242,135 @@ let generate_cmd =
     Term.(ret (const generate $ spec $ output $ obs_term))
 
 (* ------------------------------------------------------------------ *)
+(* convert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let convert input output faults obs =
+  handle obs @@ fun () ->
+  apply_faults faults;
+  let output =
+    match output with
+    | Some path -> path
+    | None -> Filename.remove_extension input ^ ".gcsr"
+  in
+  let n, m = Graphio_store.Convert.convert ~input ~output in
+  Printf.printf "converted %d vertices, %d edges to %s\n" n m output
+
+let convert_cmd =
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Text edge-list file to convert.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Output path (defaults to the input with a .gcsr extension).")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a text edge list to the binary CSR store (streaming, \
+             bounded memory)")
+    Term.(ret (const convert $ input $ output $ faults_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let bound spec file m h p method_name filter_degree no_closed_form faults obs =
+let method_name = function
+  | Solver.Normalized -> "normalized"
+  | Solver.Standard -> "standard"
+
+let backend_name = function
+  | Graphio_la.Eigen.Dense -> "dense"
+  | Graphio_la.Eigen.Sparse_filtered -> "filtered"
+
+(* Per-component provenance of a decomposed bound, between the method and
+   headline lines.  Identical whether the graph arrived as a text edge
+   list (decomposed by Solver.bound) or a binary store (decomposed by
+   Store.component_dags + Solver.bound_parts): both split into the same
+   parts in the same smallest-vertex order. *)
+let print_components (o : Solver.outcome) =
+  let comps = o.Solver.components in
+  Printf.printf "components: %d (merged spectrum h=%d)\n" (Array.length comps)
+    (Array.length o.Solver.eigenvalues);
+  let shown = min 16 (Array.length comps) in
+  for i = 0 to shown - 1 do
+    let c = comps.(i) in
+    let tier_s =
+      match c.Solver.comp_tier with
+      | Solver.Closed_form family ->
+          Printf.sprintf "closed form %s" (Graphio_recognize.Recognize.name family)
+      | Solver.Numeric ->
+          Printf.sprintf "numeric (%s)" (backend_name c.Solver.comp_backend)
+    in
+    Printf.printf "  component %d: n=%d edges=%d %s%s\n" i c.Solver.comp_n
+      c.Solver.comp_edges tier_s
+      (if c.Solver.comp_cache_hit then " (shared)" else "")
+  done;
+  if Array.length comps > shown then begin
+    let closed =
+      Array.fold_left
+        (fun acc c ->
+          match c.Solver.comp_tier with
+          | Solver.Closed_form _ -> acc + 1
+          | Solver.Numeric -> acc)
+        0 comps
+    in
+    Printf.printf "  ... %d more (total: %d closed form, %d numeric)\n"
+      (Array.length comps - shown) closed (Array.length comps - closed)
+  end
+
+let bound spec file m h p method_str filter_degree no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
-  let g = load_graph ~spec ~file in
   let method_ =
-    match method_name with
+    match method_str with
     | "normalized" -> Solver.Normalized
     | "standard" -> Solver.Standard
     | other ->
         raise (Invalid_argument (Printf.sprintf "unknown method %S" other))
   in
-  let o =
-    Solver.bound ~method_ ~h ~p ~filter_degree
-      ~closed_form:(not no_closed_form) g ~m
+  let closed_form = not no_closed_form in
+  (* Binary stores are bounded without materializing the union: components
+     are extracted one by one and fed to the decomposed solver path.
+     Where both paths fit in memory the output is byte-identical to the
+     text-edgelist path. *)
+  let (gn, gm, gdmax), o =
+    match (spec, file) with
+    | None, Some path when Graphio_store.Store.is_store_file path ->
+        let st = Graphio_store.Store.load path in
+        let parts =
+          Array.map fst (Graphio_store.Store.component_dags st)
+        in
+        ( ( Graphio_store.Store.n_vertices st,
+            Graphio_store.Store.n_edges st,
+            Graphio_store.Store.max_out_degree st ),
+          Solver.bound_parts ~method_ ~h ~p ~filter_degree ~closed_form parts
+            ~m )
+    | _ ->
+        let g = load_graph ~spec ~file in
+        ( (Dag.n_vertices g, Dag.n_edges g, Dag.max_out_degree g),
+          Solver.bound ~method_ ~h ~p ~filter_degree ~closed_form g ~m )
   in
   let b = o.Solver.result in
-  Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" (Dag.n_vertices g)
-    (Dag.n_edges g) (Dag.max_out_degree g);
+  Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" gn gm gdmax;
   Printf.printf "method: %s (Theorem %s)%s\n"
-    (match method_ with Solver.Normalized -> "normalized" | Solver.Standard -> "standard")
+    (method_name method_)
     (match method_ with Solver.Normalized -> if p > 1 then "6" else "4" | Solver.Standard -> "5")
     (if p > 1 then Printf.sprintf " with p=%d processors" p else "");
-  (match o.Solver.tier with
-  | Solver.Closed_form family ->
-      Printf.printf "spectrum: closed form, recognized %s (h=%d)\n"
-        (Graphio_recognize.Recognize.name family)
-        (Array.length o.Solver.eigenvalues)
-  | Solver.Numeric ->
-      Printf.printf "eigen backend: %s (h=%d)\n"
-        (match o.Solver.backend with
-        | Graphio_la.Eigen.Dense -> "dense Householder+QL"
-        | Graphio_la.Eigen.Sparse_filtered ->
-            "Chebyshev-filtered block iteration")
-        (Array.length o.Solver.eigenvalues));
+  (if Array.length o.Solver.components > 0 then print_components o
+   else
+     match o.Solver.tier with
+     | Solver.Closed_form family ->
+         Printf.printf "spectrum: closed form, recognized %s (h=%d)\n"
+           (Graphio_recognize.Recognize.name family)
+           (Array.length o.Solver.eigenvalues)
+     | Solver.Numeric ->
+         Printf.printf "eigen backend: %s (h=%d)\n"
+           (match o.Solver.backend with
+           | Graphio_la.Eigen.Dense -> "dense Householder+QL"
+           | Graphio_la.Eigen.Sparse_filtered ->
+               "Chebyshev-filtered block iteration")
+           (Array.length o.Solver.eigenvalues));
   Printf.printf "lower bound on non-trivial I/O: %.6g (best k = %d, raw = %.6g)\n"
     b.Spectral_bound.bound b.Spectral_bound.best_k b.Spectral_bound.best_raw
 
@@ -570,8 +674,10 @@ let parse_job_line ~path ~lineno line =
         let g =
           match String.index_opt spec ':' with
           | Some i when String.sub spec 0 i = "file" ->
-              Edgelist.of_file
-                (String.sub spec (i + 1) (String.length spec - i - 1))
+              let fpath = String.sub spec (i + 1) (String.length spec - i - 1) in
+              if Graphio_store.Store.is_store_file fpath then
+                Graphio_store.Store.to_dag (Graphio_store.Store.load fpath)
+              else Edgelist.of_file fpath
           | _ -> (
               match parse_spec spec with
               | Ok g -> g
@@ -579,14 +685,6 @@ let parse_job_line ~path ~lineno line =
         in
         Some (spec, Solver.job ~method_:!method_ ?p:!p g ~m)
   end
-
-let method_name = function
-  | Solver.Normalized -> "normalized"
-  | Solver.Standard -> "standard"
-
-let backend_name = function
-  | Graphio_la.Eigen.Dense -> "dense"
-  | Graphio_la.Eigen.Sparse_filtered -> "filtered"
 
 let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
     no_closed_form faults obs =
@@ -620,26 +718,47 @@ let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
       let j = r.Solver.job and o = r.Solver.outcome in
       let b = o.Solver.result in
       let open Graphio_obs.Jsonx in
-      print_endline
-        (to_string
-           (Obj
-              [
-                ("spec", String specs.(i));
-                ("n", Int (Dag.n_vertices j.Solver.dag));
-                ("edges", Int (Dag.n_edges j.Solver.dag));
-                ("m", Int j.Solver.m);
-                ("p", Int (Option.value j.Solver.p ~default:1));
-                ("method", String (method_name j.Solver.method_));
-                ("h", Int (Array.length o.Solver.eigenvalues));
-                ("bound", Float b.Spectral_bound.bound);
-                ("best_k", Int b.Spectral_bound.best_k);
-                ("best_raw", Float b.Spectral_bound.best_raw);
-                ("backend", String (backend_name o.Solver.backend));
-                ("tier", String (Solver.tier_name o.Solver.tier));
-                ("cache_hit", Bool r.Solver.cache_hit);
-                ("warm_start", Bool o.Solver.warm_start);
-                ("wall_s", Float r.Solver.wall_s);
-              ])))
+      let fields =
+        [
+          ("spec", String specs.(i));
+          ("n", Int (Dag.n_vertices j.Solver.dag));
+          ("edges", Int (Dag.n_edges j.Solver.dag));
+          ("m", Int j.Solver.m);
+          ("p", Int (Option.value j.Solver.p ~default:1));
+          ("method", String (method_name j.Solver.method_));
+          ("h", Int (Array.length o.Solver.eigenvalues));
+          ("bound", Float b.Spectral_bound.bound);
+          ("best_k", Int b.Spectral_bound.best_k);
+          ("best_raw", Float b.Spectral_bound.best_raw);
+          ("backend", String (backend_name o.Solver.backend));
+          ("tier", String (Solver.tier_name o.Solver.tier));
+          ("cache_hit", Bool r.Solver.cache_hit);
+          ("warm_start", Bool o.Solver.warm_start);
+          ("wall_s", Float r.Solver.wall_s);
+        ]
+      in
+      (* per-component provenance, present only when the job decomposed *)
+      let fields =
+        if Array.length o.Solver.components = 0 then fields
+        else
+          fields
+          @ [
+              ( "components",
+                List
+                  (Array.to_list
+                     (Array.map
+                        (fun c ->
+                          Obj
+                            [
+                              ("n", Int c.Solver.comp_n);
+                              ("edges", Int c.Solver.comp_edges);
+                              ("tier", String (Solver.tier_name c.Solver.comp_tier));
+                              ("cache_hit", Bool c.Solver.comp_cache_hit);
+                            ])
+                        o.Solver.components)) );
+            ]
+      in
+      print_endline (to_string (Obj fields)))
     results
 
 let batch_cmd =
@@ -956,7 +1075,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; bound_cmd; baseline_cmd; simulate_cmd; spectrum_cmd;
+            generate_cmd; convert_cmd; bound_cmd; baseline_cmd; simulate_cmd;
+            spectrum_cmd;
             export_cmd; analyze_cmd; sweep_cmd; batch_cmd; serve_cmd; client_cmd;
             top_cmd;
           ]))

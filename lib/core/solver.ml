@@ -4,6 +4,15 @@ open Graphio_la
 type method_ = Normalized | Standard
 type tier = Closed_form of Graphio_recognize.Recognize.family | Numeric
 
+type component_info = {
+  comp_n : int;
+  comp_edges : int;
+  comp_tier : tier;
+  comp_backend : Eigen.backend;
+  comp_cache_hit : bool;
+  comp_warm_start : bool;
+}
+
 type outcome = {
   result : Spectral_bound.t;
   method_ : method_;
@@ -12,6 +21,7 @@ type outcome = {
   solve_stats : Eigen.stats option;
   tier : tier;
   warm_start : bool;
+  components : component_info array;
 }
 
 let tier_name = function Closed_form _ -> "closed-form" | Numeric -> "numeric"
@@ -102,62 +112,6 @@ let record_closed_form ~family ~cache_hit =
         Graphio_obs.Jsonx.String (Graphio_recognize.Recognize.name family) );
       ("cache_hit", Graphio_obs.Jsonx.Bool cache_hit);
     ]
-
-let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?on_iteration ?pool ?(closed_form = true) g ~m =
-  Graphio_obs.Metrics.time h_bound_seconds (fun () ->
-      Graphio_obs.Span.with_ "solver.bound" (fun () ->
-          Graphio_obs.Metrics.incr c_bounds;
-          let n = Dag.n_vertices g in
-          if n = 0 then
-            {
-              result = Spectral_bound.compute ~n:0 ~m ~eigenvalues:[||] ();
-              method_;
-              backend = Eigen.Dense;
-              eigenvalues = [||];
-              solve_stats = None;
-              tier = Numeric;
-              warm_start = false;
-            }
-          else begin
-            let closed =
-              if closed_form then closed_form_spectrum ~method_ ~h g else None
-            in
-            match closed with
-            | Some (family, eigenvalues) ->
-                record_closed_form ~family ~cache_hit:false;
-                let result =
-                  Graphio_obs.Span.with_ "solver.maximize" (fun () ->
-                      Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
-                in
-                {
-                  result;
-                  method_;
-                  backend = Eigen.Dense;
-                  eigenvalues;
-                  solve_stats = None;
-                  tier = Closed_form family;
-                  warm_start = false;
-                }
-            | None ->
-                let eigenvalues, backend, solve_stats, _ =
-                  spectrum_full ~method_ ~h ?dense_threshold ?tol ?seed
-                    ?filter_degree ?kernel ?on_iteration ?pool g
-                in
-                let result =
-                  Graphio_obs.Span.with_ "solver.maximize" (fun () ->
-                      Spectral_bound.compute ~n ~m ?p ~eigenvalues ())
-                in
-                {
-                  result;
-                  method_;
-                  backend;
-                  eigenvalues;
-                  solve_stats;
-                  tier = Numeric;
-                  warm_start = false;
-                }
-          end))
 
 let bound_of_spectrum ?(h = 100) ?p ~spectrum ~scale ~n ~m () =
   if scale < 0.0 then invalid_arg "Solver.bound_of_spectrum: negative scale";
@@ -409,6 +363,324 @@ let spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
       end
 
 (* ------------------------------------------------------------------ *)
+(* Component decomposition                                             *)
+
+(* The Laplacian of a disjoint union is block-diagonal, so its spectrum is
+   the multiset union of the per-component spectra.  Each weakly-connected
+   component is recognized, solved and cached on its own; [u_extra]
+   converts the component's own Theorem-5 scaling [1/d_comp] to the
+   union's [1/d_union], so per-component cache entries stay reusable
+   across different unions.  Merging the scaled spectra and running one
+   k-maximization over the union's [n] reproduces the whole-graph bound
+   to eigensolver tolerance (exactly, for closed-form components). *)
+type unit_ = { u_dag : Dag.t; u_extra : float }
+
+let split_units ~method_ parts =
+  let extra =
+    match method_ with
+    | Normalized -> fun _ -> 1.0
+    | Standard ->
+        let d_union =
+          Array.fold_left (fun acc g -> max acc (Dag.max_out_degree g)) 0 parts
+        in
+        fun g ->
+          let d = Dag.max_out_degree g in
+          if d = 0 || d = d_union then 1.0
+          else float_of_int d /. float_of_int d_union
+  in
+  Array.map (fun g -> { u_dag = g; u_extra = extra g }) parts
+
+(* one logical evaluation: the component units whose spectra it merges *)
+type eval_item = {
+  it_units : unit_ array;
+  it_n : int;
+  it_m : int;
+  it_p : int option;
+  it_method : method_;
+}
+
+let item_of_dag ~decompose ~method_ ~m ~p g =
+  let parts =
+    if decompose && Dag.n_vertices g > 0 then begin
+      let split = Component.split g in
+      (* connected graphs keep the original value (identical physical
+         arrays, so the undecomposed pipeline is bit-for-bit unchanged) *)
+      if Array.length split > 1 then Array.map fst split else [| g |]
+    end
+    else [| g |]
+  in
+  {
+    it_units = split_units ~method_ parts;
+    it_n = Dag.n_vertices g;
+    it_m = m;
+    it_p = p;
+    it_method = method_;
+  }
+
+let item_of_parts ~method_ ~m ~p parts =
+  (* a caller-supplied part may itself be disconnected (an external
+     decomposer owes us no guarantee), so re-split each one — cheap next
+     to any eigensolve, and it unlocks per-component closed-form
+     recognition and cache sharing *)
+  let parts =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun g ->
+              if Dag.n_vertices g = 0 then [||]
+              else
+                let split = Component.split g in
+                if Array.length split > 1 then Array.map fst split
+                else [| g |])
+            parts))
+  in
+  let n = Array.fold_left (fun acc g -> acc + Dag.n_vertices g) 0 parts in
+  {
+    it_units = split_units ~method_ parts;
+    it_n = n;
+    it_m = m;
+    it_p = p;
+    it_method = method_;
+  }
+
+let c_decompositions = Graphio_obs.Metrics.counter "core.solver.decompositions"
+
+(* Evaluate items against the cache.  All units of all items are flattened
+   and deduplicated by spectrum key before any eigensolve — an M-sweep
+   over one graph and the repeated components of a disjoint union share
+   work through the same mechanism — and distinct spectra solve
+   concurrently on [pool] (a single distinct spectrum instead gives the
+   pool to its matvecs).  Returns per-item [(outcome, cache_hit, wall_s)]
+   plus the flat unit count and the number of spectra not answered from
+   cache, for the batch hit/miss counters. *)
+let eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
+    ?filter_degree ?kernel ?warm_start ?(closed_form = true) items =
+  let n_items = Array.length items in
+  let offsets = Array.make (n_items + 1) 0 in
+  for i = 0 to n_items - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length items.(i).it_units
+  done;
+  let n_flat = offsets.(n_items) in
+  let flat_units =
+    Array.concat (Array.to_list (Array.map (fun it -> it.it_units) items))
+  in
+  let flat_method =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun it -> Array.map (fun _ -> it.it_method) it.it_units)
+            items))
+  in
+  let keys =
+    Array.mapi
+      (fun i u ->
+        spectrum_key ?dense_threshold ?tol ?seed ?filter_degree ~h
+          ~method_:flat_method.(i) u.u_dag)
+      flat_units
+  in
+  let rep_of_key = Hashtbl.create (max n_flat 16) in
+  let reps = ref [] in
+  Array.iteri
+    (fun i k ->
+      if not (Hashtbl.mem rep_of_key k) then begin
+        Hashtbl.add rep_of_key k i;
+        reps := i :: !reps
+      end)
+    keys;
+  let reps = Array.of_list (List.rev !reps) in
+  let n_reps = Array.length reps in
+  let spectra =
+    Array.make n_reps ([||], Eigen.Dense, None, false, Numeric, false, 0.0)
+  in
+  let solve ?pool r =
+    let u = flat_units.(reps.(r)) in
+    let t0 = Graphio_obs.Clock.now_ns () in
+    let eigenvalues, backend, stats, from_cache, tier, warm =
+      spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
+        ?seed ?filter_degree ?kernel ?warm_start ~closed_form
+        ~method_:flat_method.(reps.(r)) u.u_dag
+    in
+    spectra.(r) <-
+      ( eigenvalues,
+        backend,
+        stats,
+        from_cache,
+        tier,
+        warm,
+        Graphio_obs.Clock.elapsed_s t0 )
+  in
+  (match pool with
+  | Some pool when n_reps > 1 ->
+      Graphio_par.Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n_reps (fun r ->
+          solve r)
+  | Some pool ->
+      for r = 0 to n_reps - 1 do
+        solve ~pool r
+      done
+  | None ->
+      for r = 0 to n_reps - 1 do
+        solve r
+      done);
+  let misses = ref 0 in
+  Array.iter
+    (fun (_, _, _, from_cache, _, _, _) -> if not from_cache then incr misses)
+    spectra;
+  let slot_of_rep = Hashtbl.create (max n_reps 16) in
+  Array.iteri (fun slot r -> Hashtbl.add slot_of_rep r slot) reps;
+  (* Finalize every item in input order: scale each unit's (physically
+     shared) spectrum, merge, and run the cheap k-maximization once over
+     the union.  The eigensolve wall time is attributed to the item whose
+     unit actually paid for it (the first flat occurrence of each key). *)
+  let finalize i =
+    let it = items.(i) in
+    let tstart = Graphio_obs.Clock.now_ns () in
+    let nu = Array.length it.it_units in
+    if nu = 0 then
+      ( {
+          result =
+            Spectral_bound.compute ~n:it.it_n ~m:it.it_m ?p:it.it_p
+              ~eigenvalues:[||] ();
+          method_ = it.it_method;
+          backend = Eigen.Dense;
+          eigenvalues = [||];
+          solve_stats = None;
+          tier = Numeric;
+          warm_start = false;
+          components = [||];
+        },
+        false,
+        Graphio_obs.Clock.elapsed_s tstart )
+    else begin
+      let owned_solve_s = ref 0.0 in
+      let urs =
+        Array.init nu (fun k ->
+            let gi = offsets.(i) + k in
+            let rep = Hashtbl.find rep_of_key keys.(gi) in
+            let ev, backend, stats, from_cache, tier, warm, solve_s =
+              spectra.(Hashtbl.find slot_of_rep rep)
+            in
+            if rep = gi then owned_solve_s := !owned_solve_s +. solve_s;
+            (ev, backend, stats, rep <> gi || from_cache, tier, warm))
+      in
+      let decomposed = nu > 1 in
+      let ev0, backend0, stats0, hit0, tier0, warm0 = urs.(0) in
+      let eigenvalues =
+        if not decomposed then begin
+          let extra = it.it_units.(0).u_extra in
+          if extra = 1.0 then ev0 else Array.map (fun l -> extra *. l) ev0
+        end
+        else begin
+          let merged =
+            Array.concat
+              (Array.to_list
+                 (Array.mapi
+                    (fun k (ev, _, _, _, _, _) ->
+                      let extra = it.it_units.(k).u_extra in
+                      if extra = 1.0 then ev
+                      else Array.map (fun l -> extra *. l) ev)
+                    urs))
+          in
+          Array.sort Float.compare merged;
+          Array.sub merged 0 (min (min h it.it_n) (Array.length merged))
+        end
+      in
+      let result =
+        Spectral_bound.compute ~n:it.it_n ~m:it.it_m ?p:it.it_p ~eigenvalues ()
+      in
+      let backend =
+        if not decomposed then backend0
+        else if
+          Array.exists
+            (fun (_, b, _, _, _, _) -> b = Eigen.Sparse_filtered)
+            urs
+        then Eigen.Sparse_filtered
+        else Eigen.Dense
+      in
+      let tier =
+        if not decomposed then tier0
+        else if
+          Array.exists
+            (fun (_, _, _, _, t, _) ->
+              match t with Numeric -> true | Closed_form _ -> false)
+            urs
+        then Numeric
+        else tier0
+      in
+      let solve_stats = if decomposed then None else stats0 in
+      let warm =
+        if not decomposed then warm0
+        else Array.exists (fun (_, _, _, _, _, w) -> w) urs
+      in
+      let cache_hit =
+        if not decomposed then hit0
+        else Array.for_all (fun (_, _, _, ch, _, _) -> ch) urs
+      in
+      let components =
+        if not decomposed then [||]
+        else
+          Array.mapi
+            (fun k (_, b, _, ch, t, w) ->
+              {
+                comp_n = Dag.n_vertices it.it_units.(k).u_dag;
+                comp_edges = Dag.n_edges it.it_units.(k).u_dag;
+                comp_tier = t;
+                comp_backend = b;
+                comp_cache_hit = ch;
+                comp_warm_start = w;
+              })
+            urs
+      in
+      if decomposed then Graphio_obs.Metrics.incr c_decompositions;
+      ( {
+          result;
+          method_ = it.it_method;
+          backend;
+          eigenvalues;
+          solve_stats;
+          tier;
+          warm_start = warm;
+          components;
+        },
+        cache_hit,
+        Graphio_obs.Clock.elapsed_s tstart +. !owned_solve_s )
+    end
+  in
+  (Array.init n_items finalize, n_flat, !misses)
+
+let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
+    ?filter_degree ?kernel ?on_iteration ?pool ?(closed_form = true)
+    ?(decompose = true) g ~m =
+  Graphio_obs.Metrics.time h_bound_seconds (fun () ->
+      Graphio_obs.Span.with_ "solver.bound" (fun () ->
+          Graphio_obs.Metrics.incr c_bounds;
+          let item = item_of_dag ~decompose ~method_ ~m ~p g in
+          (* [disabled], not [ambient]: the plain entry point never touches
+             a cache (and never moves its metrics) — in-flight dedup of
+             repeated components still happens through the flat key table *)
+          let results, _, _ =
+            eval_items ~cache:Graphio_cache.Spectrum.disabled ?pool
+              ?on_iteration ~h ?dense_threshold ?tol ?seed ?filter_degree
+              ?kernel ~closed_form [| item |]
+          in
+          let outcome, _, _ = results.(0) in
+          outcome))
+
+let bound_parts ?(cache = Graphio_cache.Spectrum.disabled) ?pool
+    ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
+    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true)
+    parts ~m =
+  Graphio_obs.Metrics.time h_bound_seconds (fun () ->
+      Graphio_obs.Span.with_ "solver.bound" (fun () ->
+          Graphio_obs.Metrics.incr c_bounds;
+          let item = item_of_parts ~method_ ~m ~p parts in
+          let results, _, _ =
+            eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
+              ?seed ?filter_degree ?kernel ?warm_start ~closed_form [| item |]
+          in
+          let outcome, _, _ = results.(0) in
+          outcome))
+
+(* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
 
 type batch_job = {
@@ -434,162 +706,76 @@ let h_batch_job_seconds =
   Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
 
 let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?warm_start ?(closed_form = true) jobs =
+    ?filter_degree ?kernel ?warm_start ?(closed_form = true)
+    ?(decompose = true) jobs =
   Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
       let cache = resolve_cache cache in
-      let nj = Array.length jobs in
-      (* In-batch dedup: jobs that share (graph, method, h, params) — the
-         typical M- or p-sweep — pay for the eigensolve at most once and
-         share one physical eigenvalue array.  The key hashes the graph
-         structure ({!Dag.fingerprint}), so structurally equal graphs
-         built independently still share. *)
-      let key_of j =
-        spectrum_key ?dense_threshold ?tol ?seed ?filter_degree ~h
-          ~method_:j.method_ j.dag
-      in
-      let keys = Array.map key_of jobs in
-      let rep_of_key = Hashtbl.create (max nj 16) in
-      let reps = ref [] in
-      Array.iteri
-        (fun i k ->
-          if not (Hashtbl.mem rep_of_key k) then begin
-            Hashtbl.add rep_of_key k i;
-            reps := i :: !reps
-          end)
-        keys;
-      let reps = Array.of_list (List.rev !reps) in
-      let n_reps = Array.length reps in
-      (* One eigensolve per distinct key, each first consulting the shared
-         two-tier spectrum cache (so a warm server or an earlier batch in
-         the same process already paid for it).  With a pool and several
-         keys we parallelize across keys (each solve sequential inside);
-         with a single key the pool instead accelerates that solve's
-         matvecs.  Either way the eigenvalues are bitwise-identical to the
-         sequential run (see Csr.matvec_into, and the cache's bit-exact
-         codec), so results don't depend on pool size or cache warmth.
-         [spectra.(r)] also records the eigensolve wall time, attributed
-         to the representative job. *)
-      let spectra =
-        Array.make n_reps ([||], Eigen.Dense, None, false, Numeric, false, 0.0)
-      in
-      let solve ?pool r =
-        let j = jobs.(reps.(r)) in
-        let t0 = Graphio_obs.Clock.now_ns () in
-        let eigenvalues, backend, stats, from_cache, tier, warm =
-          spectrum_cached ~cache ?pool ~h ?dense_threshold ?tol ?seed
-            ?filter_degree ?kernel ?warm_start ~closed_form ~method_:j.method_
-            j.dag
-        in
-        spectra.(r) <-
-          ( eigenvalues,
-            backend,
-            stats,
-            from_cache,
-            tier,
-            warm,
-            Graphio_obs.Clock.elapsed_s t0 )
-      in
-      (match pool with
-      | Some pool when n_reps > 1 ->
-          Graphio_par.Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n_reps
-            (fun r -> solve r)
-      | Some pool ->
-          for r = 0 to n_reps - 1 do
-            solve ~pool r
-          done
-      | None ->
-          for r = 0 to n_reps - 1 do
-            solve r
-          done);
-      let solved = ref 0 in
-      Array.iter
-        (fun (_, _, _, from_cache, _, _, _) -> if not from_cache then incr solved)
-        spectra;
-      Graphio_obs.Metrics.add c_batch_jobs nj;
-      Graphio_obs.Metrics.add c_batch_misses !solved;
-      Graphio_obs.Metrics.add c_batch_hits (nj - !solved);
-      let slot_of_rep = Hashtbl.create (max n_reps 16) in
-      Array.iteri (fun slot r -> Hashtbl.add slot_of_rep r slot) reps;
-      (* Finalize every job in input order: the cheap k-maximization runs
-         per job against the (physically shared) cached spectrum. *)
-      let results =
-        Array.mapi
-          (fun i j ->
-            let t0 = Graphio_obs.Clock.now_ns () in
-            let rep = Hashtbl.find rep_of_key keys.(i) in
-            let eigenvalues, backend, solve_stats, from_cache, tier, warm, solve_s
-                =
-              spectra.(Hashtbl.find slot_of_rep rep)
-            in
-            let n = Dag.n_vertices j.dag in
-            let result =
-              Spectral_bound.compute ~n ~m:j.m ?p:j.p ~eigenvalues ()
-            in
-            let cache_hit = rep <> i || from_cache in
-            let wall_s =
-              Graphio_obs.Clock.elapsed_s t0 +. if rep <> i then 0.0 else solve_s
-            in
-            {
-              job = j;
-              outcome =
-                {
-                  result;
-                  method_ = j.method_;
-                  backend;
-                  eigenvalues;
-                  solve_stats;
-                  tier;
-                  warm_start = warm;
-                };
-              cache_hit;
-              wall_s;
-            })
+      (* In-batch dedup happens on the flat unit table inside
+         {!eval_items}: jobs that share (graph, method, h, params) — the
+         typical M- or p-sweep — and the repeated components of decomposed
+         jobs pay for each eigensolve at most once and share one physical
+         eigenvalue array.  Keys hash the graph structure
+         ({!Dag.fingerprint}), so structurally equal graphs built
+         independently still share.  Output is deterministic regardless of
+         pool presence, pool size, or cache warmth (bitwise-reproducible
+         parallel matvec, bit-exact cache codec). *)
+      let items =
+        Array.map
+          (fun j ->
+            item_of_dag ~decompose ~method_:j.method_ ~m:j.m ~p:j.p j.dag)
           jobs
       in
-      Array.iter
-        (fun r -> Graphio_obs.Metrics.observe h_batch_job_seconds r.wall_s)
-        results;
-      results)
+      let results, n_flat, misses =
+        eval_items ~cache ?pool ~h ?dense_threshold ?tol ?seed ?filter_degree
+          ?kernel ?warm_start ~closed_form items
+      in
+      Graphio_obs.Metrics.add c_batch_jobs (Array.length jobs);
+      Graphio_obs.Metrics.add c_batch_misses misses;
+      Graphio_obs.Metrics.add c_batch_hits (n_flat - misses);
+      Array.mapi
+        (fun i j ->
+          let outcome, cache_hit, wall_s = results.(i) in
+          Graphio_obs.Metrics.observe h_batch_job_seconds wall_s;
+          { job = j; outcome; cache_hit; wall_s })
+        jobs)
 
 let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true) job =
+    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true)
+    ?(decompose = true) job =
   Graphio_obs.Span.with_ "solver.bound_cached" (fun () ->
       Graphio_obs.Metrics.incr c_bounds;
       let cache = resolve_cache cache in
       let t0 = Graphio_obs.Clock.now_ns () in
-      let eigenvalues, backend, solve_stats, from_cache, tier, warm =
-        spectrum_cached ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
-          ?seed ?filter_degree ?kernel ?warm_start ~closed_form
-          ~method_:job.method_ job.dag
+      let item =
+        item_of_dag ~decompose ~method_:job.method_ ~m:job.m ~p:job.p job.dag
       in
-      let result =
-        Spectral_bound.compute ~n:(Dag.n_vertices job.dag) ~m:job.m ?p:job.p
-          ~eigenvalues ()
+      let results, _, _ =
+        eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
+          ?filter_degree ?kernel ?warm_start ~closed_form [| item |]
       in
+      let outcome, cache_hit, _ = results.(0) in
       let wall_s = Graphio_obs.Clock.elapsed_s t0 in
       Graphio_obs.Metrics.observe h_bound_seconds wall_s;
-      Graphio_obs.Log.emit "solver.bound"
+      let fields =
         [
           ("n", Graphio_obs.Jsonx.Int (Dag.n_vertices job.dag));
           ("m", Graphio_obs.Jsonx.Int job.m);
-          ("bound", Graphio_obs.Jsonx.Float result.Spectral_bound.bound);
-          ("cache_hit", Graphio_obs.Jsonx.Bool from_cache);
-          ("tier", Graphio_obs.Jsonx.String (tier_name tier));
-          ("warm_start", Graphio_obs.Jsonx.Bool warm);
+          ( "bound",
+            Graphio_obs.Jsonx.Float outcome.result.Spectral_bound.bound );
+          ("cache_hit", Graphio_obs.Jsonx.Bool cache_hit);
+          ("tier", Graphio_obs.Jsonx.String (tier_name outcome.tier));
+          ("warm_start", Graphio_obs.Jsonx.Bool outcome.warm_start);
           ("wall_s", Graphio_obs.Jsonx.Float wall_s);
-        ];
-      {
-        job;
-        outcome =
-          {
-            result;
-            method_ = job.method_;
-            backend;
-            eigenvalues;
-            solve_stats;
-            tier;
-            warm_start = warm;
-          };
-        cache_hit = from_cache;
-        wall_s;
-      })
+        ]
+      in
+      let fields =
+        if Array.length outcome.components = 0 then fields
+        else
+          fields
+          @ [
+              ( "components",
+                Graphio_obs.Jsonx.Int (Array.length outcome.components) );
+            ]
+      in
+      Graphio_obs.Log.emit "solver.bound" fields;
+      { job; outcome; cache_hit; wall_s })

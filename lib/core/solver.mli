@@ -25,6 +25,20 @@ val tier_name : tier -> string
 (** ["closed-form"] or ["numeric"] — the string used in batch JSON lines,
     server replies and [solver.bound] events. *)
 
+type component_info = {
+  comp_n : int;  (** vertices in this weakly-connected component *)
+  comp_edges : int;
+  comp_tier : tier;  (** dispatch tier that answered for this component *)
+  comp_backend : Graphio_la.Eigen.backend;
+  comp_cache_hit : bool;
+      (** this component's spectrum came from the cache or from another
+          structurally equal component in the same evaluation *)
+  comp_warm_start : bool;
+}
+(** Per-component provenance of a decomposed evaluation, in
+    {!Graphio_graph.Component.split} order (ids assigned by smallest
+    member vertex). *)
+
 type outcome = {
   result : Spectral_bound.t;
   method_ : method_;
@@ -42,6 +56,11 @@ type outcome = {
           provenance bit for the flag-gated bitwise-determinism
           relaxation; always [false] on cache hits, closed-form answers
           and cold solves *)
+  components : component_info array;
+      (** non-empty iff the evaluation decomposed: the graph had two or
+          more weakly-connected components (and decomposition was not
+          turned off), each solved on its own and merged.  [[||]] for
+          connected graphs, whatever their size. *)
 }
 
 val bound :
@@ -56,12 +75,25 @@ val bound :
   ?on_iteration:Graphio_la.Convergence.callback ->
   ?pool:Graphio_par.Pool.t ->
   ?closed_form:bool ->
+  ?decompose:bool ->
   Graphio_graph.Dag.t ->
   m:int ->
   outcome
 (** [bound g ~m] — the spectral lower bound on non-trivial I/O.  Default
     method is [Normalized] (the paper's main Theorem 4 instrument).
     Graphs with no edges yield a 0 bound.
+
+    With [decompose] (default [true]), a graph with two or more
+    weakly-connected components is solved component-wise: the Laplacian of
+    a disjoint union is block-diagonal, so each component's spectrum is
+    computed (and recognized, and deduplicated against structurally equal
+    siblings) independently, rescaled to the union's Theorem-5
+    normalization where applicable, merged, and fed to a single
+    k-maximization over the union's [n].  The result equals the
+    whole-graph bound to eigensolver tolerance (exactly for closed-form
+    components), [outcome.components] reports per-component provenance,
+    and the [core.solver.decompositions] counter increments.  Connected
+    graphs take the identical pipeline as before, bit for bit.
 
     With [closed_form] (default [true]), graphs recognized by
     {!Graphio_recognize.Recognize} answer from the exact
@@ -82,6 +114,39 @@ val bound :
     [pool] parallelizes the sparse eigensolve's matvecs across domains;
     the result is bitwise-identical with or without it (see
     {!Graphio_la.Csr.matvec_into}). *)
+
+val bound_parts :
+  ?cache:Graphio_cache.Spectrum.t ->
+  ?pool:Graphio_par.Pool.t ->
+  ?method_:method_ ->
+  ?h:int ->
+  ?p:int ->
+  ?dense_threshold:int ->
+  ?tol:float ->
+  ?seed:int ->
+  ?filter_degree:Graphio_la.Filtered.degree ->
+  ?kernel:Graphio_la.Csr.kernel ->
+  ?warm_start:bool ->
+  ?on_iteration:Graphio_la.Convergence.callback ->
+  ?closed_form:bool ->
+  Graphio_graph.Dag.t array ->
+  m:int ->
+  outcome
+(** [bound_parts parts ~m] — the bound of the disjoint union of [parts]
+    without ever materializing the union: the out-of-core entry point,
+    fed by {!Graphio_store}'s per-component extraction so a multi-million
+    vertex on-disk graph is solved one component at a time.  Each part is
+    re-split into weakly-connected components first (a caller-supplied
+    part may itself be disconnected), then evaluated exactly as the
+    decomposed path of {!bound}: numerically equal to
+    [bound (disjoint union) ~m] to eigensolver tolerance, with
+    [outcome.components] in part order.  Empty parts contribute nothing.
+
+    [cache] defaults to {!Graphio_cache.Spectrum.disabled} — like
+    {!bound}, the plain entry point pays every eigensolve (in-flight
+    dedup of structurally equal components still applies); pass a cache
+    (or {!Graphio_cache.Spectrum.ambient}) to share spectra across
+    processes. *)
 
 val spectrum :
   ?method_:method_ ->
@@ -181,6 +246,7 @@ val bound_batch :
   ?kernel:Graphio_la.Csr.kernel ->
   ?warm_start:bool ->
   ?closed_form:bool ->
+  ?decompose:bool ->
   batch_job array ->
   batch_result array
 (** [bound_batch jobs] evaluates every job and returns results in input
@@ -209,6 +275,11 @@ val bound_batch :
     under their own keys (uppercase method tag, canonical parameters), so
     a [closed_form:false] run never reads them back.
 
+    With [decompose] (default [true]) disconnected jobs are solved
+    component-wise as in {!bound}; their components join the in-batch
+    dedup table alongside whole connected jobs, and per-job provenance
+    lands in [outcome.components].
+
     With [warm_start] (default [false] here; the CLI turns it on for
     [batch]/[serve]), a cache miss taking the sparse path seeds its
     initial block from locked Ritz vectors cached under the same
@@ -236,6 +307,7 @@ val bound_cached :
   ?warm_start:bool ->
   ?on_iteration:Graphio_la.Convergence.callback ->
   ?closed_form:bool ->
+  ?decompose:bool ->
   batch_job ->
   batch_result
 (** One job through the same cached pipeline as {!bound_batch} — the

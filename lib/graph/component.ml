@@ -29,3 +29,20 @@ let count g =
   Array.fold_left max (-1) comp + 1
 
 let is_connected g = count g <= 1
+
+let split g =
+  let comp = components g in
+  let count = Array.fold_left max (-1) comp + 1 in
+  let sizes = Array.make count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  let members = Array.map (fun s -> Array.make s 0) sizes in
+  let fill = Array.make count 0 in
+  (* vertices scanned ascending, so each member list is ascending and the
+     per-component vertex order (hence the extracted subgraph's structure)
+     is canonical *)
+  Array.iteri
+    (fun v c ->
+      members.(c).(fill.(c)) <- v;
+      fill.(c) <- fill.(c) + 1)
+    comp;
+  Array.map (fun vs -> Dag.induced_subgraph g vs) members

@@ -15,3 +15,12 @@ val count : Dag.t -> int
 val is_connected : Dag.t -> bool
 (** True iff the undirected support is connected ([n = 0] counts as
     connected). *)
+
+val split : Dag.t -> (Dag.t * int array) array
+(** One entry per component, in {!components} order (smallest original
+    vertex first): the extracted subgraph plus the mapping from its vertex
+    ids back to the original ids (ascending — relabeling is monotone, so
+    structurally equal components extract to structurally equal, equally
+    fingerprinted subgraphs).  Empty array for the empty graph.  The
+    decomposition {!Graphio_core.Solver.bound} dispatches per-component
+    jobs over. *)

@@ -8,6 +8,26 @@ type t = {
   labels : string option array;
 }
 
+(* Kahn count over a frozen graph; shared by Builder.build and the raw
+   CSR constructors. *)
+let verify_acyclic_exn ~who g =
+  let n = g.n in
+  let indeg = Array.init n (fun v -> g.pred_ptr.(v + 1) - g.pred_ptr.(v)) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    for k = g.succ_ptr.(v) to g.succ_ptr.(v + 1) - 1 do
+      let w = g.succ_idx.(k) in
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    done
+  done;
+  if !seen <> n then
+    invalid_arg (Printf.sprintf "Dag.%s: graph has a cycle" who)
+
 module Builder = struct
 
   type t = {
@@ -83,23 +103,7 @@ module Builder = struct
     let labels = Array.make n None in
     List.iteri (fun i l -> labels.(n - 1 - i) <- l) b.labels_rev;
     let g = { n; m; succ_ptr; succ_idx; pred_ptr; pred_idx; labels } in
-    if verify_acyclic then begin
-      (* Kahn count *)
-      let indeg = Array.init n (fun v -> pred_ptr.(v + 1) - pred_ptr.(v)) in
-      let queue = Queue.create () in
-      Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
-      let seen = ref 0 in
-      while not (Queue.is_empty queue) do
-        let v = Queue.pop queue in
-        incr seen;
-        for k = succ_ptr.(v) to succ_ptr.(v + 1) - 1 do
-          let w = succ_idx.(k) in
-          indeg.(w) <- indeg.(w) - 1;
-          if indeg.(w) = 0 then Queue.add w queue
-        done
-      done;
-      if !seen <> n then invalid_arg "Dag.build: graph has a cycle"
-    end;
+    if verify_acyclic then verify_acyclic_exn ~who:"build" g;
     g
 end
 
@@ -251,6 +255,123 @@ let induced_subgraph g vs =
           | None -> ()))
     vs;
   (Builder.build ~verify_acyclic:false b, Array.copy vs)
+
+(* Raw constructor from an already-canonical CSR: every adjacency bucket
+   strictly ascending.  Validates everything Builder validates (range,
+   self-loops, duplicates — strictness subsumes them — and optionally
+   acyclicity) in O(n + m) without the Builder's edge hashtable, so
+   Graphio_store can freeze million-vertex graphs cheaply. *)
+let of_sorted_csr ?labels ?(verify_acyclic = true) ~succ_ptr ~succ_idx () =
+  let n = Array.length succ_ptr - 1 in
+  if n < 0 then invalid_arg "Dag.of_sorted_csr: succ_ptr must be non-empty";
+  let m = Array.length succ_idx in
+  if succ_ptr.(0) <> 0 || succ_ptr.(n) <> m then
+    invalid_arg "Dag.of_sorted_csr: succ_ptr must run from 0 to m";
+  for v = 0 to n - 1 do
+    let lo = succ_ptr.(v) and hi = succ_ptr.(v + 1) in
+    if lo > hi then invalid_arg "Dag.of_sorted_csr: succ_ptr not monotone";
+    for k = lo to hi - 1 do
+      let w = succ_idx.(k) in
+      if w < 0 || w >= n then
+        invalid_arg
+          (Printf.sprintf "Dag.of_sorted_csr: vertex %d out of range" w);
+      if w = v then invalid_arg "Dag.of_sorted_csr: self-loop";
+      if k > lo && succ_idx.(k - 1) >= w then
+        invalid_arg "Dag.of_sorted_csr: bucket not strictly ascending"
+    done
+  done;
+  let pred_ptr = Array.make (n + 1) 0 in
+  Array.iter (fun w -> pred_ptr.(w + 1) <- pred_ptr.(w + 1) + 1) succ_idx;
+  for i = 0 to n - 1 do
+    pred_ptr.(i + 1) <- pred_ptr.(i + 1) + pred_ptr.(i)
+  done;
+  let pred_idx = Array.make m 0 in
+  let fill = Array.copy pred_ptr in
+  (* sources are scanned ascending, so pred buckets come out sorted *)
+  for u = 0 to n - 1 do
+    for k = succ_ptr.(u) to succ_ptr.(u + 1) - 1 do
+      let w = succ_idx.(k) in
+      pred_idx.(fill.(w)) <- u;
+      fill.(w) <- fill.(w) + 1
+    done
+  done;
+  let labels =
+    match labels with
+    | Some ls ->
+        if Array.length ls <> n then
+          invalid_arg "Dag.of_sorted_csr: labels length mismatch";
+        Array.copy ls
+    | None -> Array.make n None
+  in
+  let g =
+    {
+      n;
+      m;
+      succ_ptr = Array.copy succ_ptr;
+      succ_idx = Array.copy succ_idx;
+      pred_ptr;
+      pred_idx;
+      labels;
+    }
+  in
+  if verify_acyclic then verify_acyclic_exn ~who:"of_sorted_csr" g;
+  g
+
+let disjoint_union a b =
+  let n = a.n + b.n and m = a.m + b.m in
+  let cat_ptr pa pb =
+    Array.init (n + 1) (fun i ->
+        if i <= a.n then pa.(i) else a.m + pb.(i - a.n))
+  in
+  let cat_idx ia ib =
+    Array.append ia (Array.map (fun v -> v + a.n) ib)
+  in
+  {
+    n;
+    m;
+    succ_ptr = cat_ptr a.succ_ptr b.succ_ptr;
+    succ_idx = cat_idx a.succ_idx b.succ_idx;
+    pred_ptr = cat_ptr a.pred_ptr b.pred_ptr;
+    pred_idx = cat_idx a.pred_idx b.pred_idx;
+    labels = Array.append a.labels b.labels;
+  }
+
+let replicate g ~copies =
+  if copies < 1 then invalid_arg "Dag.replicate: copies must be >= 1";
+  if copies = 1 || g.n = 0 then g
+  else begin
+    let n = g.n * copies and m = g.m * copies in
+    let rep_ptr ptr eoff_of =
+      let out = Array.make (n + 1) 0 in
+      for c = 0 to copies - 1 do
+        let voff = c * g.n and eoff = eoff_of c in
+        for r = 0 to g.n - 1 do
+          out.(voff + r) <- eoff + ptr.(r)
+        done
+      done;
+      out.(n) <- m;
+      out
+    in
+    let rep_idx idx =
+      let out = Array.make m 0 in
+      for c = 0 to copies - 1 do
+        let voff = c * g.n and eoff = c * g.m in
+        for k = 0 to g.m - 1 do
+          out.(eoff + k) <- voff + idx.(k)
+        done
+      done;
+      out
+    in
+    {
+      n;
+      m;
+      succ_ptr = rep_ptr g.succ_ptr (fun c -> c * g.m);
+      succ_idx = rep_idx g.succ_idx;
+      pred_ptr = rep_ptr g.pred_ptr (fun c -> c * g.m);
+      pred_idx = rep_idx g.pred_idx;
+      labels = Array.init n (fun v -> g.labels.(v mod g.n));
+    }
+  end
 
 let pp fmt g =
   Format.fprintf fmt "dag(n=%d, m=%d)" g.n g.m

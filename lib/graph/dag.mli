@@ -100,4 +100,30 @@ val induced_subgraph : t -> int array -> t * int array
     [vs], together with the mapping from new ids to the original ids.
     Edges internal to [vs] are kept. *)
 
+val of_sorted_csr :
+  ?labels:string option array ->
+  ?verify_acyclic:bool ->
+  succ_ptr:int array ->
+  succ_idx:int array ->
+  unit ->
+  t
+(** Freeze a graph directly from canonical CSR adjacency: [succ_ptr] has
+    [n + 1] monotone entries running from [0] to [m], and each bucket
+    [succ_idx.(succ_ptr.(v) .. succ_ptr.(v+1) - 1)] is strictly ascending
+    (strictness rules out duplicate edges).  Validates range, self-loops
+    and bucket order — and acyclicity unless [~verify_acyclic:false] — in
+    [O(n + m)] with no hashing, so it scales to the out-of-core loader's
+    million-vertex graphs.  The arrays are copied.  Raises
+    [Invalid_argument] on any violation. *)
+
+val disjoint_union : t -> t -> t
+(** [disjoint_union a b] — both graphs side by side, [b]'s vertices
+    shifted up by [n_vertices a].  Labels are preserved.  [O(n + m)]
+    directly on the adjacency arrays. *)
+
+val replicate : t -> copies:int -> t
+(** [replicate g ~copies] — [copies] disjoint copies of [g] (copy [c]
+    occupies vertices [c*n .. (c+1)*n - 1]).  Raises [Invalid_argument]
+    when [copies < 1]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -11,6 +11,13 @@
     spaces.  The loader validates counts, ranges, acyclicity and duplicate
     edges (via {!Dag.Builder}). *)
 
+val percent_escape : string -> string
+(** Escape spaces, [%], and control bytes as [%XX] — how labels are
+    encoded on [l] lines.  Shared with the streaming converter so both
+    parsers agree byte for byte. *)
+
+val percent_unescape : string -> string
+
 val to_string : Dag.t -> string
 
 val of_string : string -> Dag.t

@@ -75,6 +75,27 @@ let error_reply ?id ~code msg =
 let query_reply ~id ~rid (r : Solver.batch_result) =
   let j = r.Solver.job and o = r.Solver.outcome in
   let b = o.Solver.result in
+  (* per-component provenance rides along only when the request's graph
+     actually decomposed, so connected-graph replies are byte-stable *)
+  let component_fields =
+    if Array.length o.Solver.components = 0 then []
+    else
+      [
+        ( "components",
+          Jsonx.List
+            (Array.to_list
+               (Array.map
+                  (fun c ->
+                    Jsonx.Obj
+                      [
+                        ("n", Jsonx.Int c.Solver.comp_n);
+                        ("edges", Jsonx.Int c.Solver.comp_edges);
+                        ("tier", Jsonx.String (Solver.tier_name c.Solver.comp_tier));
+                        ("cache_hit", Jsonx.Bool c.Solver.comp_cache_hit);
+                      ])
+                  o.Solver.components)) );
+      ]
+  in
   Jsonx.to_string
     (Jsonx.Obj
        (id_field id
@@ -95,7 +116,8 @@ let query_reply ~id ~rid (r : Solver.batch_result) =
            ("cache_hit", Jsonx.Bool r.Solver.cache_hit);
            ("warm_start", Jsonx.Bool o.Solver.warm_start);
            ("wall_s", Jsonx.Float r.Solver.wall_s);
-         ]))
+         ]
+       @ component_fields))
 
 let build_graph = function
   | Protocol.Spec s -> (

@@ -1,0 +1,26 @@
+(** Streaming text-edgelist → binary CSR converter.
+
+    [Edgelist.of_file] holds the whole file, an edge list and a
+    duplicate-detection hashtable in memory — fine at workstation sizes,
+    hopeless at the million-vertex target.  {!convert} produces the same
+    graph as a {!Store} file in bounded memory: two streaming passes over
+    the text (degree count, then scatter-fill), [O(n + m)] int32 scratch
+    ([12·(n + m)] bytes, independent of the text size), an in-place row
+    sort, duplicate/self-loop/range/acyclicity checks, and an atomic
+    temp+rename publish.
+
+    Accepts exactly the {!Graphio_graph.Edgelist} text format (header,
+    size line, [l]/[e] records, [#] comments, percent-escaped labels).
+    Errors carry the input path and line number ([path: line N: ...]),
+    matching the repo-wide diagnostic convention; duplicate edges are
+    reported with both line numbers via an error-path-only rescan.
+
+    The output is deterministic (rows sorted, labels in ascending vertex
+    order), so re-converting the same input is byte-identical — the
+    idempotence the cram battery pins. *)
+
+val convert : input:string -> output:string -> int * int
+(** [convert ~input ~output] returns [(n, m)].  Raises [Failure] with a
+    [path: line N:]-prefixed message on malformed input, and
+    {!Store.Error} ([Too_large]) when the graph exceeds the int32 index
+    guard. *)

@@ -2,11 +2,11 @@ open Graphio_graph
 
 let grammar =
   "fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, \
-   inner:D, er:N:P[:SEED]"
+   inner:D, er:N:P[:SEED], union:K:SPEC"
 
 exception Bad of string
 
-let parse spec =
+let rec parse spec =
   let int_param name s =
     match int_of_string_opt s with
     | Some v -> v
@@ -41,6 +41,17 @@ let parse spec =
           (Er.gnp ~n:(int_param "size" n)
              ~p:(float_param "edge probability" p)
              ~seed:(int_param "seed" seed))
+    | "union" :: k :: rest when rest <> [] -> (
+        (* disjoint union of K copies of the inner spec — the canonical
+           multi-component input for the decomposed solver path *)
+        let copies = int_param "copy count" k in
+        if copies < 1 then
+          raise
+            (Bad
+               (Printf.sprintf "graph spec %S: copy count must be >= 1" spec));
+        match parse (String.concat ":" rest) with
+        | Ok g -> Ok (Dag.replicate g ~copies)
+        | Error _ as e -> e)
     | _ ->
         Error
           (Printf.sprintf "unknown graph spec %S (expected %s)" spec grammar)

@@ -749,6 +749,120 @@ let test_server_read_flip_survival () =
               (read_lines_until_eof fd))
       done)
 
+(* ======================================================================
+   Store chaos: binary CSR files under injected damage
+   ====================================================================== *)
+
+module Store = Graphio_store.Store
+
+(* Oracle: under any store.* schedule, write-then-load either raises a
+   structured [Store.Error] or yields exactly the graph that was written
+   (fingerprint-equal) — never a silently different graph.  Torn and
+   flipped writes are deliberately published (the checksums, not the
+   writer, are the trust boundary), so those schedules must surface as
+   load-time errors. *)
+let store_graph =
+  lazy
+    (Graphio_graph.Dag.replicate
+       (Graphio_graph.Dag.of_edges ~n:4
+          ~labels:[| "a"; ""; "b c"; "" |]
+          [ (0, 1); (0, 2); (1, 3); (2, 3) ])
+       ~copies:3)
+
+let store_plans () =
+  let s = chaos_seed in
+  [
+    Printf.sprintf "store.file.write:p=0.7:seed=%d" s;
+    Printf.sprintf "store.file.write:p=0.7:seed=%d:kind=partial" (s + 1);
+    Printf.sprintf "store.file.write:p=0.7:seed=%d:kind=flip" (s + 2);
+    Printf.sprintf "store.file.read:p=0.7:seed=%d" (s + 3);
+    Printf.sprintf "store.file.read:p=0.7:seed=%d:kind=partial" (s + 4);
+    Printf.sprintf "store.file.read:p=0.7:seed=%d:kind=flip" (s + 5);
+    Printf.sprintf "store.file.rename:p=0.7:seed=%d" (s + 6);
+    Printf.sprintf "store.checksum:p=0.6:seed=%d" (s + 7);
+    Printf.sprintf
+      "store.*:p=0.3:seed=%d:kind=partial,store.file.rename:p=0.4:seed=%d"
+      (s + 8) (s + 9);
+  ]
+
+let store_round plan dir round =
+  let g = Lazy.force store_graph in
+  let path = Filename.concat dir (Printf.sprintf "g%d.gcsr" round) in
+  match Store.write path g with
+  | exception Store.Error _ ->
+      (* a failed publish must not leave a half-written target *)
+      if Sys.file_exists path then
+        fail_plan plan "round %d: failed write left %s behind" round path
+  | () -> (
+      match Store.load path with
+      | exception Store.Error _ -> ()
+      | t ->
+          if not (Int64.equal (Store.fingerprint t) (Graphio_graph.Dag.fingerprint g))
+          then
+            fail_plan plan
+              "round %d: load returned a different graph under faults" round)
+
+let test_store_chaos_matrix () =
+  List.iter
+    (fun plan ->
+      let dir = fresh_dir "graphio_chaos_store" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          guard plan (fun () ->
+              F.with_plan plan (fun () ->
+                  for round = 1 to 4 do
+                    store_round plan dir round
+                  done);
+              (* plan removed: fault-free write/load round-trips, and no
+                 temp file from any failed publish is left behind *)
+              let g = Lazy.force store_graph in
+              let path = Filename.concat dir "recovery.gcsr" in
+              Store.write path g;
+              if
+                not
+                  (Int64.equal
+                     (Store.fingerprint (Store.load path))
+                     (Graphio_graph.Dag.fingerprint g))
+              then fail_plan plan "recovery roundtrip changed the graph";
+              assert_no_leaked_tmp plan dir)))
+    (store_plans ())
+
+let test_store_sites_fire () =
+  List.iter
+    (fun (site, on_read_path) ->
+      let plan = site ^ ":nth=1" in
+      let dir = fresh_dir "graphio_chaos_store_fire" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          guard plan (fun () ->
+              let g = Lazy.force store_graph in
+              let path = Filename.concat dir "g.gcsr" in
+              if on_read_path then Store.write path g;
+              let before = counter_of ("fault.injected." ^ site) in
+              F.with_plan plan (fun () ->
+                  store_round plan dir 1;
+                  if on_read_path then (
+                    match Store.load path with
+                    | exception Store.Error _ -> ()
+                    | t ->
+                        if
+                          not
+                            (Int64.equal (Store.fingerprint t)
+                               (Graphio_graph.Dag.fingerprint g))
+                        then fail_plan plan "faulted load changed the graph");
+                  if F.injected_total () < 1 then
+                    fail_plan plan "site %s never fired" site);
+              if counter_of ("fault.injected." ^ site) <= before then
+                fail_plan plan "fault.injected.%s did not increment" site)))
+    [
+      ("store.file.write", false);
+      ("store.file.rename", false);
+      ("store.file.read", true);
+      ("store.checksum", true);
+    ]
+
 (* ======================================================================= *)
 
 let () =
@@ -778,6 +892,13 @@ let () =
             test_cache_chaos_matrix;
           Alcotest.test_case "every site fires (nth=1)" `Quick
             test_cache_sites_fire;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "chaos matrix: fail closed or faithful" `Quick
+            test_store_chaos_matrix;
+          Alcotest.test_case "every site fires (nth=1)" `Quick
+            test_store_sites_fire;
         ] );
       ( "pool",
         [ Alcotest.test_case "injected task death" `Quick

@@ -40,7 +40,7 @@ Malformed jobs files fail with one clean line and exit code 1:
 
   $ printf 'nope:3 m=4\n' > bad3.txt
   $ ../../bin/graphio.exe batch bad3.txt 2>&1 | head -1
-  graphio: bad3.txt:1: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  graphio: bad3.txt:1: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED], union:K:SPEC)
 
   $ printf '# only comments\n\n' > empty.txt
   $ ../../bin/graphio.exe batch empty.txt
@@ -92,3 +92,12 @@ The rewritten records serve again:
 
   $ ../../bin/graphio.exe batch jobs.txt --cache-dir spectra | grep -c '"cache_hit":true'
   5
+
+Disconnected graphs decompose: one record per job still, but carrying a
+components array with per-component provenance (copies after the first
+share the first copy's eigensolve):
+
+  $ printf 'union:2:fft:4 m=4\nfft:6 m=4\n' > union.txt
+  $ ../../bin/graphio.exe batch union.txt | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
+  {"spec":"union:2:fft:4","n":160,"edges":256,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-16,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_,"components":[{"n":80,"edges":128,"tier":"closed-form","cache_hit":false},{"n":80,"edges":128,"tier":"closed-form","cache_hit":true}]}
+  {"spec":"fft:6","n":448,"edges":768,"m":4,"p":1,"method":"normalized","h":100,"bound":0,"best_k":2,"best_raw":-2.9819342068713013,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_}

@@ -44,7 +44,7 @@ Generation round-trips through files:
 Errors are reported cleanly, with exit code 1:
 
   $ ../../bin/graphio.exe bound -g nope:3 -m 4 2>&1 | head -2
-  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED], union:K:SPEC)
 
   $ ../../bin/graphio.exe simulate -g matmul:8 -m 4 2>&1 | head -1
   graphio: Simulator.simulate: fast memory 4 too small for max in-degree 8
@@ -111,3 +111,14 @@ Memory sweeps emit CSV:
   2,86.7869,32
   4,51.9989,18.5
   8,25.2825,0
+
+Disconnected graphs are decomposed per weakly-connected component — the
+spectra are merged, and the report shows per-component provenance:
+
+  $ ../../bin/graphio.exe bound -g union:2:grid:3:4 -m 3
+  graph: n=24 m_edges=34 max_out_degree=2
+  method: normalized (Theorem 4)
+  components: 2 (merged spectrum h=24)
+    component 0: n=12 edges=17 numeric (dense)
+    component 1: n=12 edges=17 numeric (dense) (shared)
+  lower bound on non-trivial I/O: 0 (best k = 2, raw = -12)

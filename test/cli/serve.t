@@ -33,7 +33,7 @@ all, still answering on the same connection (the ping at the end):
   >   | ../../bin/graphio.exe client --socket srv.sock
   {"ok":false,"code":"bad_request","error":"malformed JSON: Jsonx: at offset 0: unexpected character 'g'"}
   {"ok":false,"code":"bad_request","error":"missing field \"m\""}
-  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:1\" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"}
+  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:1\" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED], union:K:SPEC)"}
   {"ok":false,"code":"bad_request","error":"unknown field \"typo\""}
   {"id":9,"ok":false,"code":"timeout","error":"deadline of 0s exceeded"}
   {"ok":true,"op":"ping"}
@@ -77,5 +77,17 @@ previous server (or a batch run) populated:
   >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
   {"ok":true,"rid":_,"n":32,"edges":80,"m":4,"p":1,"method":"standard","h":32,"bound":0,"best_k":2,"best_raw":-9.6,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
   $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket d2.sock
+  {"ok":true,"op":"shutdown"}
+  $ wait
+
+Disconnected graphs decompose, and the reply carries per-component
+provenance:
+
+  $ ../../bin/graphio.exe serve --socket u.sock -j 1 2>/dev/null &
+  $ printf '{"spec":"union:2:path:6","m":2}\n' \
+  >   | ../../bin/graphio.exe client --socket u.sock \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
+  {"ok":true,"rid":_,"n":12,"edges":10,"m":2,"p":1,"method":"normalized","h":12,"bound":0,"best_k":2,"best_raw":-8,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_,"components":[{"n":6,"edges":5,"tier":"closed-form","cache_hit":false},{"n":6,"edges":5,"tier":"closed-form","cache_hit":true}]}
+  $ printf '{"op":"shutdown"}\n' | ../../bin/graphio.exe client --socket u.sock
   {"ok":true,"op":"shutdown"}
   $ wait

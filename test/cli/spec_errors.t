@@ -7,7 +7,7 @@ Spec.grammar itself).
 The CLI, through generate -- the thinnest path into Spec.parse:
 
   $ ../../bin/graphio.exe generate nope:3 -o g.txt
-  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])
+  graphio: unknown graph spec "nope:3" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED], union:K:SPEC)
   [1]
 
   $ ../../bin/graphio.exe generate fft:x -o g.txt
@@ -38,7 +38,7 @@ reply -- same parser, same message, different transport:
   >   '{"spec":"er:10:zz","m":4}' \
   >   '{"spec":"er:10:0.1:abc","m":4}' \
   >   | ../../bin/graphio.exe client --socket spec.sock
-  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:3\" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED])"}
+  {"ok":false,"code":"bad_request","error":"unknown graph spec \"nope:3\" (expected fft:L, bhk:L, path:N, grid:R:C, matmul:N, matmul-binary:N, strassen:N, inner:D, er:N:P[:SEED], union:K:SPEC)"}
   {"ok":false,"code":"bad_request","error":"graph spec \"fft:x\": level count \"x\" is not an integer"}
   {"ok":false,"code":"bad_request","error":"graph spec \"matmul:\": size \"\" is not an integer"}
   {"ok":false,"code":"bad_request","error":"graph spec \"er:10:zz\": edge probability \"zz\" is not a number"}

@@ -698,6 +698,160 @@ let prop_self_union =
              many >= one -. (1e-6 *. (1.0 +. one)))
            methods)
 
+(* ------------------------------------------------------------------ *)
+(* Component decomposition differentials                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Laplacian of a disjoint union is block-diagonal, so the union's
+   spectrum is the multiset union of the per-component spectra: solving
+   per component and merging must reproduce the whole-graph bound to
+   eigensolver tolerance.  That equation is the oracle for the entire
+   out-of-core path. *)
+
+let close ?(tol = 1e-6) a b =
+  Float.abs (a -. b) <= tol *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let test_decompose_differential () =
+  let g1 = Fft.build 3 in
+  let g2 = Er.gnp ~n:17 ~p:0.3 ~seed:11 in
+  let u = Dag.disjoint_union g1 g2 in
+  let h = Dag.n_vertices u in
+  List.iter
+    (fun method_ ->
+      List.iter
+        (fun m ->
+          let whole = Solver.bound ~method_ ~h ~decompose:false u ~m in
+          let split = Solver.bound ~method_ ~h u ~m in
+          Alcotest.(check bool)
+            (Printf.sprintf "whole %f = decomposed %f (m=%d)"
+               whole.Solver.result.Spectral_bound.bound
+               split.Solver.result.Spectral_bound.bound m)
+            true
+            (close whole.Solver.result.Spectral_bound.bound
+               split.Solver.result.Spectral_bound.bound);
+          Alcotest.(check int)
+            "whole-graph path reports no components" 0
+            (Array.length whole.Solver.components);
+          Alcotest.(check int)
+            "decomposed path reports both components" 2
+            (Array.length split.Solver.components);
+          Alcotest.(check int)
+            "component sizes partition the union"
+            (Dag.n_vertices u)
+            (Array.fold_left
+               (fun acc c -> acc + c.Solver.comp_n)
+               0 split.Solver.components))
+        [ 1; 4; 9 ])
+    methods
+
+(* One closed-form component (a path: recognized, analytic spectrum) next
+   to one numeric component — the merge must mix tiers without bias. *)
+let test_decompose_mixed_tiers () =
+  let path = Sequences.independent_chains ~count:1 ~length:24 in
+  let rand = Er.gnp ~n:15 ~p:0.35 ~seed:5 in
+  let u = Dag.disjoint_union path rand in
+  let h = Dag.n_vertices u in
+  let whole = Solver.bound ~h ~decompose:false u ~m:4 in
+  let split = Solver.bound ~h u ~m:4 in
+  Alcotest.(check bool)
+    "mixed-tier decomposed bound matches whole graph" true
+    (close whole.Solver.result.Spectral_bound.bound
+       split.Solver.result.Spectral_bound.bound);
+  (match split.Solver.components with
+  | [| a; b |] ->
+      (match a.Solver.comp_tier with
+      | Solver.Closed_form _ -> ()
+      | _ -> Alcotest.fail "path component not recognized closed-form");
+      (match b.Solver.comp_tier with
+      | Solver.Numeric -> ()
+      | _ -> Alcotest.fail "random component not numeric")
+  | c -> Alcotest.failf "expected 2 components, got %d" (Array.length c));
+  (* the merged outcome is flagged numeric (weakest tier wins) *)
+  match split.Solver.tier with
+  | Solver.Numeric -> ()
+  | _ -> Alcotest.fail "merged tier should be numeric"
+
+(* [bound_parts] — the out-of-core entry point fed by the binary store's
+   per-component extraction — must agree bitwise with [bound] on the
+   materialized union: both routes dedup and solve the same flat unit
+   list. *)
+let test_bound_parts_matches_union () =
+  let g1 = Fft.build 3 in
+  let g2 = Er.gnp ~n:12 ~p:0.3 ~seed:3 in
+  let g3 = Sequences.independent_chains ~count:1 ~length:9 in
+  let u = Dag.disjoint_union (Dag.disjoint_union g1 g2) g3 in
+  let h = Dag.n_vertices u in
+  List.iter
+    (fun method_ ->
+      let via_parts =
+        Solver.bound_parts ~method_ ~h [| g1; g2; g3 |] ~m:4
+      in
+      let via_union = Solver.bound ~method_ ~h u ~m:4 in
+      Alcotest.(check (float 0.0))
+        "bound_parts bitwise-equal to bound on the union"
+        via_union.Solver.result.Spectral_bound.bound
+        via_parts.Solver.result.Spectral_bound.bound;
+      Alcotest.(check int) "same component count"
+        (Array.length via_union.Solver.components)
+        (Array.length via_parts.Solver.components))
+    methods
+
+(* Identical components must be solved once: the decomposed evaluation
+   dedups by spectrum key, so a c-fold self-union reports c components
+   with every copy after the first marked shared. *)
+let test_decompose_dedups_copies () =
+  let g = Er.gnp ~n:14 ~p:0.3 ~seed:9 in
+  let u = Dag.replicate g ~copies:4 in
+  let out = Solver.bound ~h:(Dag.n_vertices u) u ~m:4 in
+  Alcotest.(check int) "four components" 4 (Array.length out.Solver.components);
+  let shared =
+    Array.fold_left
+      (fun acc c -> if c.Solver.comp_cache_hit then acc + 1 else acc)
+      0 out.Solver.components
+  in
+  Alcotest.(check int) "three of four shared the one solve" 3 shared
+
+let prop_decompose_differential =
+  QCheck2.Test.make
+    ~name:"decomposed union bound = whole-graph bound" ~count:25
+    QCheck2.Gen.(triple dag_gen dag_gen (int_range 1 12))
+    (fun (g1, g2, m) ->
+      let u = Dag.disjoint_union g1 g2 in
+      let h = Dag.n_vertices u in
+      List.for_all
+        (fun method_ ->
+          let whole =
+            (Solver.bound ~method_ ~h ~decompose:false u ~m).Solver.result
+              .Spectral_bound.bound
+          in
+          let split =
+            (Solver.bound ~method_ ~h u ~m).Solver.result.Spectral_bound.bound
+          in
+          close whole split)
+        methods)
+
+(* Metamorphic extension of [prop_self_union]: the same relation, but the
+   union is evaluated through the decomposed path (and [Dag.replicate],
+   the spec-level union builder) rather than a hand-rolled edge list. *)
+let prop_self_union_decomposed =
+  QCheck2.Test.make
+    ~name:"decomposed self-union bound >= single-copy bound" ~count:25
+    QCheck2.Gen.(triple dag_gen (int_range 2 3) (int_range 1 12))
+    (fun (g, c, m) ->
+      Dag.n_edges g = 0
+      || List.for_all
+           (fun method_ ->
+             let n = Dag.n_vertices g in
+             let one = graph_bound ~method_ ~h:n g ~m in
+             let u = Dag.replicate g ~copies:c in
+             let out = Solver.bound ~method_ ~h:(c * n) u ~m in
+             let many = out.Solver.result.Spectral_bound.bound in
+             (* g itself may be disconnected: each copy contributes its
+                own component count *)
+             Array.length out.Solver.components = c * Component.count g
+             && many >= one -. (1e-6 *. (1.0 +. one)))
+           methods)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -709,6 +863,8 @@ let props =
       prop_relabel_invariance;
       prop_graph_monotone_m;
       prop_self_union;
+      prop_decompose_differential;
+      prop_self_union_decomposed;
     ]
 
 let () =
@@ -740,6 +896,17 @@ let () =
             test_solver_sparse_path_agrees_with_dense;
           Alcotest.test_case "warm start accuracy" `Quick
             test_solver_warm_start_accuracy;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "union differential per method" `Quick
+            test_decompose_differential;
+          Alcotest.test_case "mixed closed-form + numeric tiers" `Quick
+            test_decompose_mixed_tiers;
+          Alcotest.test_case "bound_parts = bound of union" `Quick
+            test_bound_parts_matches_union;
+          Alcotest.test_case "identical components solved once" `Quick
+            test_decompose_dedups_copies;
         ] );
       ( "analytic",
         [

@@ -402,6 +402,139 @@ let test_edgelist_of_file_prefixes_path () =
           ignore (Edgelist.of_file path)))
 
 (* ------------------------------------------------------------------ *)
+(* Binary store roundtrip                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Graphio_store.Store
+
+let with_tmp_store f =
+  let path = Filename.temp_file "graphio_store" ".gcsr" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let check_same_graph msg g g' =
+  Alcotest.(check int) (msg ^ ": n") (Dag.n_vertices g) (Dag.n_vertices g');
+  Alcotest.(check (list (pair int int)))
+    (msg ^ ": edges") (Dag.edges g) (Dag.edges g');
+  List.iter
+    (fun v ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "%s: label %d" msg v)
+        (Dag.label g v) (Dag.label g' v))
+    (List.init (Dag.n_vertices g) Fun.id);
+  Alcotest.(check int64)
+    (msg ^ ": fingerprint") (Dag.fingerprint g) (Dag.fingerprint g')
+
+let test_store_roundtrip_labeled () =
+  let g =
+    Dag.of_edges ~n:4
+      ~labels:[| "in 0"; "50%"; ""; "x\xffy" |]
+      [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+  in
+  with_tmp_store (fun path ->
+      Store.write path g;
+      Alcotest.(check bool) "sniffs as store" true (Store.is_store_file path);
+      let t = Store.load path in
+      Alcotest.(check int) "n" 4 (Store.n_vertices t);
+      Alcotest.(check int) "m" 4 (Store.n_edges t);
+      Alcotest.(check int) "out_degree 0" 2 (Store.out_degree t 0);
+      Alcotest.(check int) "max_out_degree" 2 (Store.max_out_degree t);
+      Alcotest.(check (option string)) "label 1" (Some "50%") (Store.label t 1);
+      Alcotest.(check (option string)) "label 2" (Some "") (Store.label t 2);
+      Alcotest.(check int64)
+        "store fingerprint = dag fingerprint" (Dag.fingerprint g)
+        (Store.fingerprint t);
+      let seen = ref [] in
+      Store.iter_edges t (fun u v -> seen := (u, v) :: !seen);
+      Alcotest.(check (list (pair int int)))
+        "iter_edges in CSR order" (Dag.edges g) (List.rev !seen);
+      check_same_graph "to_dag" g (Store.to_dag t))
+
+let test_store_roundtrip_degenerate () =
+  List.iter
+    (fun (name, g) ->
+      with_tmp_store (fun path ->
+          Store.write path g;
+          check_same_graph name g (Store.to_dag (Store.load path))))
+    [
+      ("empty graph", Dag.of_edges ~n:0 []);
+      ("single vertex", Dag.of_edges ~n:1 []);
+      (* dangling ids: vertices that no edge touches must survive *)
+      ("isolated vertices", Dag.of_edges ~n:5 [ (1, 3) ]);
+      ("edgeless labeled", Dag.of_edges ~n:2 ~labels:[| "a"; "" |] []);
+    ]
+
+let test_store_sniff_rejects_text () =
+  let path = Filename.temp_file "graphio_store" ".el" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "graphio 1\nn 1 m 0\n");
+      Alcotest.(check bool) "text file is not a store" false
+        (Store.is_store_file path);
+      Alcotest.(check bool) "missing file is not a store" false
+        (Store.is_store_file (path ^ ".does-not-exist")))
+
+let test_store_component_dags () =
+  let g = Dag.replicate (diamond ()) ~copies:3 in
+  with_tmp_store (fun path ->
+      Store.write path g;
+      let t = Store.load path in
+      Alcotest.(check int) "component count" 3 (Store.component_count t);
+      let from_store = Store.component_dags t in
+      let from_split = Component.split (Store.to_dag t) in
+      Alcotest.(check int) "same part count" (Array.length from_split)
+        (Array.length from_store);
+      Array.iteri
+        (fun i (part, back) ->
+          let part', back' = from_split.(i) in
+          Alcotest.(check int64)
+            (Printf.sprintf "part %d fingerprint" i)
+            (Dag.fingerprint part') (Dag.fingerprint part);
+          Alcotest.(check (array int))
+            (Printf.sprintf "part %d id mapping" i)
+            back' back)
+        from_store)
+
+(* The int32 overflow guard must trip on the declared sizes, before any
+   allocation proportional to them. *)
+let test_store_int32_guard () =
+  List.iter
+    (fun (name, header) ->
+      let input = Filename.temp_file "graphio_store" ".el" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove input)
+        (fun () ->
+          Out_channel.with_open_text input (fun oc -> output_string oc header);
+          with_tmp_store (fun output ->
+              match Graphio_store.Convert.convert ~input ~output with
+              | _ -> Alcotest.failf "%s: guard did not trip" name
+              | exception Store.Error (Store.Too_large _) -> ())))
+    [
+      ("n at int32 max", "graphio 1\nn 2147483647 m 0\n");
+      ("m beyond int32 max", "graphio 1\nn 2 m 2147483648\n");
+    ]
+
+let prop_store_roundtrip =
+  QCheck2.Test.make ~name:"binary store roundtrip" ~count:40
+    QCheck2.Gen.(
+      let* n = int_range 2 40 in
+      let* seed = int_range 0 100000 in
+      let* p = float_range 0.05 0.5 in
+      return (Er.gnp ~n ~p ~seed))
+    (fun g ->
+      with_tmp_store (fun path ->
+          Store.write path g;
+          let t = Store.load path in
+          let g' = Store.to_dag t in
+          Store.fingerprint t = Dag.fingerprint g
+          && Dag.fingerprint g' = Dag.fingerprint g
+          && Dag.edges g' = Dag.edges g
+          && Dag.n_vertices g' = Dag.n_vertices g))
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -463,6 +596,36 @@ let prop_reverse_involution =
   QCheck2.Test.make ~name:"reverse twice is identity" ~count:40 er_gen (fun g ->
       Dag.edges (Dag.reverse (Dag.reverse g)) = Dag.edges g)
 
+(* Labels take the same percent-escape gauntlet through the binary store
+   as through the text edgelist — byte-exact both ways. *)
+let prop_store_label_roundtrip =
+  QCheck2.Test.make ~name:"binary store roundtrip preserves labels" ~count:40
+    labeled_er_gen (fun g ->
+      with_tmp_store (fun path ->
+          Store.write path g;
+          let g' = Store.to_dag (Store.load path) in
+          Dag.fingerprint g' = Dag.fingerprint g
+          && List.for_all
+               (fun v -> Dag.label g v = Dag.label g' v)
+               (List.init (Dag.n_vertices g) Fun.id)))
+
+let prop_store_union_components =
+  QCheck2.Test.make ~name:"store recovers replicated components" ~count:20
+    QCheck2.Gen.(pair er_gen (int_range 2 4))
+    (fun (g, copies) ->
+      let u = Dag.replicate g ~copies in
+      with_tmp_store (fun path ->
+          Store.write path u;
+          let t = Store.load path in
+          let parts = Store.component_dags t in
+          let split = Component.split u in
+          Store.component_count t = Component.count u
+          && Store.fingerprint t = Dag.fingerprint u
+          && Array.length parts = Array.length split
+          && Array.for_all2
+               (fun (a, _) (b, _) -> Dag.fingerprint a = Dag.fingerprint b)
+               parts split))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -472,6 +635,9 @@ let props =
       prop_edgelist_roundtrip;
       prop_edgelist_label_roundtrip;
       prop_reverse_involution;
+      prop_store_roundtrip;
+      prop_store_label_roundtrip;
+      prop_store_union_components;
     ]
 
 let () =
@@ -544,6 +710,19 @@ let () =
             test_edgelist_error_messages;
           Alcotest.test_case "edgelist of_file prefixes path" `Quick
             test_edgelist_of_file_prefixes_path;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "labeled roundtrip" `Quick
+            test_store_roundtrip_labeled;
+          Alcotest.test_case "degenerate graphs roundtrip" `Quick
+            test_store_roundtrip_degenerate;
+          Alcotest.test_case "sniff rejects text" `Quick
+            test_store_sniff_rejects_text;
+          Alcotest.test_case "component extraction matches split" `Quick
+            test_store_component_dags;
+          Alcotest.test_case "int32 overflow guard" `Quick
+            test_store_int32_guard;
         ] );
       ("properties", props);
     ]

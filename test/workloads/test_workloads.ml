@@ -403,7 +403,7 @@ let contains_substring hay needle =
 let test_spec_grammar_forms_parse () =
   let subst =
     [ ("L", "3"); ("N", "2"); ("R", "2"); ("C", "3"); ("D", "4");
-      ("P", "0.2"); ("SEED", "7") ]
+      ("P", "0.2"); ("SEED", "7"); ("K", "2"); ("SPEC", "path:2") ]
   in
   let expand form =
     (* "er:N:P[:SEED]" -> both the bare and the optional-suffix form *)
