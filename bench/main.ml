@@ -1308,6 +1308,111 @@ let store () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio: per-method bound and wall time across the workload zoo   *)
+(* ------------------------------------------------------------------ *)
+
+(* One [Solver.bound ~method_:Portfolio] call per graph: the outcome's
+   per-member records carry each method's bound and wall time, so the
+   table (and BENCH_10.json) shows who wins where and what each member
+   costs.  The acceptance bar rides along: the portfolio headline must
+   dominate both the Normalized and Standard members on every graph. *)
+let portfolio () =
+  let graphs =
+    if !quick then
+      [
+        ("fft:7", Fft.build 7, 8);
+        ("bhk:8", Bhk.build 8, 8);
+        ("grid:24:24", Stencil.grid ~rows:24 ~cols:24, 8);
+        ("er:400:0.02:1", Er.gnp ~n:400 ~p:0.02 ~seed:1, 4);
+      ]
+    else
+      [
+        ("fft:9", Fft.build 9, 8);
+        ("bhk:10", Bhk.build 10, 8);
+        ("grid:48:48", Stencil.grid ~rows:48 ~cols:48, 8);
+        ("er:1000:0.01:1", Er.gnp ~n:1000 ~p:0.01 ~seed:1, 4);
+      ]
+  in
+  let members = Method.concrete in
+  let r =
+    Report.create ~title:"portfolio: per-method bound and wall time"
+      ~columns:
+        ([ "graph"; "n"; "M" ]
+        @ List.concat_map
+            (fun m ->
+              let s = Method.to_string m in
+              [ s; s ^ " s" ])
+            members
+        @ [ "winner" ])
+  in
+  let records = ref [] in
+  let dominated = ref true in
+  List.iter
+    (fun (spec, g, m) ->
+      let o = Solver.bound ~method_:Solver.Portfolio g ~m in
+      let mvs = Array.to_list o.Solver.methods in
+      let winner =
+        match o.Solver.winner with
+        | Some w -> Method.to_string w
+        | None -> "-"
+      in
+      let headline = o.Solver.result.Spectral_bound.bound in
+      List.iter
+        (fun mv ->
+          if
+            (mv.Solver.mv_method = Solver.Normalized
+            || mv.Solver.mv_method = Solver.Standard)
+            && headline < mv.Solver.mv_bound
+          then dominated := false)
+        mvs;
+      Report.add_row r
+        (spec
+        :: Report.cell_int (Dag.n_vertices g)
+        :: Report.cell_int m
+        :: List.concat_map
+             (fun mv ->
+               [
+                 Report.cell_float mv.Solver.mv_bound;
+                 Report.cell_float mv.Solver.mv_wall_s;
+               ])
+             mvs
+        @ [ winner ]);
+      records :=
+        Graphio_obs.Jsonx.Obj
+          [
+            ("spec", Graphio_obs.Jsonx.String spec);
+            ("n", Graphio_obs.Jsonx.Int (Dag.n_vertices g));
+            ("m", Graphio_obs.Jsonx.Int m);
+            ("bound", Graphio_obs.Jsonx.Float headline);
+            ("winner", Graphio_obs.Jsonx.String winner);
+            ( "methods",
+              Graphio_obs.Jsonx.List
+                (List.map
+                   (fun mv ->
+                     Graphio_obs.Jsonx.Obj
+                       [
+                         ( "method",
+                           Graphio_obs.Jsonx.String
+                             (Method.to_string mv.Solver.mv_method) );
+                         ("bound", Graphio_obs.Jsonx.Float mv.Solver.mv_bound);
+                         ("wall_s", Graphio_obs.Jsonx.Float mv.Solver.mv_wall_s);
+                       ])
+                   mvs) );
+          ]
+        :: !records)
+    graphs;
+  Report.note r
+    (if !dominated then
+       "portfolio >= normalized and standard on every graph (acceptance bar)"
+     else "REGRESSION: a member beat the portfolio headline");
+  emit r;
+  extra_json :=
+    [
+      ("graphs", Graphio_obs.Jsonx.List (List.rev !records));
+      ("dominates_members", Graphio_obs.Jsonx.Bool !dominated);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1330,6 +1435,7 @@ let sections =
     ("recognize", recognize);
     ("eigen", eigen);
     ("store", store);
+    ("portfolio", portfolio);
     ("bechamel", bechamel);
   ]
 

@@ -275,9 +275,37 @@ let convert_cmd =
 (* bound                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let method_name = function
-  | Solver.Normalized -> "normalized"
-  | Solver.Standard -> "standard"
+let method_name = Graphio_core.Method.to_string
+
+(* One parser for every CLI surface (bound flag, jobs file, serve
+   config): unknown-method errors embed the same Method.expected list the
+   server's protocol errors use, so the texts cannot drift. *)
+let parse_method s =
+  match Graphio_core.Method.of_string s with
+  | Some m -> m
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "unknown method %S (expected %s)" s
+              Graphio_core.Method.expected))
+
+let parse_portfolio = function
+  | "" -> None
+  | s ->
+      Some
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+        |> List.map parse_method)
+
+let portfolio_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "portfolio-methods" ] ~docv:"METHODS"
+        ~doc:
+          "Comma-separated member set for $(b,--method portfolio) (default: \
+           every concrete method).")
 
 let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
@@ -319,16 +347,39 @@ let print_components (o : Solver.outcome) =
       (Array.length comps - shown) closed (Array.length comps - closed)
   end
 
-let bound spec file m h p method_str filter_degree no_closed_form faults obs =
+(* portfolio provenance, between the tier line and the headline: one line
+   per member (bound, k, tier, cache/warm provenance) and the winner *)
+let print_portfolio (o : Solver.outcome) =
+  print_string "methods:\n";
+  Array.iter
+    (fun mv ->
+      let detail =
+        match mv.Solver.mv_method with
+        | Solver.Visit -> "counted-cut chains"
+        | _ ->
+            Printf.sprintf "best k = %d, %s" mv.Solver.mv_best_k
+              (match mv.Solver.mv_tier with
+              | Solver.Closed_form family ->
+                  Printf.sprintf "closed form %s"
+                    (Graphio_recognize.Recognize.name family)
+              | Solver.Numeric -> "numeric")
+      in
+      Printf.printf "  %s: bound=%.6g (%s%s%s)\n"
+        (method_name mv.Solver.mv_method)
+        mv.Solver.mv_bound detail
+        (if mv.Solver.mv_cache_hit then ", cached" else "")
+        (if mv.Solver.mv_warm_start then ", warm start" else ""))
+    o.Solver.methods;
+  match o.Solver.winner with
+  | Some w -> Printf.printf "winner: %s\n" (method_name w)
+  | None -> ()
+
+let bound spec file m h p method_str portfolio_str filter_degree
+    no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
-  let method_ =
-    match method_str with
-    | "normalized" -> Solver.Normalized
-    | "standard" -> Solver.Standard
-    | other ->
-        raise (Invalid_argument (Printf.sprintf "unknown method %S" other))
-  in
+  let method_ = parse_method method_str in
+  let portfolio = parse_portfolio portfolio_str in
   let closed_form = not no_closed_form in
   (* Binary stores are bounded without materializing the union: components
      are extracted one by one and fed to the decomposed solver path.
@@ -344,21 +395,25 @@ let bound spec file m h p method_str filter_degree no_closed_form faults obs =
         ( ( Graphio_store.Store.n_vertices st,
             Graphio_store.Store.n_edges st,
             Graphio_store.Store.max_out_degree st ),
-          Solver.bound_parts ~method_ ~h ~p ~filter_degree ~closed_form parts
-            ~m )
+          Solver.bound_parts ~method_ ?portfolio ~h ~p ~filter_degree
+            ~closed_form parts ~m )
     | _ ->
         let g = load_graph ~spec ~file in
         ( (Dag.n_vertices g, Dag.n_edges g, Dag.max_out_degree g),
-          Solver.bound ~method_ ~h ~p ~filter_degree ~closed_form g ~m )
+          Solver.bound ~method_ ?portfolio ~h ~p ~filter_degree ~closed_form g
+            ~m )
   in
   let b = o.Solver.result in
   Printf.printf "graph: n=%d m_edges=%d max_out_degree=%d\n" gn gm gdmax;
-  Printf.printf "method: %s (Theorem %s)%s\n"
-    (method_name method_)
-    (match method_ with Solver.Normalized -> if p > 1 then "6" else "4" | Solver.Standard -> "5")
+  Printf.printf "method: %s%s\n"
+    (match method_ with
+    | Solver.Normalized ->
+        Printf.sprintf "normalized (Theorem %s)" (if p > 1 then "6" else "4")
+    | Solver.Standard -> "standard (Theorem 5)"
+    | m -> Graphio_core.Method.describe m)
     (if p > 1 then Printf.sprintf " with p=%d processors" p else "");
   (if Array.length o.Solver.components > 0 then print_components o
-   else
+   else if method_ <> Solver.Portfolio && method_ <> Solver.Visit then
      match o.Solver.tier with
      | Solver.Closed_form family ->
          Printf.printf "spectrum: closed form, recognized %s (h=%d)\n"
@@ -371,6 +426,7 @@ let bound spec file m h p method_str filter_degree no_closed_form faults obs =
            | Graphio_la.Eigen.Sparse_filtered ->
                "Chebyshev-filtered block iteration")
            (Array.length o.Solver.eigenvalues));
+  if Array.length o.Solver.methods > 0 then print_portfolio o;
   Printf.printf "lower bound on non-trivial I/O: %.6g (best k = %d, raw = %.6g)\n"
     b.Spectral_bound.bound b.Spectral_bound.best_k b.Spectral_bound.best_raw
 
@@ -385,14 +441,19 @@ let bound_cmd =
   in
   let method_name =
     Arg.(value & opt string "normalized" & info [ "method" ] ~docv:"METHOD"
-           ~doc:"normalized (Theorem 4) or standard (Theorem 5).")
+           ~doc:"normalized (Theorem 4), standard (Theorem 5), adjacency or \
+                 signless (Weyl-surrogate spectral variants), visit \
+                 (DAG-visit counted boundary), or portfolio (max over a \
+                 member set; see $(b,--portfolio-methods)).")
   in
   Cmd.v
-    (Cmd.info "bound" ~doc:"Spectral I/O lower bound")
+    (Cmd.info "bound" ~doc:"I/O lower bound (spectral methods, DAG-visit, or \
+                            a portfolio of both)")
     Term.(
       ret
         (const bound $ spec_arg $ file_arg $ m_arg $ h $ p $ method_name
-        $ filter_degree_arg $ no_closed_form_arg $ faults_arg $ obs_term))
+        $ portfolio_arg $ filter_degree_arg $ no_closed_form_arg $ faults_arg
+        $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -661,13 +722,12 @@ let parse_job_line ~path ~lineno line =
                 | "m" -> m := Some (pos_int "m")
                 | "p" -> p := Some (pos_int "p")
                 | "method" -> (
-                    match v with
-                    | "normalized" -> method_ := Solver.Normalized
-                    | "standard" -> method_ := Solver.Standard
-                    | _ ->
+                    match Graphio_core.Method.of_string v with
+                    | Some m -> method_ := m
+                    | None ->
                         fail
-                          (Printf.sprintf
-                             "method=%S: expected normalized or standard" v))
+                          (Printf.sprintf "method=%S: expected %s" v
+                             Graphio_core.Method.expected))
                 | _ -> fail (Printf.sprintf "unknown key %S" key)))
           params;
         let m = match !m with Some m -> m | None -> fail "missing m=M" in
@@ -686,10 +746,11 @@ let parse_job_line ~path ~lineno line =
         Some (spec, Solver.job ~method_:!method_ ?p:!p g ~m)
   end
 
-let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
-    no_closed_form faults obs =
+let batch path njobs h dense_threshold cache_dir portfolio_str filter_degree
+    no_warm_start no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
+  let portfolio = parse_portfolio portfolio_str in
   let lines = In_channel.with_open_text path In_channel.input_lines in
   let entries =
     List.mapi (fun i line -> parse_job_line ~path ~lineno:(i + 1) line) lines
@@ -705,8 +766,9 @@ let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
     Option.map (fun dir -> Graphio_cache.Spectrum.create ~dir ()) cache_dir
   in
   let run pool =
-    Solver.bound_batch ?cache ?pool ~h ?dense_threshold ~filter_degree
-      ~warm_start:(not no_warm_start) ~closed_form:(not no_closed_form) jobs
+    Solver.bound_batch ?cache ?pool ?portfolio ~h ?dense_threshold
+      ~filter_degree ~warm_start:(not no_warm_start)
+      ~closed_form:(not no_closed_form) jobs
   in
   let results =
     if njobs = 1 then run None
@@ -758,6 +820,34 @@ let batch path njobs h dense_threshold cache_dir filter_degree no_warm_start
                         o.Solver.components)) );
             ]
       in
+      (* per-member values and the winner, present only on portfolio jobs
+         (no per-member wall times on the wire: only the aggregate) *)
+      let fields =
+        if Array.length o.Solver.methods = 0 then fields
+        else
+          fields
+          @ [
+              ( "methods",
+                List
+                  (Array.to_list
+                     (Array.map
+                        (fun mv ->
+                          Obj
+                            [
+                              ("method", String (method_name mv.Solver.mv_method));
+                              ("bound", Float mv.Solver.mv_bound);
+                              ("best_k", Int mv.Solver.mv_best_k);
+                              ("tier", String (Solver.tier_name mv.Solver.mv_tier));
+                              ("cache_hit", Bool mv.Solver.mv_cache_hit);
+                              ("warm_start", Bool mv.Solver.mv_warm_start);
+                            ])
+                        o.Solver.methods)) );
+            ]
+          @
+          match o.Solver.winner with
+          | Some w -> [ ("winner", String (method_name w)) ]
+          | None -> []
+      in
       print_endline (to_string (Obj fields)))
     results
 
@@ -792,8 +882,123 @@ let batch_cmd =
     Term.(
       ret
         (const batch $ path $ njobs $ h $ dense_threshold $ cache_dir
-        $ filter_degree_arg $ no_warm_start_arg $ no_closed_form_arg
-        $ faults_arg $ obs_term))
+        $ portfolio_arg $ filter_degree_arg $ no_warm_start_arg
+        $ no_closed_form_arg $ faults_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Portfolio survey over a jobs file: every job runs the full member set
+   (a method= key in the file is ignored — report always compares), the
+   table shows each member's bound per job, and the note tallies how
+   often each member won. *)
+let report path njobs h dense_threshold cache_dir portfolio_str filter_degree
+    no_warm_start no_closed_form faults obs =
+  handle obs @@ fun () ->
+  apply_faults faults;
+  let portfolio = parse_portfolio portfolio_str in
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let entries =
+    List.mapi (fun i line -> parse_job_line ~path ~lineno:(i + 1) line) lines
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  if Array.length entries = 0 then
+    raise (Invalid_argument (Printf.sprintf "%s: no jobs" path));
+  let specs = Array.map fst entries in
+  let jobs =
+    Array.map
+      (fun (_, j) ->
+        Solver.job ~method_:Solver.Portfolio ?p:j.Solver.p j.Solver.dag
+          ~m:j.Solver.m)
+      entries
+  in
+  let njobs = if njobs = 0 then Graphio_par.Pool.default_size () else njobs in
+  if njobs < 1 then raise (Invalid_argument "-j: need at least 1");
+  let cache =
+    Option.map (fun dir -> Graphio_cache.Spectrum.create ~dir ()) cache_dir
+  in
+  let run pool =
+    Solver.bound_batch ?cache ?pool ?portfolio ~h ?dense_threshold
+      ~filter_degree ~warm_start:(not no_warm_start)
+      ~closed_form:(not no_closed_form) jobs
+  in
+  let results =
+    if njobs = 1 then run None
+    else
+      Graphio_par.Pool.with_pool ~size:njobs (fun pool -> run (Some pool))
+  in
+  let members = results.(0).Solver.outcome.Solver.methods in
+  let columns =
+    [ "job"; "m" ]
+    @ Array.to_list
+        (Array.map (fun mv -> method_name mv.Solver.mv_method) members)
+    @ [ "winner" ]
+  in
+  let table = Graphio_core.Report.create ~title:"bound portfolio" ~columns in
+  let tally = Hashtbl.create 8 in
+  Array.iteri
+    (fun i r ->
+      let o = r.Solver.outcome in
+      let winner =
+        match o.Solver.winner with
+        | Some w -> w
+        | None -> o.Solver.method_
+      in
+      Hashtbl.replace tally winner
+        (1 + Option.value (Hashtbl.find_opt tally winner) ~default:0);
+      Graphio_core.Report.add_row table
+        ([ specs.(i); string_of_int r.Solver.job.Solver.m ]
+        @ Array.to_list
+            (Array.map
+               (fun mv -> Graphio_core.Report.cell_float mv.Solver.mv_bound)
+               o.Solver.methods)
+        @ [ method_name winner ]))
+    results;
+  Graphio_core.Report.note table
+    ("winners: "
+    ^ String.concat ", "
+        (List.filter_map
+           (fun m ->
+             Option.map
+               (fun c -> Printf.sprintf "%s x%d" (method_name m) c)
+               (Hashtbl.find_opt tally m))
+           Graphio_core.Method.concrete));
+  Graphio_core.Report.print table
+
+let report_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOBS"
+           ~doc:"Jobs file, as for $(b,graphio batch); every job runs the \
+                 portfolio regardless of its method= key.")
+  in
+  let njobs =
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domain-pool size (1 = sequential).  Defaults to \
+                 $(b,GRAPHIO_POOL) or the core count.")
+  in
+  let h =
+    Arg.(value & opt int 100 & info [ "eigenvalues" ] ~docv:"H"
+           ~doc:"Number of smallest eigenvalues per spectrum.")
+  in
+  let dense_threshold =
+    Arg.(value & opt (some int) None & info [ "dense-threshold" ] ~docv:"N"
+           ~doc:"Largest n solved by the dense eigensolver.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist computed spectra to a disk cache in $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the full bound portfolio over a jobs file and tabulate \
+             per-method bounds and winners")
+    Term.(
+      ret
+        (const report $ path $ njobs $ h $ dense_threshold $ cache_dir
+        $ portfolio_arg $ filter_degree_arg $ no_warm_start_arg
+        $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -827,9 +1032,10 @@ let tcp_arg =
          ~doc:"Use TCP instead of the Unix socket.")
 
 let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap
-    filter_degree no_warm_start no_closed_form faults obs =
+    portfolio_str filter_degree no_warm_start no_closed_form faults obs =
   handle obs @@ fun () ->
   apply_faults faults;
+  let portfolio = parse_portfolio portfolio_str in
   let transport = transport_of_args ~socket ~tcp in
   let cache =
     match cache_dir with
@@ -852,6 +1058,7 @@ let serve socket tcp njobs h dense_threshold timeout cache_dir cache_cap
       closed_form = not no_closed_form;
       warm_start = not no_warm_start;
       filter_degree;
+      portfolio;
     }
   in
   let ready () =
@@ -900,7 +1107,7 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ tcp_arg $ njobs $ h $ dense_threshold
-        $ timeout $ cache_dir $ cache_cap $ filter_degree_arg
+        $ timeout $ cache_dir $ cache_cap $ portfolio_arg $ filter_degree_arg
         $ no_warm_start_arg $ no_closed_form_arg $ faults_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
@@ -1077,6 +1284,7 @@ let () =
           [
             generate_cmd; convert_cmd; bound_cmd; baseline_cmd; simulate_cmd;
             spectrum_cmd;
-            export_cmd; analyze_cmd; sweep_cmd; batch_cmd; serve_cmd; client_cmd;
+            export_cmd; analyze_cmd; sweep_cmd; batch_cmd; report_cmd;
+            serve_cmd; client_cmd;
             top_cmd;
           ]))

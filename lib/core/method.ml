@@ -1,0 +1,50 @@
+type t = Normalized | Standard | Adjacency | Signless | Visit | Portfolio
+
+let all = [ Normalized; Standard; Adjacency; Signless; Visit; Portfolio ]
+let concrete = [ Normalized; Standard; Adjacency; Signless; Visit ]
+let default_portfolio = concrete
+
+let is_spectral = function
+  | Normalized | Standard | Adjacency | Signless -> true
+  | Visit | Portfolio -> false
+
+let to_string = function
+  | Normalized -> "normalized"
+  | Standard -> "standard"
+  | Adjacency -> "adjacency"
+  | Signless -> "signless"
+  | Visit -> "visit"
+  | Portfolio -> "portfolio"
+
+let of_string = function
+  | "normalized" -> Some Normalized
+  | "standard" -> Some Standard
+  | "adjacency" -> Some Adjacency
+  | "signless" -> Some Signless
+  | "visit" -> Some Visit
+  | "portfolio" -> Some Portfolio
+  | _ -> None
+
+let expected =
+  (* "a, b, c, d, e or f" — every surface embeds this fragment verbatim. *)
+  let names = List.map to_string all in
+  match List.rev names with
+  | last :: (_ :: _ as rest) ->
+      String.concat ", " (List.rev rest) ^ " or " ^ last
+  | _ -> String.concat ", " names
+
+let cache_char = function
+  | Normalized -> 'n'
+  | Standard -> 's'
+  | Adjacency -> 'a'
+  | Signless -> 'q'
+  | Visit -> 'v'
+  | Portfolio -> 'p'
+
+let describe = function
+  | Normalized -> "normalized (Theorem 4)"
+  | Standard -> "standard (Theorem 5)"
+  | Adjacency -> "adjacency (Weyl surrogate, Theorem 5 scaling)"
+  | Signless -> "signless (Weyl surrogate, Theorem 5 scaling)"
+  | Visit -> "visit (DAG-visit counted boundary)"
+  | Portfolio -> "portfolio (max over member methods)"

@@ -1,0 +1,64 @@
+(** Bound-method portfolio: the closed set of lower-bound instruments the
+    solver knows how to run, with centralized parsing and printing.
+
+    Historically [Solver.method_] was a two-constructor type whose string
+    forms were parsed independently by the CLI and the server, so the two
+    error messages could drift.  This module is now the single source of
+    truth: every surface (CLI flags, batch job files, serve requests)
+    parses with {!of_string} and reports unknown methods with the shared
+    {!expected} list, so the error text stays identical everywhere. *)
+
+type t =
+  | Normalized  (** Theorem 4: normalized-Laplacian spectral bound. *)
+  | Standard  (** Theorem 5: standard-Laplacian spectral bound. *)
+  | Adjacency
+      (** Spectral variant: adjacency-shifted surrogate spectrum
+          [max(0, delta - Delta + nu_i)], a Weyl lower bound on the
+          standard Laplacian spectrum, scaled like Theorem 5. *)
+  | Signless
+      (** Spectral variant: signless-Laplacian surrogate spectrum
+          [max(0, 2 delta - 2 Delta + nu_i)], likewise a Weyl lower
+          bound on the standard Laplacian spectrum. *)
+  | Visit
+      (** DAG-visit bound (after Bilardi, arXiv 2210.01897): counted
+          boundary minima over a chain of anchors on a critical path;
+          each anchor contributes [2 * max(0, C_i - M)] I/Os. *)
+  | Portfolio
+      (** Meta-method: run a configurable set of the above and report
+          the max, with per-method values and the winner recorded. *)
+
+val all : t list
+(** Every concrete method plus [Portfolio], in canonical order. *)
+
+val default_portfolio : t list
+(** The member set [Portfolio] runs when none is configured:
+    every concrete method, in canonical order. *)
+
+val concrete : t list
+(** [all] without [Portfolio]. *)
+
+val is_spectral : t -> bool
+(** True for methods whose value derives from an eigensolve (and hence
+    participates in the spectrum cache): Normalized, Standard,
+    Adjacency, Signless. *)
+
+val to_string : t -> string
+(** Lowercase wire/CLI name: ["normalized"], ["standard"],
+    ["adjacency"], ["signless"], ["visit"], ["portfolio"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on unknown names. *)
+
+val expected : string
+(** The shared expected-list fragment used in parse errors, e.g.
+    ["normalized, standard, adjacency, signless, visit or portfolio"].
+    CLI and server error messages must both embed this string verbatim. *)
+
+val cache_char : t -> char
+(** One-character spectrum-cache discriminator: ['n'], ['s'], ['a'],
+    ['q'], ['v'], ['p'].  Only spectral methods actually appear in cache
+    keys; ['v'] and ['p'] are reserved so the space stays collision-free. *)
+
+val describe : t -> string
+(** Short human label used by the CLI, e.g.
+    ["standard (Theorem 5)"] or ["visit (DAG-visit counted boundary)"]. *)

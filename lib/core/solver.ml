@@ -1,7 +1,14 @@
 open Graphio_graph
 open Graphio_la
 
-type method_ = Normalized | Standard
+type method_ = Method.t =
+  | Normalized
+  | Standard
+  | Adjacency
+  | Signless
+  | Visit
+  | Portfolio
+
 type tier = Closed_form of Graphio_recognize.Recognize.family | Numeric
 
 type component_info = {
@@ -13,6 +20,18 @@ type component_info = {
   comp_warm_start : bool;
 }
 
+(* one portfolio member's value, for provenance reporting *)
+type method_value = {
+  mv_method : method_;
+  mv_bound : float;
+  mv_best_k : int;
+  mv_best_raw : float;
+  mv_tier : tier;
+  mv_cache_hit : bool;
+  mv_warm_start : bool;
+  mv_wall_s : float;
+}
+
 type outcome = {
   result : Spectral_bound.t;
   method_ : method_;
@@ -22,6 +41,9 @@ type outcome = {
   tier : tier;
   warm_start : bool;
   components : component_info array;
+  methods : method_value array;
+      (* per-member values; non-empty only for [Portfolio] *)
+  winner : method_ option;  (* the member behind [result]; [Portfolio] only *)
 }
 
 let tier_name = function Closed_form _ -> "closed-form" | Numeric -> "numeric"
@@ -32,13 +54,50 @@ let c_closed_form =
 let c_warm_hits = Graphio_obs.Metrics.counter "core.solver.warm_start_hits"
 let h_bound_seconds = Graphio_obs.Metrics.histogram "core.solver.bound_seconds"
 
+let min_degree g =
+  let n = Dag.n_vertices g in
+  if n = 0 then 0
+  else begin
+    let d = ref max_int in
+    for v = 0 to n - 1 do
+      d := min !d (Dag.degree g v)
+    done;
+    !d
+  end
+
+(* The constant added to each raw eigenvalue before the 0-clamp.  Zero
+   for the two Laplacian methods; for the shifted variants it turns the
+   shifted spectrum [nu] into the Weyl surrogate that lower-bounds the
+   standard Laplacian spectrum:
+
+   - Adjacency: [L = D - A >= delta I - A = (delta - Delta) I + S_A],
+     so [lambda_i(L) >= delta - Delta + nu_i(S_A)];
+   - Signless: [L = 2D - Q >= 2 delta I - Q], so
+     [lambda_i(L) >= 2 delta - 2 Delta + nu_i(S_Q)].
+
+   A constant offset keeps the sequence ascending, and clamping at 0
+   only lowers the (monotone-in-each-eigenvalue) bound — both methods
+   stay sound. *)
+let surrogate_offset ~method_ g =
+  match (method_ : method_) with
+  | Normalized | Standard -> 0.0
+  | Adjacency -> float_of_int (min_degree g - Dag.max_degree g)
+  | Signless -> 2.0 *. float_of_int (min_degree g - Dag.max_degree g)
+  | Visit | Portfolio -> 0.0
+
 let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
     ?filter_degree ?kernel ?init ?want_vectors ?on_iteration ?pool g =
   let laplacian =
     Graphio_obs.Span.with_ "solver.laplacian" (fun () ->
         match method_ with
         | Normalized -> Laplacian.normalized g
-        | Standard -> Laplacian.standard g)
+        | Standard -> Laplacian.standard g
+        | Adjacency -> Laplacian.adjacency_shifted g
+        | Signless -> Laplacian.signless_shifted g
+        | Visit | Portfolio ->
+            invalid_arg
+              (Printf.sprintf "Solver.spectrum: method %s has no spectrum"
+                 (Method.to_string method_)))
   in
   let spec =
     Graphio_obs.Span.with_ "solver.eigensolve" (fun () ->
@@ -48,16 +107,23 @@ let spectrum_full ?(method_ = Normalized) ?(h = 100) ?dense_threshold ?tol ?seed
   let scale =
     match method_ with
     | Normalized -> 1.0
-    | Standard ->
+    | Standard | Adjacency | Signless ->
         let dmax = Dag.max_out_degree g in
         if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax
+    | Visit | Portfolio -> 1.0
   in
+  let offset = surrogate_offset ~method_ g in
   (* Eigenvectors are unaffected by the Theorem 5 scaling (L and L/dmax
      share them), so the warm-start donor block needs no rescaling. *)
-  ( Array.map (fun l -> scale *. Float.max l 0.0) spec.Eigen.values,
-    spec.Eigen.backend,
-    spec.Eigen.stats,
-    spec.Eigen.vectors )
+  let values =
+    if offset = 0.0 then
+      Array.map (fun l -> scale *. Float.max l 0.0) spec.Eigen.values
+    else
+      Array.map
+        (fun l -> scale *. Float.max (l +. offset) 0.0)
+        spec.Eigen.values
+  in
+  (values, spec.Eigen.backend, spec.Eigen.stats, spec.Eigen.vectors)
 
 let spectrum ?method_ ?h ?dense_threshold ?tol ?seed ?pool g =
   let eigenvalues, backend, _, _ =
@@ -92,6 +158,18 @@ let closed_form_spectrum ~method_ ~h g =
             match Graphio_recognize.Recognize.uniform_out_degree g with
             | Some d -> Some (1.0 /. float_of_int d)
             | None -> None)
+        | Adjacency | Signless ->
+            (* the Weyl surrogate offset is [delta - Delta] (twice that for
+               signless); on a regular support it vanishes and the
+               surrogate spectrum IS the closed-form standard spectrum
+               under the Theorem-5 scaling.  Irregular recognized families
+               (butterflies, paths, grids) fall through to numeric. *)
+            if Dag.n_vertices g > 0 && min_degree g = Dag.max_degree g then begin
+              let dmax = Dag.max_out_degree g in
+              Some (if dmax = 0 then 1.0 else 1.0 /. float_of_int dmax)
+            end
+            else None
+        | Visit | Portfolio -> None
       in
       match scale with
       | None -> None
@@ -217,7 +295,7 @@ let bound_of_spectrum_all_k ?(p = 1) ~spectrum ~scale ~n ~m () =
 (* ------------------------------------------------------------------ *)
 (* Spectrum cache plumbing                                             *)
 
-let method_char = function Normalized -> 'n' | Standard -> 's'
+let method_char = Method.cache_char
 
 (* [Auto] is the solver default and its tuner is deterministic, so it
    shares the canonical digest slot ([None]); only a pinned [Fixed d]
@@ -379,7 +457,12 @@ let split_units ~method_ parts =
   let extra =
     match method_ with
     | Normalized -> fun _ -> 1.0
-    | Standard ->
+    | Standard | Adjacency | Signless ->
+        (* the rescale is sound for the surrogate variants too: each
+           component's scaled surrogate satisfies [s_c <= lambda(L_c)/d_c],
+           so [s_c * d_c/d_union <= lambda(L_c)/d_union], and the merged
+           multiset stays a pointwise lower bound on the union spectrum
+           under the union's Theorem-5 scaling *)
         let d_union =
           Array.fold_left (fun acc g -> max acc (Dag.max_out_degree g)) 0 parts
         in
@@ -387,6 +470,8 @@ let split_units ~method_ parts =
           let d = Dag.max_out_degree g in
           if d = 0 || d = d_union then 1.0
           else float_of_int d /. float_of_int d_union
+    | Visit | Portfolio ->
+        invalid_arg "Solver.split_units: not a spectral method"
   in
   Array.map (fun g -> { u_dag = g; u_extra = extra g }) parts
 
@@ -399,49 +484,30 @@ type eval_item = {
   it_method : method_;
 }
 
-let item_of_dag ~decompose ~method_ ~m ~p g =
-  let parts =
-    if decompose && Dag.n_vertices g > 0 then begin
-      let split = Component.split g in
-      (* connected graphs keep the original value (identical physical
-         arrays, so the undecomposed pipeline is bit-for-bit unchanged) *)
-      if Array.length split > 1 then Array.map fst split else [| g |]
-    end
-    else [| g |]
-  in
-  {
-    it_units = split_units ~method_ parts;
-    it_n = Dag.n_vertices g;
-    it_m = m;
-    it_p = p;
-    it_method = method_;
-  }
+let parts_of_dag ~decompose g =
+  if decompose && Dag.n_vertices g > 0 then begin
+    let split = Component.split g in
+    (* connected graphs keep the original value (identical physical
+       arrays, so the undecomposed pipeline is bit-for-bit unchanged) *)
+    if Array.length split > 1 then Array.map fst split else [| g |]
+  end
+  else [| g |]
 
-let item_of_parts ~method_ ~m ~p parts =
+let reflatten_parts parts =
   (* a caller-supplied part may itself be disconnected (an external
      decomposer owes us no guarantee), so re-split each one — cheap next
      to any eigensolve, and it unlocks per-component closed-form
      recognition and cache sharing *)
-  let parts =
-    Array.concat
-      (Array.to_list
-         (Array.map
-            (fun g ->
-              if Dag.n_vertices g = 0 then [||]
-              else
-                let split = Component.split g in
-                if Array.length split > 1 then Array.map fst split
-                else [| g |])
-            parts))
-  in
-  let n = Array.fold_left (fun acc g -> acc + Dag.n_vertices g) 0 parts in
-  {
-    it_units = split_units ~method_ parts;
-    it_n = n;
-    it_m = m;
-    it_p = p;
-    it_method = method_;
-  }
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun g ->
+            if Dag.n_vertices g = 0 then [||]
+            else
+              let split = Component.split g in
+              if Array.length split > 1 then Array.map fst split
+              else [| g |])
+          parts))
 
 let c_decompositions = Graphio_obs.Metrics.counter "core.solver.decompositions"
 
@@ -547,6 +613,8 @@ let eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
           tier = Numeric;
           warm_start = false;
           components = [||];
+          methods = [||];
+          winner = None;
         },
         false,
         Graphio_obs.Clock.elapsed_s tstart )
@@ -640,6 +708,8 @@ let eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
           tier;
           warm_start = warm;
           components;
+          methods = [||];
+          winner = None;
         },
         cache_hit,
         Graphio_obs.Clock.elapsed_s tstart +. !owned_solve_s )
@@ -647,35 +717,268 @@ let eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
   in
   (Array.init n_items finalize, n_flat, !misses)
 
-let bound ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?on_iteration ?pool ?(closed_form = true)
-    ?(decompose = true) g ~m =
+(* ------------------------------------------------------------------ *)
+(* Portfolio request layer                                             *)
+
+(* A request is one user-level bound query: its (decomposed) parts plus
+   the concrete member methods to evaluate.  Non-portfolio queries are
+   single-member requests that reduce to exactly the old pipeline. *)
+type request = {
+  rq_parts : Dag.t array;
+  rq_n : int;
+  rq_m : int;
+  rq_p : int option;
+  rq_method : method_;
+  rq_members : method_ array;
+}
+
+let members_of ~portfolio method_ =
+  match (method_ : method_) with
+  | Portfolio ->
+      let ms =
+        match portfolio with
+        | None -> Method.default_portfolio
+        | Some ms ->
+            if ms = [] then
+              invalid_arg "Solver: empty portfolio member list";
+            if List.mem Portfolio ms then
+              invalid_arg "Solver: portfolio cannot contain itself";
+            (* canonicalize: dedup, in the fixed [Method.concrete] order
+               (also the deterministic winner tie-break order) *)
+            List.filter (fun m -> List.mem m ms) Method.concrete
+      in
+      Array.of_list ms
+  | m -> [| m |]
+
+let request_of_dag ~decompose ~portfolio ~method_ ~m ~p g =
+  {
+    rq_parts = parts_of_dag ~decompose g;
+    rq_n = Dag.n_vertices g;
+    rq_m = m;
+    rq_p = p;
+    rq_method = method_;
+    rq_members = members_of ~portfolio method_;
+  }
+
+let request_of_parts ~portfolio ~method_ ~m ~p parts =
+  let parts = reflatten_parts parts in
+  {
+    rq_parts = parts;
+    rq_n = Array.fold_left (fun acc g -> acc + Dag.n_vertices g) 0 parts;
+    rq_m = m;
+    rq_p = p;
+    rq_method = method_;
+    rq_members = members_of ~portfolio method_;
+  }
+
+let h_visit_seconds = Graphio_obs.Metrics.histogram "core.solver.visit_seconds"
+
+(* The visit bound of a (possibly decomposed) request: per-component
+   bounds summed — sound because restricting a schedule of the union to
+   one component is a feasible schedule of it, so
+   [J*(union) >= sum_i J*(G_i)].  On [p] processors the aggregate fast
+   memory is [p * M], so the counted-cut excess uses that capacity. *)
+let visit_outcome ~profile_of ~n ~m ~p parts =
+  let m_eff = match p with None -> m | Some p -> m * p in
+  let total =
+    Array.fold_left
+      (fun acc g ->
+        acc + Visit_bound.bound_of_profile (profile_of g) ~m:m_eff)
+      0 parts
+  in
+  let b = float_of_int total in
+  let result =
+    {
+      Spectral_bound.bound = b;
+      best_k = 0;
+      best_raw = b;
+      n;
+      m;
+      p = (match p with None -> 1 | Some p -> p);
+      h = 0;
+    }
+  in
+  let components =
+    if Array.length parts <= 1 then [||]
+    else
+      Array.map
+        (fun g ->
+          {
+            comp_n = Dag.n_vertices g;
+            comp_edges = Dag.n_edges g;
+            comp_tier = Numeric;
+            comp_backend = Eigen.Dense;
+            comp_cache_hit = false;
+            comp_warm_start = false;
+          })
+        parts
+  in
+  {
+    result;
+    method_ = Visit;
+    backend = Eigen.Dense;
+    eigenvalues = [||];
+    solve_stats = None;
+    tier = Numeric;
+    warm_start = false;
+    components;
+    methods = [||];
+    winner = None;
+  }
+
+let assemble_portfolio rq member_results =
+  let nmem = Array.length rq.rq_members in
+  let wi = ref 0 in
+  for i = 1 to nmem - 1 do
+    let o, _, _ = member_results.(i) in
+    let ow, _, _ = member_results.(!wi) in
+    (* strict: ties keep the earliest member in canonical order *)
+    if o.result.Spectral_bound.bound > ow.result.Spectral_bound.bound then
+      wi := i
+  done;
+  let wo, _, _ = member_results.(!wi) in
+  let methods =
+    Array.map2
+      (fun member (o, ch, w) ->
+        {
+          mv_method = member;
+          mv_bound = o.result.Spectral_bound.bound;
+          mv_best_k = o.result.Spectral_bound.best_k;
+          mv_best_raw = o.result.Spectral_bound.best_raw;
+          mv_tier = o.tier;
+          mv_cache_hit = ch;
+          mv_warm_start = o.warm_start;
+          mv_wall_s = w;
+        })
+      rq.rq_members member_results
+  in
+  (* portfolio-level cache_hit: every spectral member answered from
+     cache (the visit bound is recomputed by design — it depends on M
+     and lives outside the spectrum cache) *)
+  let cache_hit =
+    let any = ref false and all = ref true in
+    Array.iteri
+      (fun i member ->
+        if Method.is_spectral member then begin
+          any := true;
+          let _, ch, _ = member_results.(i) in
+          if not ch then all := false
+        end)
+      rq.rq_members;
+    !any && !all
+  in
+  let wall =
+    Array.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 member_results
+  in
+  ( { wo with method_ = Portfolio; winner = Some rq.rq_members.(!wi); methods },
+    cache_hit,
+    wall )
+
+(* Evaluate requests: every spectral member of every request becomes one
+   {!eval_item}, and they all share a single {!eval_items} pass — so the
+   members of one portfolio query, like the jobs of one batch, dedup
+   their eigensolves through the flat key table.  Visit members are
+   evaluated combinatorially with per-fingerprint profile memoization
+   (the profile is M-independent, so an M-sweep pays for its flow
+   computations once). *)
+let eval_requests ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
+    ?filter_degree ?kernel ?warm_start ?(closed_form = true) reqs =
+  let items = ref [] and backptr = ref [] in
+  Array.iteri
+    (fun ri rq ->
+      Array.iteri
+        (fun mi member ->
+          if Method.is_spectral member then begin
+            items :=
+              {
+                it_units = split_units ~method_:member rq.rq_parts;
+                it_n = rq.rq_n;
+                it_m = rq.rq_m;
+                it_p = rq.rq_p;
+                it_method = member;
+              }
+              :: !items;
+            backptr := (ri, mi) :: !backptr
+          end)
+        rq.rq_members)
+    reqs;
+  let items = Array.of_list (List.rev !items) in
+  let backptr = Array.of_list (List.rev !backptr) in
+  let spectral_results, n_flat, misses =
+    eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
+      ?filter_degree ?kernel ?warm_start ~closed_form items
+  in
+  let by_slot = Hashtbl.create 16 in
+  Array.iteri
+    (fun i bp -> Hashtbl.replace by_slot bp spectral_results.(i))
+    backptr;
+  let profile_memo = Hashtbl.create 16 in
+  let profile_of g =
+    let fp = Dag.fingerprint g in
+    match Hashtbl.find_opt profile_memo fp with
+    | Some prof -> prof
+    | None ->
+        let prof =
+          Graphio_obs.Span.with_ "solver.visit_profile" (fun () ->
+              Graphio_obs.Metrics.time h_visit_seconds (fun () ->
+                  Visit_bound.profile g))
+        in
+        Hashtbl.add profile_memo fp prof;
+        prof
+  in
+  let results =
+    Array.mapi
+      (fun ri rq ->
+        let member_results =
+          Array.mapi
+            (fun mi member ->
+              if Method.is_spectral member then Hashtbl.find by_slot (ri, mi)
+              else begin
+                let t0 = Graphio_obs.Clock.now_ns () in
+                let o =
+                  visit_outcome ~profile_of ~n:rq.rq_n ~m:rq.rq_m ~p:rq.rq_p
+                    rq.rq_parts
+                in
+                (o, false, Graphio_obs.Clock.elapsed_s t0)
+              end)
+            rq.rq_members
+        in
+        match rq.rq_method with
+        | Portfolio -> assemble_portfolio rq member_results
+        | _ -> member_results.(0))
+      reqs
+  in
+  (results, n_flat, misses)
+
+let bound ?(method_ = Normalized) ?portfolio ?(h = 100) ?p ?dense_threshold
+    ?tol ?seed ?filter_degree ?kernel ?on_iteration ?pool
+    ?(closed_form = true) ?(decompose = true) g ~m =
   Graphio_obs.Metrics.time h_bound_seconds (fun () ->
       Graphio_obs.Span.with_ "solver.bound" (fun () ->
           Graphio_obs.Metrics.incr c_bounds;
-          let item = item_of_dag ~decompose ~method_ ~m ~p g in
+          let rq = request_of_dag ~decompose ~portfolio ~method_ ~m ~p g in
           (* [disabled], not [ambient]: the plain entry point never touches
              a cache (and never moves its metrics) — in-flight dedup of
              repeated components still happens through the flat key table *)
           let results, _, _ =
-            eval_items ~cache:Graphio_cache.Spectrum.disabled ?pool
+            eval_requests ~cache:Graphio_cache.Spectrum.disabled ?pool
               ?on_iteration ~h ?dense_threshold ?tol ?seed ?filter_degree
-              ?kernel ~closed_form [| item |]
+              ?kernel ~closed_form [| rq |]
           in
           let outcome, _, _ = results.(0) in
           outcome))
 
 let bound_parts ?(cache = Graphio_cache.Spectrum.disabled) ?pool
-    ?(method_ = Normalized) ?(h = 100) ?p ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true)
-    parts ~m =
+    ?(method_ = Normalized) ?portfolio ?(h = 100) ?p ?dense_threshold ?tol
+    ?seed ?filter_degree ?kernel ?warm_start ?on_iteration
+    ?(closed_form = true) parts ~m =
   Graphio_obs.Metrics.time h_bound_seconds (fun () ->
       Graphio_obs.Span.with_ "solver.bound" (fun () ->
           Graphio_obs.Metrics.incr c_bounds;
-          let item = item_of_parts ~method_ ~m ~p parts in
+          let rq = request_of_parts ~portfolio ~method_ ~m ~p parts in
           let results, _, _ =
-            eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
-              ?seed ?filter_degree ?kernel ?warm_start ~closed_form [| item |]
+            eval_requests ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
+              ?seed ?filter_degree ?kernel ?warm_start ~closed_form [| rq |]
           in
           let outcome, _, _ = results.(0) in
           outcome))
@@ -705,29 +1008,31 @@ let c_batch_misses = Graphio_obs.Metrics.counter "core.solver.batch_cache_misses
 let h_batch_job_seconds =
   Graphio_obs.Metrics.histogram "core.solver.batch_job_seconds"
 
-let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
+let bound_batch ?cache ?pool ?portfolio ?(h = 100) ?dense_threshold ?tol ?seed
     ?filter_degree ?kernel ?warm_start ?(closed_form = true)
     ?(decompose = true) jobs =
   Graphio_obs.Span.with_ "solver.bound_batch" (fun () ->
       let cache = resolve_cache cache in
       (* In-batch dedup happens on the flat unit table inside
          {!eval_items}: jobs that share (graph, method, h, params) — the
-         typical M- or p-sweep — and the repeated components of decomposed
-         jobs pay for each eigensolve at most once and share one physical
-         eigenvalue array.  Keys hash the graph structure
-         ({!Dag.fingerprint}), so structurally equal graphs built
-         independently still share.  Output is deterministic regardless of
-         pool presence, pool size, or cache warmth (bitwise-reproducible
-         parallel matvec, bit-exact cache codec). *)
-      let items =
+         typical M- or p-sweep, or the spectral members of portfolio
+         jobs — and the repeated components of decomposed jobs pay for
+         each eigensolve at most once and share one physical eigenvalue
+         array.  Keys hash the graph structure ({!Dag.fingerprint}), so
+         structurally equal graphs built independently still share.
+         Output is deterministic regardless of pool presence, pool size,
+         or cache warmth (bitwise-reproducible parallel matvec, bit-exact
+         cache codec). *)
+      let reqs =
         Array.map
           (fun j ->
-            item_of_dag ~decompose ~method_:j.method_ ~m:j.m ~p:j.p j.dag)
+            request_of_dag ~decompose ~portfolio ~method_:j.method_ ~m:j.m
+              ~p:j.p j.dag)
           jobs
       in
       let results, n_flat, misses =
-        eval_items ~cache ?pool ~h ?dense_threshold ?tol ?seed ?filter_degree
-          ?kernel ?warm_start ~closed_form items
+        eval_requests ~cache ?pool ~h ?dense_threshold ?tol ?seed
+          ?filter_degree ?kernel ?warm_start ~closed_form reqs
       in
       Graphio_obs.Metrics.add c_batch_jobs (Array.length jobs);
       Graphio_obs.Metrics.add c_batch_misses misses;
@@ -739,19 +1044,20 @@ let bound_batch ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
           { job = j; outcome; cache_hit; wall_s })
         jobs)
 
-let bound_cached ?cache ?pool ?(h = 100) ?dense_threshold ?tol ?seed
-    ?filter_degree ?kernel ?warm_start ?on_iteration ?(closed_form = true)
-    ?(decompose = true) job =
+let bound_cached ?cache ?pool ?portfolio ?(h = 100) ?dense_threshold ?tol
+    ?seed ?filter_degree ?kernel ?warm_start ?on_iteration
+    ?(closed_form = true) ?(decompose = true) job =
   Graphio_obs.Span.with_ "solver.bound_cached" (fun () ->
       Graphio_obs.Metrics.incr c_bounds;
       let cache = resolve_cache cache in
       let t0 = Graphio_obs.Clock.now_ns () in
-      let item =
-        item_of_dag ~decompose ~method_:job.method_ ~m:job.m ~p:job.p job.dag
+      let rq =
+        request_of_dag ~decompose ~portfolio ~method_:job.method_ ~m:job.m
+          ~p:job.p job.dag
       in
       let results, _, _ =
-        eval_items ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol ?seed
-          ?filter_degree ?kernel ?warm_start ~closed_form [| item |]
+        eval_requests ~cache ?pool ?on_iteration ~h ?dense_threshold ?tol
+          ?seed ?filter_degree ?kernel ?warm_start ~closed_form [| rq |]
       in
       let outcome, cache_hit, _ = results.(0) in
       let wall_s = Graphio_obs.Clock.elapsed_s t0 in

@@ -10,9 +10,25 @@
     Defaults follow the paper: [h = 100] eigenvalues, [k ∈ {2..h}],
     sequential ([p = 1]). *)
 
-type method_ =
+type method_ = Method.t =
   | Normalized  (** Theorem 4: eigenvalues of the out-degree normalized [L̃] *)
   | Standard  (** Theorem 5: eigenvalues of [L], scaled by [1/max_out_degree] *)
+  | Adjacency
+      (** Spectral variant: eigenvalues of the shifted adjacency matrix
+          [ΔI − A], turned into the Weyl surrogate
+          [max(0, δ − Δ + ν_i) ≤ λ_i(L)] and scaled as Theorem 5 —
+          always sound, ties [Standard] on regular supports *)
+  | Signless
+      (** Spectral variant: eigenvalues of [2ΔI − (D + A)] (shifted
+          signless Laplacian), surrogate [max(0, 2δ − 2Δ + ν_i)] *)
+  | Visit
+      (** DAG-visit bound ({!Visit_bound}): counted boundary minima over
+          chains of critical-path anchors; combinatorial (min-cut), no
+          eigensolve, not part of the spectrum cache *)
+  | Portfolio
+      (** meta-method: run a member set (default {!Method.default_portfolio}),
+          report the max, record per-member values in [outcome.methods] and
+          the winner in [outcome.winner] *)
 
 type tier =
   | Closed_form of Graphio_recognize.Recognize.family
@@ -39,6 +55,21 @@ type component_info = {
     {!Graphio_graph.Component.split} order (ids assigned by smallest
     member vertex). *)
 
+type method_value = {
+  mv_method : method_;
+  mv_bound : float;
+  mv_best_k : int;  (** [0] for [Visit] (no [k]-maximization) *)
+  mv_best_raw : float;
+  mv_tier : tier;
+  mv_cache_hit : bool;
+      (** this member's spectra all came from cache or in-flight dedup;
+          always [false] for [Visit] (recomputed by design: its value
+          depends on [M] and lives outside the spectrum cache) *)
+  mv_warm_start : bool;  (** this member's eigensolve was Ritz-seeded *)
+  mv_wall_s : float;
+}
+(** One portfolio member's value and provenance. *)
+
 type outcome = {
   result : Spectral_bound.t;
   method_ : method_;
@@ -61,10 +92,18 @@ type outcome = {
           more weakly-connected components (and decomposition was not
           turned off), each solved on its own and merged.  [[||]] for
           connected graphs, whatever their size. *)
+  methods : method_value array;
+      (** per-member values of a [Portfolio] evaluation, in canonical
+          member order; [[||]] for every other method *)
+  winner : method_ option;
+      (** the member whose value [result] (and [backend], [tier], ...)
+          were taken from — the max, earliest member winning ties;
+          [Some _] iff [method_] is [Portfolio] *)
 }
 
 val bound :
   ?method_:method_ ->
+  ?portfolio:method_ list ->
   ?h:int ->
   ?p:int ->
   ?dense_threshold:int ->
@@ -113,12 +152,29 @@ val bound :
     eigensolver convergence progress when the sparse path is taken.
     [pool] parallelizes the sparse eigensolve's matvecs across domains;
     the result is bitwise-identical with or without it (see
-    {!Graphio_la.Csr.matvec_into}). *)
+    {!Graphio_la.Csr.matvec_into}).
+
+    With [method_:Portfolio], every member (the [portfolio] list when
+    given — deduplicated into canonical {!Method.concrete} order — else
+    {!Method.default_portfolio}) is evaluated on the same decomposed
+    parts; spectral members share eigensolves through the flat dedup
+    table, the [Visit] member computes its M-independent counted-cut
+    profile once per distinct component.  [result] (and [backend],
+    [tier], [eigenvalues], ...) come from the winning member — the
+    maximal bound, earliest member in canonical order on ties —
+    [outcome.winner] names it and [outcome.methods] records every
+    member's value.  Decomposed [Visit] sums per-component bounds
+    (sound: a schedule of the union restricts to a schedule of each
+    component), so the decomposed visit value can exceed the
+    undecomposed one; spectral members merge spectra exactly as before.
+    Raises [Invalid_argument] if [portfolio] is empty or contains
+    [Portfolio]. *)
 
 val bound_parts :
   ?cache:Graphio_cache.Spectrum.t ->
   ?pool:Graphio_par.Pool.t ->
   ?method_:method_ ->
+  ?portfolio:method_ list ->
   ?h:int ->
   ?p:int ->
   ?dense_threshold:int ->
@@ -157,10 +213,12 @@ val spectrum :
   ?pool:Graphio_par.Pool.t ->
   Graphio_graph.Dag.t ->
   float array * Graphio_la.Eigen.backend
-(** The (clamped, Theorem-5-scaled when [Standard]) smallest eigenvalues
-    used by {!bound} — exposed so sweeps over many [M] (or [p]) values can
-    pay for the eigensolve once and re-run only the cheap [k]-maximization
-    via {!Spectral_bound.compute}. *)
+(** The (clamped, Theorem-5-scaled when [Standard], Weyl-surrogate
+    transformed when [Adjacency]/[Signless]) smallest eigenvalues used by
+    {!bound} — exposed so sweeps over many [M] (or [p]) values can pay
+    for the eigensolve once and re-run only the cheap [k]-maximization
+    via {!Spectral_bound.compute}.  Raises [Invalid_argument] for
+    [Visit] and [Portfolio], which have no spectrum. *)
 
 val bound_of_spectrum :
   ?h:int ->
@@ -238,6 +296,7 @@ type batch_result = {
 val bound_batch :
   ?cache:Graphio_cache.Spectrum.t ->
   ?pool:Graphio_par.Pool.t ->
+  ?portfolio:method_ list ->
   ?h:int ->
   ?dense_threshold:int ->
   ?tol:float ->
@@ -298,6 +357,7 @@ val bound_batch :
 val bound_cached :
   ?cache:Graphio_cache.Spectrum.t ->
   ?pool:Graphio_par.Pool.t ->
+  ?portfolio:method_ list ->
   ?h:int ->
   ?dense_threshold:int ->
   ?tol:float ->

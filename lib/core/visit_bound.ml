@@ -1,0 +1,151 @@
+open Graphio_graph
+open Graphio_flow
+
+type profile = { chains : int array array }
+
+let n_chains p = Array.length p.chains
+
+let descendants g v =
+  let n = Dag.n_vertices g in
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  Dag.iter_succ g v (fun w ->
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        Stack.push w stack
+      end);
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    Dag.iter_succ g u (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Stack.push w stack
+        end)
+  done;
+  seen
+
+(* Min over downward-closed P (v in P, P disjoint from desc_v) of the
+   number of counted boundary vertices of P: the Convex_mincut network
+   with the unit vertex capacity kept only on counted vertices. *)
+let counted_min_cut g ~counted ~desc_v v =
+  if Dag.out_degree g v = 0 then 0
+  else begin
+    let n = Dag.n_vertices g in
+    (* Node layout: u_in = 2u, u_out = 2u + 1, s = 2n, t = 2n + 1. *)
+    let net = Dinic.create ((2 * n) + 2) in
+    let s = 2 * n and t = (2 * n) + 1 in
+    let node_in u = 2 * u and node_out u = (2 * u) + 1 in
+    for u = 0 to n - 1 do
+      if counted.(u) then
+        Dinic.add_edge net ~src:(node_in u) ~dst:(node_out u) ~cap:1
+    done;
+    Dag.iter_edges g (fun u w ->
+        (* u interior => w in S *)
+        Dinic.add_edge net ~src:(node_out u) ~dst:(node_in w) ~cap:Dinic.inf_cap;
+        (* downward closure: w in S => u in S *)
+        Dinic.add_edge net ~src:(node_in w) ~dst:(node_in u) ~cap:Dinic.inf_cap);
+    Dinic.add_edge net ~src:s ~dst:(node_in v) ~cap:Dinic.inf_cap;
+    for d = 0 to n - 1 do
+      if desc_v.(d) then
+        Dinic.add_edge net ~src:(node_in d) ~dst:t ~cap:Dinic.inf_cap
+    done;
+    Dinic.max_flow net ~s ~sink:t
+  end
+
+(* One longest path, source to deepest sink, by walking levels backwards
+   (deterministic: deepest vertex of smallest id, then the smallest-id
+   predecessor one level up). *)
+let critical_path g =
+  let levels = Stats.levels g in
+  let n = Array.length levels in
+  if n = 0 then [||]
+  else begin
+    let vmax = ref 0 in
+    for v = 1 to n - 1 do
+      if levels.(v) > levels.(!vmax) then vmax := v
+    done;
+    let path = ref [ !vmax ] in
+    let cur = ref !vmax in
+    while levels.(!cur) > 0 do
+      let best = ref (-1) in
+      Dag.iter_pred g !cur (fun u ->
+          if levels.(u) = levels.(!cur) - 1 && (!best < 0 || u < !best) then
+            best := u);
+      cur := !best;
+      path := !cur :: !path
+    done;
+    Array.of_list !path
+  end
+
+let max_anchors = 16
+let singleton_sweep_limit = 256
+
+let subsample arr k =
+  let len = Array.length arr in
+  if len <= k then arr
+  else Array.init k (fun i -> arr.(i * (len - 1) / (k - 1)))
+
+let profile g =
+  let n = Dag.n_vertices g in
+  if n = 0 then { chains = [||] }
+  else begin
+    let desc_memo = Hashtbl.create 64 in
+    let desc v =
+      match Hashtbl.find_opt desc_memo v with
+      | Some d -> d
+      | None ->
+          let d = descendants g v in
+          Hashtbl.add desc_memo v d;
+          d
+    in
+    let all_counted = Array.make n true in
+    let flow_memo = Hashtbl.create 64 in
+    let counted_cut ~prev v =
+      match Hashtbl.find_opt flow_memo (prev, v) with
+      | Some c -> c
+      | None ->
+          let counted = if prev < 0 then all_counted else desc prev in
+          let c = counted_min_cut g ~counted ~desc_v:(desc v) v in
+          Hashtbl.add flow_memo (prev, v) c;
+          c
+    in
+    let eval_chain anchors =
+      Array.mapi
+        (fun i v ->
+          let prev = if i = 0 then -1 else anchors.(i - 1) in
+          counted_cut ~prev v)
+        anchors
+    in
+    let candidates = subsample (critical_path g) max_anchors in
+    let chains = ref [] in
+    List.iter
+      (fun stride ->
+        let c =
+          Array.of_list
+            (List.filteri
+               (fun i _ -> i mod stride = 0)
+               (Array.to_list candidates))
+        in
+        if Array.length c > 0 then chains := c :: !chains)
+      [ 1; 2; 4 ];
+    Array.iter (fun v -> chains := [| v |] :: !chains) candidates;
+    if n <= singleton_sweep_limit then
+      for v = 0 to n - 1 do
+        chains := [| v |] :: !chains
+      done;
+    { chains = Array.map eval_chain (Array.of_list (List.rev !chains)) }
+  end
+
+let bound_of_profile { chains } ~m =
+  if m < 0 then invalid_arg "Visit_bound.bound: negative memory size";
+  let best = ref 0 in
+  Array.iter
+    (fun chain ->
+      let s =
+        Array.fold_left (fun acc c -> acc + max 0 (c - m)) 0 chain
+      in
+      if s > !best then best := s)
+    chains;
+  2 * !best
+
+let bound g ~m = bound_of_profile (profile g) ~m

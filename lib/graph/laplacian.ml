@@ -21,6 +21,44 @@ let normalized g =
 
 let standard g = build_laplacian g (fun _ _ -> 1.0)
 
+(* Shifted spectral-variant matrices.  Both are PSD by Gershgorin (every
+   row's diagonal dominates the sum of absolute off-diagonals when the
+   shift is the max undirected degree), so the eigensolver's smallest-end
+   machinery applies unchanged; the solver turns their spectra into
+   Weyl lower bounds on the standard Laplacian spectrum. *)
+
+let adjacency_shifted g =
+  Graphio_obs.Span.with_ "laplacian.assemble" (fun () ->
+      let n = Dag.n_vertices g in
+      let shift = float_of_int (Dag.max_degree g) in
+      let triplets = ref [] in
+      for v = 0 to n - 1 do
+        triplets := (v, v, shift) :: !triplets
+      done;
+      Dag.iter_edges g (fun u v ->
+          triplets := (u, v, -1.0) :: (v, u, -1.0) :: !triplets);
+      let m = Csr.of_triplets ~rows:n ~cols:n !triplets in
+      Graphio_obs.Metrics.incr c_builds;
+      Graphio_obs.Metrics.add c_nnz (Csr.nnz m);
+      m)
+
+let signless_shifted g =
+  Graphio_obs.Span.with_ "laplacian.assemble" (fun () ->
+      let n = Dag.n_vertices g in
+      let shift = 2.0 *. float_of_int (Dag.max_degree g) in
+      let triplets = ref [] in
+      for v = 0 to n - 1 do
+        triplets := (v, v, shift) :: !triplets
+      done;
+      Dag.iter_edges g (fun u v ->
+          triplets :=
+            (u, u, -1.0) :: (v, v, -1.0) :: (u, v, -1.0) :: (v, u, -1.0)
+            :: !triplets);
+      let m = Csr.of_triplets ~rows:n ~cols:n !triplets in
+      Graphio_obs.Metrics.incr c_builds;
+      Graphio_obs.Metrics.add c_nnz (Csr.nnz m);
+      m)
+
 let normalized_dense g = Csr.to_dense (normalized g)
 
 let standard_dense g = Csr.to_dense (standard g)

@@ -20,6 +20,17 @@ val normalized : Dag.t -> Graphio_la.Csr.t
 val standard : Dag.t -> Graphio_la.Csr.t
 (** The plain undirected Laplacian [L]. *)
 
+val adjacency_shifted : Dag.t -> Graphio_la.Csr.t
+(** [Δ·I − A] for the undirected support's adjacency matrix [A] and
+    maximum undirected degree [Δ] — PSD by Gershgorin.  Its [i]-th
+    smallest eigenvalue is [Δ − μ_(n−i+1)(A)], from which the solver
+    derives the Weyl surrogate [max(0, δ − Δ + ν_i) ≤ λ_i(L)]. *)
+
+val signless_shifted : Dag.t -> Graphio_la.Csr.t
+(** [2Δ·I − Q] for the signless Laplacian [Q = D + A] — PSD by
+    Gershgorin; yields the surrogate [max(0, 2δ − 2Δ + ν_i) ≤ λ_i(L)]
+    via [L = 2D − Q ⪰ 2δI − Q]. *)
+
 val normalized_dense : Dag.t -> Graphio_la.Mat.t
 
 val standard_dense : Dag.t -> Graphio_la.Mat.t

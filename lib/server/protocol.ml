@@ -19,9 +19,7 @@ type request =
   | Metrics_op of Jsonx.t option
   | Shutdown of Jsonx.t option
 
-let method_name = function
-  | Graphio_core.Solver.Normalized -> "normalized"
-  | Graphio_core.Solver.Standard -> "standard"
+let method_name = Graphio_core.Method.to_string
 
 let backend_name = function
   | Graphio_la.Eigen.Dense -> "dense"
@@ -84,9 +82,13 @@ let parse_query ~id obj =
   let h = positive "h" (get_int "h" obj) in
   let method_ =
     match get_string "method" obj with
-    | None | Some "normalized" -> Graphio_core.Solver.Normalized
-    | Some "standard" -> Graphio_core.Solver.Standard
-    | Some other -> fail "field \"method\": expected normalized or standard, got %S" other
+    | None -> Graphio_core.Solver.Normalized
+    | Some s -> (
+        match Graphio_core.Method.of_string s with
+        | Some m -> m
+        | None ->
+            fail "field \"method\": expected %s, got %S"
+              Graphio_core.Method.expected s)
   in
   let timeout_s =
     match get_number "timeout_s" obj with

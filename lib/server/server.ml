@@ -13,6 +13,8 @@ type config = {
   closed_form : bool;
   warm_start : bool;
   filter_degree : Graphio_la.Filtered.degree;
+  portfolio : Solver.method_ list option;
+      (* member set for method=portfolio queries; [None] = solver default *)
 }
 
 let default_config transport =
@@ -33,6 +35,7 @@ let default_config transport =
        out; see docs/PERFORMANCE.md for the determinism caveat) *)
     warm_start = true;
     filter_degree = Graphio_la.Filtered.Auto;
+    portfolio = None;
   }
 
 let c_requests = Metrics.counter "server.requests"
@@ -96,6 +99,37 @@ let query_reply ~id ~rid (r : Solver.batch_result) =
                   o.Solver.components)) );
       ]
   in
+  (* per-member values and the winner ride along only on portfolio
+     queries, so every single-method reply is byte-identical to before.
+     No per-member wall times here: only aggregate wall_s is wire-level
+     (member walls stay available in the OCaml API). *)
+  let method_fields =
+    if Array.length o.Solver.methods = 0 then []
+    else
+      [
+        ( "methods",
+          Jsonx.List
+            (Array.to_list
+               (Array.map
+                  (fun mv ->
+                    Jsonx.Obj
+                      [
+                        ( "method",
+                          Jsonx.String (Protocol.method_name mv.Solver.mv_method)
+                        );
+                        ("bound", Jsonx.Float mv.Solver.mv_bound);
+                        ("best_k", Jsonx.Int mv.Solver.mv_best_k);
+                        ("tier", Jsonx.String (Solver.tier_name mv.Solver.mv_tier));
+                        ("cache_hit", Jsonx.Bool mv.Solver.mv_cache_hit);
+                        ("warm_start", Jsonx.Bool mv.Solver.mv_warm_start);
+                      ])
+                  o.Solver.methods)) );
+      ]
+      @
+      match o.Solver.winner with
+      | Some w -> [ ("winner", Jsonx.String (Protocol.method_name w)) ]
+      | None -> []
+  in
   Jsonx.to_string
     (Jsonx.Obj
        (id_field id
@@ -117,7 +151,7 @@ let query_reply ~id ~rid (r : Solver.batch_result) =
            ("warm_start", Jsonx.Bool o.Solver.warm_start);
            ("wall_s", Jsonx.Float r.Solver.wall_s);
          ]
-       @ component_fields))
+       @ component_fields @ method_fields))
 
 let build_graph = function
   | Protocol.Spec s -> (
@@ -153,7 +187,7 @@ let answer_query cfg ?pool ~arrival_ns ~rid (q : Protocol.query) =
       in
       let h = Option.value q.Protocol.h ~default:cfg.h in
       let r =
-        Solver.bound_cached ~cache:cfg.cache ?pool ~h
+        Solver.bound_cached ~cache:cfg.cache ?pool ?portfolio:cfg.portfolio ~h
           ?dense_threshold:cfg.dense_threshold ~closed_form:cfg.closed_form
           ~warm_start:cfg.warm_start ~filter_degree:cfg.filter_degree
           ~on_iteration:(fun _ -> check_deadline ())

@@ -66,6 +66,12 @@ type config = {
   filter_degree : Graphio_la.Filtered.degree;
       (** Chebyshev filter degree policy for sparse eigensolves
           ([graphio serve --filter-degree auto|N]). *)
+  portfolio : Graphio_core.Solver.method_ list option;
+      (** member set evaluated by [method=portfolio] requests
+          ([graphio serve --portfolio-methods]); [None] = the solver
+          default, {!Graphio_core.Method.default_portfolio}.  Replies to
+          portfolio requests carry a ["methods"] array (per-member bound,
+          best_k, tier, cache_hit) and a ["winner"] field. *)
 }
 
 val default_config : transport -> config

@@ -1,0 +1,94 @@
+The bound portfolio runs several lower-bound methods on one graph and
+reports the max.  Human output grows a per-member block plus a winner
+line; batch and serve replies grow a "methods" array and a "winner"
+field.  Wall times are masked -- they are the only nondeterministic
+field.
+
+  $ unset GRAPHIO_CACHE_DIR
+
+The full default portfolio.  bhk:8 is recognized (hypercube Q_8), so
+the Theorem-5 family answers from the closed-form tier while the
+normalized method -- the winner here -- runs the numeric pipeline:
+
+  $ ../../bin/graphio.exe bound -g bhk:8 -m 2 --method portfolio
+  graph: n=256 m_edges=1024 max_out_degree=8
+  method: portfolio (max over member methods)
+  methods:
+    normalized: bound=86.7869 (best k = 16, numeric)
+    standard: bound=32 (best k = 4, closed form hypercube Q_8)
+    adjacency: bound=32 (best k = 4, closed form hypercube Q_8)
+    signless: bound=32 (best k = 4, closed form hypercube Q_8)
+    visit: bound=60 (counted-cut chains)
+  winner: normalized
+  lower bound on non-trivial I/O: 86.7869 (best k = 16, raw = 86.7869)
+
+The member set is configurable; members are deduped and reported in
+canonical order regardless of flag order:
+
+  $ ../../bin/graphio.exe bound -g bhk:8 -m 2 --method portfolio --portfolio-methods visit,standard,standard
+  graph: n=256 m_edges=1024 max_out_degree=8
+  method: portfolio (max over member methods)
+  methods:
+    standard: bound=32 (best k = 4, closed form hypercube Q_8)
+    visit: bound=60 (counted-cut chains)
+  winner: visit
+  lower bound on non-trivial I/O: 60 (best k = 0, raw = 60)
+
+A single-method run is unchanged -- no methods block, no winner:
+
+  $ ../../bin/graphio.exe bound -g bhk:8 -m 2 --method standard
+  graph: n=256 m_edges=1024 max_out_degree=8
+  method: standard (Theorem 5)
+  spectrum: closed form, recognized hypercube Q_8 (h=100)
+  lower bound on non-trivial I/O: 32 (best k = 4, raw = 32)
+
+The method vocabulary is one module shared by every surface, so the CLI
+flag, the jobs file and the server reject an unknown method with the
+same expected-list text:
+
+  $ ../../bin/graphio.exe bound -g fft:4 -m 4 --method qr
+  graphio: unknown method "qr" (expected normalized, standard, adjacency, signless, visit or portfolio)
+  [1]
+
+  $ printf 'fft:4 m=4 method=qr\n' > bad.txt
+  $ ../../bin/graphio.exe batch bad.txt
+  graphio: bad.txt:1: method="qr": expected normalized, standard, adjacency, signless, visit or portfolio
+  [1]
+
+  $ ../../bin/graphio.exe serve --socket srv.sock --dense-threshold 24 2>/dev/null &
+  $ printf '%s\n' \
+  >   '{"spec":"fft:4","m":4,"method":"qr"}' \
+  >   '{"spec":"bhk:6","m":2,"method":"portfolio","id":7}' \
+  >   '{"op":"shutdown"}' \
+  >   | ../../bin/graphio.exe client --socket srv.sock \
+  >   | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/; s/"rid":"[^"]*"/"rid":_/'
+  {"ok":false,"code":"bad_request","error":"field \"method\": expected normalized, standard, adjacency, signless, visit or portfolio, got \"qr\""}
+  {"id":7,"ok":true,"rid":_,"n":64,"edges":192,"m":2,"p":1,"method":"portfolio","h":0,"bound":22,"best_k":0,"best_raw":22,"backend":"dense","tier":"numeric","cache_hit":false,"warm_start":false,"wall_s":_,"methods":[{"method":"normalized","bound":11.249632996423834,"best_k":3,"tier":"numeric","cache_hit":false,"warm_start":false},{"method":"standard","bound":2.6666666666666661,"best_k":2,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"adjacency","bound":2.6666666666666661,"best_k":2,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"signless","bound":2.6666666666666661,"best_k":2,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"visit","bound":22,"best_k":0,"tier":"numeric","cache_hit":false,"warm_start":false}],"winner":"visit"}
+  {"ok":true,"op":"shutdown"}
+  $ wait
+
+Batch jobs can ask for the portfolio per job; the reply keeps the flat
+single-method schema for plain jobs byte-identical and appends the
+methods/winner block only for portfolio jobs:
+
+  $ cat > jobs.txt <<'EOF'
+  > bhk:8 m=2 method=portfolio
+  > bhk:8 m=2 method=standard
+  > fft:5 m=4 method=portfolio
+  > EOF
+  $ ../../bin/graphio.exe batch jobs.txt -j 1 | sed -E 's/"wall_s":[0-9.e+-]+/"wall_s":_/'
+  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"portfolio","h":100,"bound":86.786913617826286,"best_k":16,"best_raw":86.786913617826286,"backend":"dense","tier":"numeric","cache_hit":false,"warm_start":false,"wall_s":_,"methods":[{"method":"normalized","bound":86.786913617826286,"best_k":16,"tier":"numeric","cache_hit":false,"warm_start":false},{"method":"standard","bound":32,"best_k":4,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"adjacency","bound":32,"best_k":4,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"signless","bound":32,"best_k":4,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"visit","bound":60,"best_k":0,"tier":"numeric","cache_hit":false,"warm_start":false}],"winner":"normalized"}
+  {"spec":"bhk:8","n":256,"edges":1024,"m":2,"p":1,"method":"standard","h":100,"bound":32,"best_k":4,"best_raw":32,"backend":"dense","tier":"closed-form","cache_hit":true,"warm_start":false,"wall_s":_}
+  {"spec":"fft:5","n":192,"edges":320,"m":4,"p":1,"method":"portfolio","h":100,"bound":0,"best_k":2,"best_raw":-8.2226509339834948,"backend":"dense","tier":"closed-form","cache_hit":false,"warm_start":false,"wall_s":_,"methods":[{"method":"normalized","bound":0,"best_k":2,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"standard","bound":0,"best_k":2,"tier":"closed-form","cache_hit":false,"warm_start":false},{"method":"adjacency","bound":0,"best_k":2,"tier":"numeric","cache_hit":false,"warm_start":false},{"method":"signless","bound":0,"best_k":2,"tier":"numeric","cache_hit":false,"warm_start":false},{"method":"visit","bound":0,"best_k":0,"tier":"numeric","cache_hit":false,"warm_start":false}],"winner":"normalized"}
+
+graphio report tabulates the portfolio over a jobs file (any method=
+keys are ignored -- report always compares) and tallies the winners:
+
+  $ ../../bin/graphio.exe report jobs.txt -j 1
+  == bound portfolio ==
+  job    m  normalized  standard  adjacency  signless  visit  winner    
+  -----  -  ----------  --------  ---------  --------  -----  ----------
+  bhk:8  2  86.7869     32        32         32        60     normalized
+  bhk:8  2  86.7869     32        32         32        60     normalized
+  fft:5  4  0           0         0          0         0      normalized
+  note: winners: normalized x3

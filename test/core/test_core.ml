@@ -645,6 +645,12 @@ let permute_dag g perm =
     (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Dag.edges g))
 
 let prop_relabel_invariance =
+  (* every spectral method: the spectrum (hence the bound) depends only on
+     graph structure.  Visit is excluded by design — its anchor chains are
+     picked by an id-dependent critical-path heuristic, so the value may
+     legitimately differ across isomorphic labelings (each labeling's
+     value is still a sound lower bound; soundness is what the
+     exact-sandwich battery pins). *)
   QCheck2.Test.make ~name:"bound invariant under vertex relabeling" ~count:40
     relabel_case_gen
     (fun (g, perm, m) ->
@@ -656,9 +662,10 @@ let prop_relabel_invariance =
              let b = graph_bound ~method_ ~h (permute_dag g perm) ~m in
              Float.abs (a -. b)
              <= 1e-6 *. (1.0 +. Float.max (Float.abs a) (Float.abs b)))
-           methods)
+           (List.filter Method.is_spectral Method.all))
 
-(* More fast memory can only weaken a lower bound on I/O. *)
+(* More fast memory can only weaken a lower bound on I/O — for every
+   method in the portfolio (the portfolio itself is a max of monotones). *)
 let prop_graph_monotone_m =
   QCheck2.Test.make ~name:"graph bound non-increasing in M" ~count:40
     QCheck2.Gen.(pair dag_gen (int_range 1 16))
@@ -669,7 +676,7 @@ let prop_graph_monotone_m =
              let h = Dag.n_vertices g in
              let b m = graph_bound ~method_ ~h g ~m in
              b m >= b (m + 1) -. 1e-9 && b (m + 1) >= b (2 * m) -. 1e-9)
-           methods)
+           Method.all)
 
 (* Disjoint self-union: c independent copies of G need at least as much
    I/O as one copy.  The heterogeneous form bound(A ⊔ B) >= max(bound A,
@@ -852,6 +859,115 @@ let prop_self_union_decomposed =
              && many >= one -. (1e-6 *. (1.0 +. one)))
            methods)
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio metamorphic properties                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Self-union monotonicity for EVERY portfolio method: c disjoint copies
+   of G (via [Dag.replicate], the decomposed path) need at least as much
+   I/O as one copy.  For the spectral methods this is the multiplicity
+   argument of [prop_self_union]; for Visit the decomposed evaluation
+   sums per-copy profiles, and the portfolio is a max of monotones. *)
+let prop_self_union_all_methods =
+  QCheck2.Test.make
+    ~name:"self-union bound >= single copy (every portfolio method)"
+    ~count:20
+    QCheck2.Gen.(triple dag_gen (int_range 2 3) (int_range 1 12))
+    (fun (g, c, m) ->
+      Dag.n_edges g = 0
+      || List.for_all
+           (fun method_ ->
+             let n = Dag.n_vertices g in
+             let one = graph_bound ~method_ ~h:n g ~m in
+             let many =
+               graph_bound ~method_ ~h:(c * n) (Dag.replicate g ~copies:c) ~m
+             in
+             many >= one -. (1e-6 *. (1.0 +. one)))
+           Method.all)
+
+(* The portfolio is exactly the max of its members: the headline bound
+   equals (bitwise) the largest per-member bound, the winner's recorded
+   value is that max, and every member appears in canonical order. *)
+let prop_portfolio_is_member_max =
+  QCheck2.Test.make ~name:"portfolio bound = max over member bounds"
+    ~count:20
+    QCheck2.Gen.(pair dag_gen (int_range 1 12))
+    (fun (g, m) ->
+      let h = Dag.n_vertices g in
+      let o = Solver.bound ~method_:Solver.Portfolio ~h g ~m in
+      let mvs = o.Solver.methods in
+      let max_member =
+        Array.fold_left
+          (fun acc mv -> Float.max acc mv.Solver.mv_bound)
+          neg_infinity mvs
+      in
+      let winner_value =
+        match o.Solver.winner with
+        | None -> nan
+        | Some w ->
+            let mv =
+              Array.to_list mvs
+              |> List.find (fun mv -> mv.Solver.mv_method = w)
+            in
+            mv.Solver.mv_bound
+      in
+      Array.length mvs = List.length Method.concrete
+      && Array.to_list mvs
+         |> List.map (fun mv -> mv.Solver.mv_method)
+         = Method.concrete
+      && o.Solver.result.Spectral_bound.bound = max_member
+      && winner_value = max_member)
+
+(* Portfolio members must agree bitwise with standalone runs of the same
+   method: sharing the eval pipeline across members must not perturb any
+   individual value. *)
+let prop_portfolio_members_match_standalone =
+  QCheck2.Test.make
+    ~name:"portfolio member values = standalone method values" ~count:15
+    QCheck2.Gen.(pair dag_gen (int_range 1 12))
+    (fun (g, m) ->
+      let h = Dag.n_vertices g in
+      let o = Solver.bound ~method_:Solver.Portfolio ~h g ~m in
+      Array.for_all
+        (fun mv ->
+          let solo = graph_bound ~method_:mv.Solver.mv_method ~h g ~m in
+          mv.Solver.mv_bound = solo)
+        o.Solver.methods)
+
+(* Decomposition differential for every method, portfolio included:
+   [bound] on a materialized disjoint union and [bound_parts] on the
+   parts run the identical decomposed pipeline and must agree bitwise
+   (this is the oracle the out-of-core path relies on). *)
+let prop_portfolio_decompose_differential =
+  QCheck2.Test.make
+    ~name:"bound on union = bound_parts on parts (every method, bitwise)"
+    ~count:15
+    QCheck2.Gen.(triple dag_gen dag_gen (int_range 1 12))
+    (fun (g1, g2, m) ->
+      let u = Dag.disjoint_union g1 g2 in
+      let h = Dag.n_vertices u in
+      List.for_all
+        (fun method_ ->
+          let via_union =
+            (Solver.bound ~method_ ~h u ~m).Solver.result.Spectral_bound.bound
+          in
+          let via_parts =
+            (Solver.bound_parts ~method_ ~h [| g1; g2 |] ~m).Solver.result
+              .Spectral_bound.bound
+          in
+          via_union = via_parts)
+        Method.all)
+
+(* On graphs small enough for the singleton sweep (n <= 256) the visit
+   profile contains every single-anchor all-counted chain, so the visit
+   bound dominates the convex min-cut baseline by construction. *)
+let prop_visit_dominates_mincut =
+  QCheck2.Test.make ~name:"visit bound >= convex min-cut (n <= 256)"
+    ~count:30
+    QCheck2.Gen.(pair dag_gen (int_range 1 12))
+    (fun (g, m) ->
+      Visit_bound.bound g ~m >= Graphio_flow.Convex_mincut.bound g ~m)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -865,6 +981,11 @@ let props =
       prop_self_union;
       prop_decompose_differential;
       prop_self_union_decomposed;
+      prop_self_union_all_methods;
+      prop_portfolio_is_member_max;
+      prop_portfolio_members_match_standalone;
+      prop_portfolio_decompose_differential;
+      prop_visit_dominates_mincut;
     ]
 
 let () =

@@ -22,9 +22,11 @@ let sandwich name g ~m =
   let l4 = spectral g ~m in
   let l5 = spectral_std g ~m in
   let cm = float_of_int (Graphio_flow.Convex_mincut.bound g ~m) in
+  let vb = float_of_int (Visit_bound.bound g ~m) in
   Alcotest.(check bool) (name ^ ": thm4 <= simulated") true (l4 <= u +. 1e-6);
   Alcotest.(check bool) (name ^ ": thm5 <= simulated") true (l5 <= u +. 1e-6);
-  Alcotest.(check bool) (name ^ ": mincut <= simulated") true (cm <= u +. 1e-6)
+  Alcotest.(check bool) (name ^ ": mincut <= simulated") true (cm <= u +. 1e-6);
+  Alcotest.(check bool) (name ^ ": visit <= simulated") true (vb <= u +. 1e-6)
 
 let test_sandwich_fft () =
   List.iter (fun (l, m) -> sandwich (Printf.sprintf "fft l=%d M=%d" l m) (Fft.build l) ~m)
@@ -180,11 +182,19 @@ let test_exact_sandwich () =
             Alcotest.(check bool) (name ^ ": exact <= best simulated") true
               (exact <= u);
             let o4 = (Solver.bound g ~m).Solver.result in
-            let o5 = (Solver.bound ~method_:Solver.Standard g ~m).Solver.result in
-            Alcotest.(check bool) (name ^ ": thm4 <= exact") true
-              (o4.Spectral_bound.bound <= fexact +. eps);
-            Alcotest.(check bool) (name ^ ": thm5 <= exact") true
-              (o5.Spectral_bound.bound <= fexact +. eps);
+            (* every portfolio member — and the portfolio itself — must sit
+               below the true optimum; the failure message names the method
+               and the instance so a soundness bug is immediately
+               attributable *)
+            List.iter
+              (fun method_ ->
+                let b = (Solver.bound ~method_ g ~m).Solver.result in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s method=%s: bound <= exact" name
+                     (Method.to_string method_))
+                  true
+                  (b.Spectral_bound.bound <= fexact +. eps))
+              Method.all;
             List.iter
               (fun (oname, order) ->
                 let _, pv = Partition_bound.best g ~order ~m in
@@ -229,10 +239,11 @@ let test_exact_sandwich_structured () =
                 (fun method_ ->
                   let b = (Solver.bound ~method_ g ~m).Solver.result in
                   Alcotest.(check bool)
-                    (Printf.sprintf "%s M=%d: spectral <= exact" name m)
+                    (Printf.sprintf "%s M=%d method=%s: bound <= exact" name m
+                       (Method.to_string method_))
                     true
                     (b.Spectral_bound.bound <= float_of_int exact +. eps))
-                [ Solver.Normalized; Solver.Standard ])
+                Method.all)
         [ mf; mf + 2 ])
     [
       ("fft l=2", Fft.build 2);
